@@ -1,0 +1,145 @@
+//! Capacity planning — the paper's secondary use case: "computing the
+//! percentage of disks that must be maintained on-line to meet file access
+//! response time under budget constraints" (§1) and "obtaining reliable
+//! estimates on the size of a disk farm needed to support a given workload"
+//! (§6).
+
+use spindown_disk::DiskSpec;
+
+use crate::mg1::utilisation_for_response;
+
+/// Disks needed to *store* `total_bytes` on drives of `spec`.
+pub fn disks_for_storage(total_bytes: u64, spec: &DiskSpec) -> usize {
+    (total_bytes as f64 / spec.capacity_bytes as f64).ceil() as usize
+}
+
+/// Disks needed to *carry* an offered load of `total_load` disk-seconds per
+/// second when each disk may be filled to utilisation `load_cap ∈ (0, 1]`.
+pub fn disks_for_load(total_load: f64, load_cap: f64) -> usize {
+    assert!(load_cap > 0.0 && load_cap <= 1.0, "load cap in (0,1]");
+    assert!(total_load >= 0.0);
+    (total_load / load_cap).ceil() as usize
+}
+
+/// A complete sizing answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FarmPlan {
+    /// Disks needed by raw capacity.
+    pub by_storage: usize,
+    /// Disks needed by offered load under the derived utilisation cap.
+    pub by_load: usize,
+    /// The M/G/1-derived per-disk utilisation cap meeting the response
+    /// budget.
+    pub load_cap: f64,
+}
+
+impl FarmPlan {
+    /// The binding requirement: `max(by_storage, by_load)`.
+    pub fn disks(&self) -> usize {
+        self.by_storage.max(self.by_load)
+    }
+
+    /// Fraction of a fleet of `fleet` disks that must stay spinning to carry
+    /// the load (`None` if the fleet is too small outright).
+    pub fn online_fraction(&self, fleet: usize) -> Option<f64> {
+        if fleet < self.disks() {
+            return None;
+        }
+        Some(self.by_load as f64 / fleet as f64)
+    }
+}
+
+/// Size a disk farm: storage footprint, offered load (arrival rate × mean
+/// service), service-time moments, and a mean-response budget.
+///
+/// Returns `None` when the budget is below the bare service time (no
+/// utilisation can meet it).
+pub fn plan_farm(
+    total_bytes: u64,
+    arrival_rate: f64,
+    mean_service: f64,
+    second_moment: f64,
+    response_budget: f64,
+    spec: &DiskSpec,
+) -> Option<FarmPlan> {
+    let load_cap = utilisation_for_response(mean_service, second_moment, response_budget)?;
+    if load_cap <= 0.0 {
+        return None;
+    }
+    let total_load = arrival_rate * mean_service;
+    Some(FarmPlan {
+        by_storage: disks_for_storage(total_bytes, spec),
+        by_load: disks_for_load(total_load, load_cap),
+        load_cap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindown_disk::{GB, TB};
+
+    fn spec() -> DiskSpec {
+        DiskSpec::seagate_st3500630as()
+    }
+
+    #[test]
+    fn storage_sizing_matches_paper_nersc_example() {
+        // §5.1: ~48 TB of requested files need ≈ 95–97 drives of 500 GB.
+        let disks = disks_for_storage(48_215 * GB, &spec());
+        assert!((95..=97).contains(&disks), "{disks}");
+    }
+
+    #[test]
+    fn load_sizing() {
+        assert_eq!(disks_for_load(18.0, 0.6), 30);
+        assert_eq!(disks_for_load(0.0, 0.5), 0);
+        assert_eq!(disks_for_load(0.1, 1.0), 1);
+    }
+
+    #[test]
+    fn farm_plan_binding_constraint() {
+        // Service ≈ 7.56 s (544 MB at 72 MB/s), modest variance.
+        let es = 7.56;
+        let es2 = 2.0 * es * es;
+        let plan = plan_farm(13 * TB, 2.0, es, es2, 30.0, &spec()).unwrap();
+        assert_eq!(plan.by_storage, 26);
+        assert!(plan.load_cap > 0.0 && plan.load_cap < 1.0);
+        // offered load = 15.12 disk-seconds/s → by_load well above 15
+        assert!(plan.by_load >= 16);
+        assert_eq!(plan.disks(), plan.by_storage.max(plan.by_load));
+    }
+
+    #[test]
+    fn tighter_budget_needs_more_disks() {
+        let es = 7.56;
+        let es2 = 2.0 * es * es;
+        let tight = plan_farm(TB, 2.0, es, es2, 10.0, &spec()).unwrap();
+        let loose = plan_farm(TB, 2.0, es, es2, 120.0, &spec()).unwrap();
+        assert!(tight.by_load >= loose.by_load);
+        assert!(tight.load_cap < loose.load_cap);
+    }
+
+    #[test]
+    fn impossible_budget_is_none() {
+        assert!(plan_farm(TB, 1.0, 7.56, 114.0, 5.0, &spec()).is_none());
+    }
+
+    #[test]
+    fn online_fraction() {
+        let plan = FarmPlan {
+            by_storage: 90,
+            by_load: 30,
+            load_cap: 0.6,
+        };
+        assert_eq!(plan.disks(), 90);
+        assert!((plan.online_fraction(100).unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(plan.online_fraction(50), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "load cap in (0,1]")]
+    fn zero_load_cap_panics() {
+        let _ = disks_for_load(1.0, 0.0);
+    }
+}

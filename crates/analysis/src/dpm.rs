@@ -1,0 +1,158 @@
+//! Dynamic power management theory (the §2 related-work results, made
+//! executable): per-gap energy costs of the offline optimal policy and the
+//! online fixed-threshold policy, and the competitive ratio between them.
+//!
+//! The classical result (Irani et al.): for a two-state system the
+//! break-even threshold is 2-competitive, and no deterministic online
+//! policy does better. These functions let experiments *measure* the ratio
+//! on real idle-gap distributions; the property tests confirm the ≤ 2 bound
+//! (up to the small refinement that our model also charges idle power
+//! during the spin transitions).
+
+use spindown_disk::{transition_energy_overhead, DiskSpec};
+
+/// Energy an *offline* optimal policy spends on one idle gap of `gap_s`
+/// seconds: the cheaper of idling through or spinning down immediately.
+pub fn offline_gap_cost(spec: &DiskSpec, gap_s: f64) -> f64 {
+    assert!(gap_s >= 0.0);
+    let idle = spec.idle_power_w * gap_s;
+    let transit = spec.spin_down_time_s + spec.spin_up_time_s;
+    let sleep =
+        transition_energy_overhead(spec) + (gap_s - transit).max(0.0) * spec.standby_power_w;
+    idle.min(sleep)
+}
+
+/// Energy the online fixed-threshold policy spends on one idle gap: idle for
+/// `threshold_s`, then spin down, sleep, and spin up at the gap's end. Gaps
+/// shorter than the threshold are idled through.
+pub fn online_gap_cost(spec: &DiskSpec, threshold_s: f64, gap_s: f64) -> f64 {
+    assert!(gap_s >= 0.0 && threshold_s >= 0.0);
+    if gap_s <= threshold_s {
+        return spec.idle_power_w * gap_s;
+    }
+    let transit = spec.spin_down_time_s + spec.spin_up_time_s;
+    let standby_s = (gap_s - threshold_s - transit).max(0.0);
+    spec.idle_power_w * threshold_s
+        + transition_energy_overhead(spec)
+        + standby_s * spec.standby_power_w
+}
+
+/// Total online/offline cost ratio over a gap sequence. `None` when the
+/// offline cost is zero (no gaps).
+pub fn competitive_ratio(spec: &DiskSpec, threshold_s: f64, gaps: &[f64]) -> Option<f64> {
+    let offline: f64 = gaps.iter().map(|&g| offline_gap_cost(spec, g)).sum();
+    let online: f64 = gaps
+        .iter()
+        .map(|&g| online_gap_cost(spec, threshold_s, g))
+        .sum();
+    if offline <= 0.0 {
+        return None;
+    }
+    Some(online / offline)
+}
+
+/// The threshold that equalises "idle through the threshold" and "the
+/// transition overhead" — the classical 2-competitive choice
+/// `τ* = E_over / P_idle`.
+pub fn classical_threshold(spec: &DiskSpec) -> f64 {
+    transition_energy_overhead(spec) / spec.idle_power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+    use spindown_disk::break_even_threshold;
+
+    fn spec() -> DiskSpec {
+        DiskSpec::seagate_st3500630as()
+    }
+
+    #[test]
+    fn offline_picks_the_cheaper_branch() {
+        let s = spec();
+        // Short gap: idling is cheaper.
+        assert!((offline_gap_cost(&s, 10.0) - 93.0).abs() < 1e-9);
+        // Long gap: sleeping is cheaper.
+        let long = offline_gap_cost(&s, 10_000.0);
+        assert!(long < s.idle_power_w * 10_000.0);
+    }
+
+    #[test]
+    fn online_matches_idle_below_threshold() {
+        let s = spec();
+        let c = online_gap_cost(&s, 53.3, 40.0);
+        assert!((c - s.idle_power_w * 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_cost_continuous_at_threshold() {
+        let s = spec();
+        let tau = 53.3;
+        let below = online_gap_cost(&s, tau, tau - 1e-9);
+        let above = online_gap_cost(&s, tau, tau + 1e-9);
+        // jump equals the transition overhead (sleep decision taken)
+        assert!((above - below - transition_energy_overhead(&s)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn break_even_threshold_is_at_most_2_competitive_per_gap() {
+        let s = spec();
+        let tau = break_even_threshold(&s);
+        for gap in [0.5, 10.0, 53.0, 54.0, 100.0, 1000.0, 100_000.0] {
+            let ratio = online_gap_cost(&s, tau, gap) / offline_gap_cost(&s, gap).max(1e-9);
+            assert!(
+                ratio <= 2.0 + 1e-6,
+                "gap {gap}: per-gap ratio {ratio} > 2"
+            );
+        }
+    }
+
+    #[test]
+    fn random_gap_sequences_within_2x() {
+        let s = spec();
+        let tau = break_even_threshold(&s);
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let gaps: Vec<f64> = (0..200)
+                .map(|_| rng.random::<f64>() * 2000.0)
+                .collect();
+            let r = competitive_ratio(&s, tau, &gaps).unwrap();
+            assert!(r <= 2.0 + 1e-6, "ratio {r}");
+            assert!(r >= 1.0 - 1e-9, "online can't beat offline: {r}");
+        }
+    }
+
+    #[test]
+    fn adversarial_gap_just_past_threshold_is_worst() {
+        // The classic adversary: gaps slightly longer than the threshold
+        // make the online policy pay both idle and transition.
+        let s = spec();
+        let tau = classical_threshold(&s);
+        let adversarial = vec![tau + 1e-6; 50];
+        let r = competitive_ratio(&s, tau, &adversarial).unwrap();
+        assert!(r > 1.8, "adversarial ratio only {r}");
+        assert!(r <= 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn zero_threshold_races_to_sleep() {
+        let s = spec();
+        // With τ=0 every gap pays the transition — bad for short gaps.
+        let short_gaps = vec![1.0; 100];
+        let r = competitive_ratio(&s, 0.0, &short_gaps).unwrap();
+        assert!(r > 10.0, "racing to sleep should be very bad here: {r}");
+    }
+
+    #[test]
+    fn empty_gaps_give_none() {
+        assert_eq!(competitive_ratio(&spec(), 10.0, &[]), None);
+    }
+
+    #[test]
+    fn classical_threshold_value() {
+        // 453 J / 9.3 W ≈ 48.7 s
+        assert!((classical_threshold(&spec()) - 48.7).abs() < 0.05);
+    }
+}

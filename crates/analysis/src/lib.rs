@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # spindown-analysis
+//!
+//! Analytic companions to the simulator:
+//!
+//! - [`stats`] — streaming moments (Welford) and histograms.
+//! - [`mg1`] — M/G/1 queueing (Pollaczek–Khinchine): predicts per-disk
+//!   response times from the load constraint `L`, giving the analytic side
+//!   of the Figure 4 trade-off curve.
+//! - [`dpm`] — dynamic power management theory (§2 of the paper): offline
+//!   optimal spin-down cost per idle gap, the online fixed-threshold policy
+//!   and its competitive ratio (the classical 2-competitive bound).
+//! - [`regression`] — least-squares fits (log-log Zipf checks of §5.1).
+//! - [`ski_rental`] — exact ski-rental theory: the 2-competitive
+//!   deterministic and e/(e−1)-competitive randomised spin-down policies in
+//!   closed form.
+//! - [`capacity`] — capacity planning: disks needed by storage/load and the
+//!   response-time-constrained utilisation cap (the paper's "percentage of
+//!   disks that must be maintained on-line … under budget constraints").
+
+pub mod capacity;
+pub mod dpm;
+pub mod mg1;
+pub mod regression;
+pub mod ski_rental;
+pub mod stats;
+pub mod tradeoff;
+
+pub use dpm::{competitive_ratio, offline_gap_cost, online_gap_cost};
+pub use mg1::{mg1_mean_response, mg1_mean_wait, utilisation_for_response};
+pub use stats::Welford;
+pub use tradeoff::{knee_index, pareto_front, TradeoffPoint};

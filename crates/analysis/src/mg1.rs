@@ -1,0 +1,162 @@
+//! M/G/1 queueing: the analytic model behind the load constraint `L`.
+//!
+//! The paper bounds per-disk load (`Σ l_i ≤ L`) as a proxy for response
+//! time. For Poisson arrivals and general service times, the
+//! Pollaczek–Khinchine formula makes that proxy precise: a disk offered
+//! utilisation `ρ = λ·E[S]` has mean waiting time
+//!
+//! ```text
+//! W_q = λ·E[S²] / (2(1 − ρ))
+//! ```
+//!
+//! and mean response `W = W_q + E[S]`. [`utilisation_for_response`] inverts
+//! this: the highest `ρ` (hence the highest admissible `L`) that keeps mean
+//! response below a budget — the analytic form of the Figure 4 trade-off.
+
+/// Mean waiting time (queueing delay, excluding service) of an M/G/1 queue.
+/// `None` when the queue is unstable (`ρ ≥ 1`) or inputs are invalid.
+pub fn mg1_mean_wait(lambda: f64, mean_service: f64, second_moment: f64) -> Option<f64> {
+    if !(lambda >= 0.0) || !(mean_service > 0.0) || !(second_moment >= 0.0) {
+        return None;
+    }
+    let rho = lambda * mean_service;
+    if rho >= 1.0 {
+        return None;
+    }
+    Some(lambda * second_moment / (2.0 * (1.0 - rho)))
+}
+
+/// Mean response time (wait + service). `None` when unstable.
+pub fn mg1_mean_response(lambda: f64, mean_service: f64, second_moment: f64) -> Option<f64> {
+    mg1_mean_wait(lambda, mean_service, second_moment).map(|w| w + mean_service)
+}
+
+/// The largest utilisation `ρ` such that the M/G/1 mean response stays at or
+/// below `response_budget`, for a service distribution with the given
+/// moments. Returns 0 when even an idle queue misses the budget
+/// (`budget < E[S]`), and `None` on invalid inputs.
+///
+/// Derivation: with `λ = ρ/E[S]`, `W = E[S] + ρ·E[S²]/(2·E[S]·(1−ρ))`;
+/// setting `q = budget − E[S]` and solving for `ρ`:
+/// `ρ* = 2·E[S]·q / (E[S²] + 2·E[S]·q)`.
+pub fn utilisation_for_response(
+    mean_service: f64,
+    second_moment: f64,
+    response_budget: f64,
+) -> Option<f64> {
+    if !(mean_service > 0.0) || !(second_moment >= 0.0) || !response_budget.is_finite() {
+        return None;
+    }
+    let q = response_budget - mean_service;
+    if q <= 0.0 {
+        return Some(0.0);
+    }
+    if second_moment == 0.0 {
+        // Deterministic zero-variance limit isn't physical here (E[S²] ≥
+        // E[S]² > 0), treat as invalid.
+        return None;
+    }
+    Some((2.0 * mean_service * q) / (second_moment + 2.0 * mean_service * q))
+}
+
+/// Service-time moments of a discrete file mix: files with popularity `p_i`
+/// and service time `t_i` give `E[S] = Σ p_i t_i`, `E[S²] = Σ p_i t_i²`.
+pub fn mixture_moments(popularity: &[f64], service_times: &[f64]) -> (f64, f64) {
+    assert_eq!(popularity.len(), service_times.len());
+    let mut es = 0.0;
+    let mut es2 = 0.0;
+    for (&p, &t) in popularity.iter().zip(service_times) {
+        es += p * t;
+        es2 += p * t * t;
+    }
+    (es, es2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_special_case() {
+        // Exponential service: E[S²] = 2E[S]² → W = E[S]/(1−ρ).
+        let es = 2.0;
+        let es2 = 2.0 * es * es;
+        let lambda = 0.25; // ρ = 0.5
+        let w = mg1_mean_response(lambda, es, es2).unwrap();
+        assert!((w - es / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_special_case() {
+        // Deterministic service: E[S²] = E[S]² → W_q = ρE[S]/(2(1−ρ)).
+        let es = 1.0;
+        let es2 = 1.0;
+        let lambda = 0.8;
+        let wq = mg1_mean_wait(lambda, es, es2).unwrap();
+        assert!((wq - 0.8 / (2.0 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_queue_is_none() {
+        assert_eq!(mg1_mean_wait(1.0, 1.0, 1.0), None);
+        assert_eq!(mg1_mean_wait(2.0, 1.0, 1.0), None);
+    }
+
+    #[test]
+    fn wait_grows_with_utilisation() {
+        let es = 1.0;
+        let es2 = 2.0;
+        let mut last = 0.0;
+        for rho in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let w = mg1_mean_wait(rho / es, es, es2).unwrap();
+            assert!(w > last);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn utilisation_inversion_roundtrip() {
+        let es = 2.5;
+        let es2 = 9.0;
+        for budget in [3.0, 5.0, 12.0, 60.0] {
+            let rho = utilisation_for_response(es, es2, budget).unwrap();
+            assert!(rho > 0.0 && rho < 1.0);
+            let w = mg1_mean_response(rho / es, es, es2).unwrap();
+            assert!(
+                (w - budget).abs() < 1e-9,
+                "budget {budget}: rho {rho} gives response {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_budget_gives_zero_utilisation() {
+        assert_eq!(utilisation_for_response(5.0, 30.0, 4.0), Some(0.0));
+        assert_eq!(utilisation_for_response(5.0, 30.0, 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn tighter_budget_means_lower_utilisation() {
+        let es = 1.0;
+        let es2 = 3.0;
+        let tight = utilisation_for_response(es, es2, 2.0).unwrap();
+        let loose = utilisation_for_response(es, es2, 20.0).unwrap();
+        assert!(tight < loose);
+        assert!(loose < 1.0);
+    }
+
+    #[test]
+    fn mixture_moments_hand_case() {
+        let (es, es2) = mixture_moments(&[0.5, 0.5], &[1.0, 3.0]);
+        assert!((es - 2.0).abs() < 1e-12);
+        assert!((es2 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert_eq!(mg1_mean_wait(-1.0, 1.0, 1.0), None);
+        assert_eq!(mg1_mean_wait(0.5, 0.0, 1.0), None);
+        assert_eq!(utilisation_for_response(0.0, 1.0, 5.0), None);
+        assert_eq!(utilisation_for_response(1.0, 0.0, 5.0), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! Trade-off curve utilities: Pareto filtering and knee detection for
+//! power/response curves (Figure 4's output is the canonical input).
+//!
+//! The paper's operators must pick an operating point on the Figure 4
+//! curve; [`knee_index`] automates the usual choice — the point of maximum
+//! distance from the chord between the curve's endpoints (the "kneedle"
+//! construction), which balances diminishing power returns against
+//! accelerating response cost.
+
+/// One operating point on a trade-off curve: a control value and the two
+/// objectives (both to be *minimised*, e.g. watts and seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// The control setting (e.g. the load constraint L).
+    pub control: f64,
+    /// First objective (e.g. mean power, W).
+    pub cost_a: f64,
+    /// Second objective (e.g. mean response, s).
+    pub cost_b: f64,
+}
+
+/// Indices of the Pareto-optimal points (no other point is at least as good
+/// in both objectives and better in one). Preserves input order.
+pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, q)| {
+                j != i
+                    && q.cost_a <= points[i].cost_a
+                    && q.cost_b <= points[i].cost_b
+                    && (q.cost_a < points[i].cost_a || q.cost_b < points[i].cost_b)
+            })
+        })
+        .collect()
+}
+
+/// The knee of a trade-off curve: the index maximising the perpendicular
+/// distance to the chord between the first and last point, after min-max
+/// normalising both objectives (so units don't matter). `None` for fewer
+/// than 3 points or a degenerate (flat) curve.
+pub fn knee_index(points: &[TradeoffPoint]) -> Option<usize> {
+    if points.len() < 3 {
+        return None;
+    }
+    let (min_a, max_a) = min_max(points.iter().map(|p| p.cost_a))?;
+    let (min_b, max_b) = min_max(points.iter().map(|p| p.cost_b))?;
+    if max_a - min_a < 1e-12 || max_b - min_b < 1e-12 {
+        return None;
+    }
+    let norm = |p: &TradeoffPoint| {
+        (
+            (p.cost_a - min_a) / (max_a - min_a),
+            (p.cost_b - min_b) / (max_b - min_b),
+        )
+    };
+    let (x0, y0) = norm(&points[0]);
+    let (x1, y1) = norm(points.last().expect("non-empty"));
+    let chord_len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+    if chord_len < 1e-12 {
+        return None;
+    }
+    let mut best = (0usize, -1.0f64);
+    for (i, p) in points.iter().enumerate() {
+        let (x, y) = norm(p);
+        // distance from (x, y) to the chord through (x0,y0)-(x1,y1)
+        let d = ((x1 - x0) * (y0 - y) - (x0 - x) * (y1 - y0)).abs() / chord_len;
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    Some(best.0)
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut any = false;
+    for v in values {
+        if !v.is_finite() {
+            return None;
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+        any = true;
+    }
+    any.then_some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(control: f64, a: f64, b: f64) -> TradeoffPoint {
+        TradeoffPoint {
+            control,
+            cost_a: a,
+            cost_b: b,
+        }
+    }
+
+    #[test]
+    fn pareto_filters_dominated_points() {
+        let pts = vec![
+            p(0.4, 700.0, 6.0),
+            p(0.6, 500.0, 8.0),
+            p(0.7, 520.0, 9.0), // dominated by the 0.6 point
+            p(0.9, 400.0, 19.0),
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn pareto_keeps_duplicates_that_tie() {
+        let pts = vec![p(0.1, 1.0, 1.0), p(0.2, 1.0, 1.0)];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn knee_of_an_l_shaped_curve() {
+        // Sharp L: fast descent then flat — knee at the corner (index 2).
+        let pts = vec![
+            p(0.0, 100.0, 0.0),
+            p(1.0, 50.0, 1.0),
+            p(2.0, 10.0, 2.0),
+            p(3.0, 9.0, 30.0),
+            p(4.0, 8.0, 60.0),
+        ];
+        assert_eq!(knee_index(&pts), Some(2));
+    }
+
+    #[test]
+    fn knee_on_fig4_like_data() {
+        // Shape from the measured Figure 4: power falls, response rises
+        // slowly then accelerates past L ≈ 0.75.
+        let data = [
+            (0.40, 676.7, 6.21),
+            (0.50, 574.6, 7.14),
+            (0.60, 513.9, 7.03),
+            (0.70, 469.1, 8.78),
+            (0.75, 447.8, 10.39),
+            (0.80, 437.1, 12.93),
+            (0.85, 422.2, 16.00),
+            (0.90, 413.4, 19.06),
+        ];
+        let pts: Vec<TradeoffPoint> = data.iter().map(|&(l, w, r)| p(l, w, r)).collect();
+        let knee = knee_index(&pts).unwrap();
+        let l = pts[knee].control;
+        assert!(
+            (0.55..=0.80).contains(&l),
+            "knee at L={l}, expected in the elbow region"
+        );
+    }
+
+    #[test]
+    fn degenerate_curves_have_no_knee() {
+        assert_eq!(knee_index(&[]), None);
+        assert_eq!(knee_index(&[p(0.0, 1.0, 1.0), p(1.0, 2.0, 2.0)]), None);
+        // flat in one objective
+        let flat = vec![p(0.0, 5.0, 1.0), p(1.0, 5.0, 2.0), p(2.0, 5.0, 3.0)];
+        assert_eq!(knee_index(&flat), None);
+    }
+
+    #[test]
+    fn straight_line_knee_is_weak_but_defined() {
+        let line: Vec<TradeoffPoint> =
+            (0..5).map(|i| p(i as f64, i as f64, 4.0 - i as f64)).collect();
+        // all distances ~0; any index is acceptable, must not panic
+        assert!(knee_index(&line).is_some());
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 2 (E3): one power-saving grid point — Pack_Disks vs random
+//! placement at R = 4, L = 70 % — timed end-to-end (plan + two simulations).
+//! The measured saving is printed once so `bench_output.txt` records the
+//! reproduced value alongside the timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spindown_core::{compare, Planner, PlannerConfig};
+use spindown_packing::Allocator;
+use spindown_workload::{FileCatalog, Trace};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = FileCatalog::paper_table1(40_000, 0);
+    let rate = 4.0;
+    let trace = Trace::poisson(&catalog, rate, 400.0, 2);
+    let planner = Planner::new(PlannerConfig::default());
+    let mut rnd_cfg = PlannerConfig::default();
+    rnd_cfg.allocator = Allocator::RandomFixed { disks: 100, seed: 5 };
+    let rnd_planner = Planner::new(rnd_cfg);
+
+    // Report the reproduced number once.
+    let pack = planner.plan(&catalog, rate).unwrap();
+    let random = rnd_planner.plan(&catalog, rate).unwrap();
+    let cmp = compare(&planner, &pack, &random, &catalog, &trace, Some(100)).unwrap();
+    println!(
+        "[fig2] R={rate}, L=0.7: power saving {:.3} (paper: >0.6 below R=4 at full horizon)",
+        cmp.power_saving()
+    );
+
+    let mut group = c.benchmark_group("fig2_power_saving");
+    group.sample_size(10);
+    group.bench_function("grid_point_r4_l70", |b| {
+        b.iter(|| {
+            let pack = planner.plan(&catalog, rate).unwrap();
+            let random = rnd_planner.plan(&catalog, rate).unwrap();
+            let cmp =
+                compare(&planner, &pack, &random, &catalog, &trace, Some(100)).unwrap();
+            black_box(cmp.power_saving())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

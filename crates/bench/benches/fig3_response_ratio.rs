@@ -1,0 +1,43 @@
+//! Figure 3 (E4): one response-ratio grid point — Pack_Disks vs random at
+//! R = 8, L = 80 % (the regime where the paper shows ratios approaching
+//! 2.5–4). Prints the reproduced ratio, then times the measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spindown_core::{compare, Planner, PlannerConfig};
+use spindown_packing::Allocator;
+use spindown_workload::{FileCatalog, Trace};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = FileCatalog::paper_table1(40_000, 0);
+    let rate = 8.0;
+    let trace = Trace::poisson(&catalog, rate, 400.0, 4);
+    let mut pack_cfg = PlannerConfig::default();
+    pack_cfg.load_constraint = 0.8;
+    let planner = Planner::new(pack_cfg.clone());
+    let mut rnd_cfg = pack_cfg;
+    rnd_cfg.allocator = Allocator::RandomFixed { disks: 100, seed: 6 };
+    let rnd_planner = Planner::new(rnd_cfg);
+
+    let pack = planner.plan(&catalog, rate).unwrap();
+    let random = rnd_planner.plan(&catalog, rate).unwrap();
+    let cmp = compare(&planner, &pack, &random, &catalog, &trace, Some(100)).unwrap();
+    println!(
+        "[fig3] R={rate}, L=0.8: response ratio {:.3} (paper: 0.5–2.5, rising with R and L)",
+        cmp.response_ratio().unwrap_or(f64::NAN)
+    );
+
+    let mut group = c.benchmark_group("fig3_response_ratio");
+    group.sample_size(10);
+    group.bench_function("grid_point_r8_l80", |b| {
+        b.iter(|| {
+            let cmp =
+                compare(&planner, &pack, &random, &catalog, &trace, Some(100)).unwrap();
+            black_box(cmp.response_ratio())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 4 (E5): the L-sweep trade-off point at R = 6 — plan + simulate at
+//! one load constraint, reporting fleet power and mean response.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spindown_core::{Planner, PlannerConfig};
+use spindown_workload::{FileCatalog, Trace};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = FileCatalog::paper_table1(40_000, 0);
+    let rate = 6.0;
+    let trace = Trace::poisson(&catalog, rate, 400.0, 8);
+
+    for load in [0.5, 0.8] {
+        let mut cfg = PlannerConfig::default();
+        cfg.load_constraint = load;
+        let planner = Planner::new(cfg);
+        let plan = planner.plan(&catalog, rate).unwrap();
+        let report = planner
+            .evaluate_with_fleet(&plan, &catalog, &trace, 100)
+            .unwrap();
+        println!(
+            "[fig4] L={load}: {} disks, {:.0} W, {:.2} s mean response",
+            plan.disks_used(),
+            report.mean_power_w(),
+            report.responses.mean()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4_tradeoff");
+    group.sample_size(10);
+    for load in [0.5, 0.8] {
+        let mut cfg = PlannerConfig::default();
+        cfg.load_constraint = load;
+        let planner = Planner::new(cfg);
+        let plan = planner.plan(&catalog, rate).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("simulate_l", format!("{load}")),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    black_box(
+                        planner
+                            .evaluate_with_fleet(plan, &catalog, &trace, 100)
+                            .unwrap()
+                            .mean_power_w(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! The paper's §3 complexity claim (E9 in DESIGN.md): `Pack_Disks`
+//! (`O(n log n)`) against the CHP reference (`O(n²)`) on identical inputs,
+//! plus the greedy baselines. The two algorithms produce identical packings
+//! (property-tested in `spindown-packing`), so this bench isolates the
+//! data-structure improvement — the paper's contribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use spindown_packing::{baselines, chp, pack_disks, Instance, PackItem};
+use std::hint::black_box;
+
+fn uniform_instance(n: usize, rho: f64, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let items = (0..n)
+        .map(|_| PackItem {
+            s: rng.random::<f64>() * rho,
+            l: rng.random::<f64>() * rho,
+        })
+        .collect();
+    Instance::new(items).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing_scaling");
+    group.sample_size(10);
+    for &n in &[500usize, 1_000, 2_000, 4_000, 8_000] {
+        let inst = uniform_instance(n, 0.2, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pack_disks", n), &inst, |b, inst| {
+            b.iter(|| black_box(pack_disks(black_box(inst))))
+        });
+        // CHP is quadratic; skip the largest sizes to keep wall time sane.
+        if n <= 2_000 {
+            group.bench_with_input(BenchmarkId::new("chp_n2", n), &inst, |b, inst| {
+                b.iter(|| black_box(chp::pack_chp(black_box(inst))))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("ffd", n), &inst, |b, inst| {
+            b.iter(|| black_box(baselines::first_fit_decreasing(black_box(inst))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Discrete-event engine throughput: requests simulated per second of wall
+//! time, across fleet sizes and arrival rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spindown_core::{Planner, PlannerConfig};
+use spindown_workload::{FileCatalog, Trace};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = FileCatalog::paper_table1(40_000, 0);
+    let planner = Planner::new(PlannerConfig::default());
+
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    for &rate in &[2.0, 12.0] {
+        let plan = planner.plan(&catalog, rate).unwrap();
+        let trace = Trace::poisson(&catalog, rate, 400.0, 31);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("requests", format!("r{rate}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    black_box(
+                        planner
+                            .evaluate_with_fleet(&plan, &catalog, trace, 100)
+                            .unwrap()
+                            .responses
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

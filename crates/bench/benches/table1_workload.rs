@@ -1,0 +1,41 @@
+//! Table 1 (E1): cost of generating the paper's synthetic workload —
+//! catalog construction, Zipf sampling and Poisson trace generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spindown_workload::{FileCatalog, Trace, ZipfDistribution};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_workload");
+    group.sample_size(20);
+
+    group.bench_function("catalog_40k", |b| {
+        b.iter(|| black_box(FileCatalog::paper_table1(black_box(40_000), 0)))
+    });
+
+    let zipf = ZipfDistribution::paper_popularity(40_000);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("zipf_sample_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc += zipf.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+
+    let catalog = FileCatalog::paper_table1(40_000, 0);
+    group.throughput(Throughput::Elements(4_000));
+    group.bench_function("poisson_trace_r1_4000s", |b| {
+        b.iter(|| black_box(Trace::poisson(&catalog, 1.0, 4_000.0, 9)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

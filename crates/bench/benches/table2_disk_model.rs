@@ -1,0 +1,45 @@
+//! Table 2 (E2): disk-model micro-costs — service-time computation, power
+//! state cycling with energy integration, and the break-even derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spindown_disk::mechanics::ServiceTimer;
+use spindown_disk::{break_even_threshold, DiskSpec, DiskStateMachine, PowerState};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DiskSpec::seagate_st3500630as();
+    let mut group = c.benchmark_group("table2_disk_model");
+
+    let timer = ServiceTimer::new(&spec);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("service_time", |b| {
+        b.iter(|| black_box(timer.service_time(black_box(544_000_000))))
+    });
+
+    group.bench_function("break_even_threshold", |b| {
+        b.iter(|| black_box(break_even_threshold(black_box(&spec))))
+    });
+
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("state_machine_100_cycles", |b| {
+        b.iter(|| {
+            let mut m = DiskStateMachine::new(spec.clone(), 0.0);
+            let mut t = 0.0;
+            for _ in 0..100 {
+                t += 60.0;
+                let down = m.begin_spin_down(t).unwrap();
+                m.transition(down, PowerState::Standby).unwrap();
+                t = down + 100.0;
+                let up = m.begin_spin_up(t).unwrap();
+                m.transition(up, PowerState::Idle).unwrap();
+                t = up;
+            }
+            black_box(m.finish(t + 1.0).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

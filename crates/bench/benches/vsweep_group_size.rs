@@ -1,0 +1,53 @@
+//! §5.1 v-sweep (E8): packing cost and simulation at group sizes
+//! v ∈ {1, 4, 8} on the bursty NERSC workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spindown_core::{Planner, PlannerConfig};
+use spindown_packing::{pack_disks_v, Allocator};
+use spindown_sim::config::{SimConfig, ThresholdPolicy};
+use spindown_sim::engine::Simulator;
+use spindown_workload::arrivals::BatchConfig;
+use spindown_workload::nersc::{self, NerscConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = NerscConfig::paper_scaled(40);
+    let batches = BatchConfig {
+        burst_rate: 1.0 / 2000.0,
+        min_batch: 4,
+        max_batch: 12,
+        intra_batch_gap_s: 0.0,
+    };
+    let workload = nersc::generate_with_batches(&cfg, Some(&batches), 25);
+    let rate = cfg.arrival_rate();
+
+    for v in [1u32, 4, 8] {
+        let mut pcfg = PlannerConfig::default();
+        pcfg.allocator = Allocator::PackDisksV(v);
+        let planner = Planner::new(pcfg);
+        let plan = planner.plan(&workload.catalog, rate).unwrap();
+        let sim = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(1_800.0));
+        let report = Simulator::run(&workload.catalog, &workload.trace, &plan.assignment, &sim)
+            .unwrap();
+        println!(
+            "[vsweep] v={v}: {} disks, mean response {:.2} s",
+            plan.disks_used(),
+            report.responses.mean()
+        );
+    }
+
+    // Time only the packing step — the algorithmic part that varies with v.
+    let planner = Planner::new(PlannerConfig::default());
+    let instance = planner.instance(&workload.catalog, rate).unwrap();
+    let mut group = c.benchmark_group("vsweep_group_size");
+    group.sample_size(10);
+    for v in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("pack_disks_v", v), &v, |b, &v| {
+            b.iter(|| black_box(pack_disks_v(black_box(&instance), v)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! `spindown-bench` has no library code; all content lives in `benches/`.

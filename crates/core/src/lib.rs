@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # spindown-core
+//!
+//! The high-level API of the spindown system: plan a power-aware file
+//! allocation for a catalog and workload, evaluate it in simulation, and
+//! quantify the power/response-time trade-off against baselines — i.e. the
+//! workflow of Otoo, Rotem & Tsao (IPPS 2009) as a library.
+//!
+//! ```
+//! use spindown_core::{Planner, PlannerConfig};
+//! use spindown_workload::{FileCatalog, Trace};
+//!
+//! let catalog = FileCatalog::paper_table1(500, 0);
+//! let planner = Planner::new(PlannerConfig::default());
+//! // Plan an allocation for an aggregate arrival rate of 1 request/s.
+//! let plan = planner.plan(&catalog, 1.0).unwrap();
+//! assert!(plan.disks_used() >= 1);
+//!
+//! // Evaluate it on a concrete trace.
+//! let trace = Trace::poisson(&catalog, 1.0, 300.0, 7);
+//! let report = planner.evaluate(&plan, &catalog, &trace).unwrap();
+//! assert_eq!(report.responses.len(), trace.len());
+//! ```
+
+pub mod comparison;
+pub mod planner;
+pub mod reorg;
+pub mod writes;
+
+pub use comparison::{compare, Comparison};
+pub use planner::{Plan, PlanError, Planner, PlannerConfig, ServiceModel};
+pub use reorg::{plan_reorg, MigrationPlan};
+pub use writes::{WriteFit, WritePlacer};

@@ -1,0 +1,237 @@
+//! Energy-friendly online write placement (§1 of the paper).
+//!
+//! "In case the access sequence includes write requests we propose to …
+//! write files into an already spinning disk if sufficient space is found
+//! on it or write it into any other disk (using best-fit or first-fit
+//! policy) where sufficient space can be found. The written file may be
+//! re-allocated to a better location later during a reorganization
+//! process."
+//!
+//! [`WritePlacer`] implements exactly that: it tracks per-disk free space,
+//! prefers disks that are currently spinning (so no spin-up energy is
+//! paid), and falls back to the full fleet. Files placed by the fallback
+//! path are flagged for the next [`crate::reorg`] pass.
+
+use serde::{Deserialize, Serialize};
+
+/// Fit policy within the preferred (spinning) and fallback disk sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteFit {
+    /// First disk (lowest index) with enough space.
+    FirstFit,
+    /// Disk whose remaining space after the write is smallest.
+    BestFit,
+}
+
+/// Outcome of one placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritePlacement {
+    /// The chosen disk.
+    pub disk: usize,
+    /// Whether the disk was spinning when chosen (no spin-up cost).
+    pub on_spinning_disk: bool,
+}
+
+/// Tracks fleet free space and places incoming writes.
+#[derive(Debug, Clone)]
+pub struct WritePlacer {
+    capacity_bytes: u64,
+    used_bytes: Vec<u64>,
+    fit: WriteFit,
+    /// Disks that received a fallback (spun-down) write since the last
+    /// reorganization — candidates for re-allocation.
+    pending_reorg: Vec<usize>,
+}
+
+impl WritePlacer {
+    /// A placer over `disks` drives of `capacity_bytes`, with the given
+    /// per-disk `used` bytes (e.g. from an existing [`Assignment`]'s
+    /// totals).
+    ///
+    /// # Panics
+    /// If any disk is already over capacity.
+    ///
+    /// [`Assignment`]: spindown_packing::Assignment
+    pub fn new(capacity_bytes: u64, used: Vec<u64>, fit: WriteFit) -> Self {
+        for (d, &u) in used.iter().enumerate() {
+            assert!(u <= capacity_bytes, "disk {d} over capacity at start");
+        }
+        WritePlacer {
+            capacity_bytes,
+            used_bytes: used,
+            fit,
+            pending_reorg: Vec::new(),
+        }
+    }
+
+    /// Build from a packing assignment over drives of `capacity_bytes`
+    /// (uses the assignment's normalised storage totals).
+    pub fn from_assignment(
+        assignment: &spindown_packing::Assignment,
+        capacity_bytes: u64,
+        fit: WriteFit,
+    ) -> Self {
+        let used = assignment
+            .disks
+            .iter()
+            .map(|b| (b.total_s * capacity_bytes as f64).round() as u64)
+            .collect();
+        Self::new(capacity_bytes, used, fit)
+    }
+
+    /// Number of disks tracked.
+    pub fn disks(&self) -> usize {
+        self.used_bytes.len()
+    }
+
+    /// Free bytes on `disk`.
+    pub fn free_bytes(&self, disk: usize) -> u64 {
+        self.capacity_bytes - self.used_bytes[disk]
+    }
+
+    /// Disks flagged for reorganization (fallback writes since the last
+    /// [`Self::clear_reorg_flags`]).
+    pub fn pending_reorg(&self) -> &[usize] {
+        &self.pending_reorg
+    }
+
+    /// Reset the reorganization flags (call after a reorg pass).
+    pub fn clear_reorg_flags(&mut self) {
+        self.pending_reorg.clear();
+    }
+
+    /// Place a write of `size_bytes`, preferring disks where
+    /// `spinning[d]` is true. Returns `None` when no disk can hold the
+    /// file.
+    pub fn place(&mut self, size_bytes: u64, spinning: &[bool]) -> Option<WritePlacement> {
+        assert_eq!(
+            spinning.len(),
+            self.used_bytes.len(),
+            "spinning mask must cover the fleet"
+        );
+        // Pass 1: spinning disks only (the energy-friendly path).
+        if let Some(disk) = self.pick(size_bytes, |d| spinning[d]) {
+            self.commit(disk, size_bytes);
+            return Some(WritePlacement {
+                disk,
+                on_spinning_disk: true,
+            });
+        }
+        // Pass 2: anywhere with space; flag for reorganization.
+        let disk = self.pick(size_bytes, |_| true)?;
+        self.commit(disk, size_bytes);
+        if !self.pending_reorg.contains(&disk) {
+            self.pending_reorg.push(disk);
+        }
+        Some(WritePlacement {
+            disk,
+            on_spinning_disk: false,
+        })
+    }
+
+    fn pick(&self, size_bytes: u64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+        let fits =
+            |d: usize| eligible(d) && self.used_bytes[d] + size_bytes <= self.capacity_bytes;
+        match self.fit {
+            WriteFit::FirstFit => (0..self.used_bytes.len()).find(|&d| fits(d)),
+            WriteFit::BestFit => (0..self.used_bytes.len())
+                .filter(|&d| fits(d))
+                .min_by_key(|&d| self.free_bytes(d) - size_bytes),
+        }
+    }
+
+    fn commit(&mut self, disk: usize, size_bytes: u64) {
+        self.used_bytes[disk] += size_bytes;
+        debug_assert!(self.used_bytes[disk] <= self.capacity_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placer(fit: WriteFit) -> WritePlacer {
+        // 3 disks of 100 bytes, used 90/50/10
+        WritePlacer::new(100, vec![90, 50, 10], fit)
+    }
+
+    #[test]
+    fn prefers_spinning_disks() {
+        let mut p = placer(WriteFit::FirstFit);
+        // only disk 2 spinning: even though disk 1 fits, disk 2 is chosen
+        let got = p.place(20, &[false, false, true]).unwrap();
+        assert_eq!(got.disk, 2);
+        assert!(got.on_spinning_disk);
+        assert!(p.pending_reorg().is_empty());
+    }
+
+    #[test]
+    fn falls_back_to_spun_down_disks_and_flags_reorg() {
+        let mut p = placer(WriteFit::FirstFit);
+        // spinning disk 0 has only 10 free; a 30-byte write must fall back
+        let got = p.place(30, &[true, false, false]).unwrap();
+        assert_eq!(got.disk, 1);
+        assert!(!got.on_spinning_disk);
+        assert_eq!(p.pending_reorg(), &[1]);
+        p.clear_reorg_flags();
+        assert!(p.pending_reorg().is_empty());
+    }
+
+    #[test]
+    fn best_fit_picks_tightest_disk() {
+        let mut p = placer(WriteFit::BestFit);
+        // all spinning; 10-byte write → disk 0 (free 10) is tightest
+        let got = p.place(10, &[true, true, true]).unwrap();
+        assert_eq!(got.disk, 0);
+        assert_eq!(p.free_bytes(0), 0);
+    }
+
+    #[test]
+    fn first_fit_picks_lowest_index() {
+        let mut p = placer(WriteFit::FirstFit);
+        let got = p.place(10, &[true, true, true]).unwrap();
+        assert_eq!(got.disk, 0);
+    }
+
+    #[test]
+    fn rejects_when_nothing_fits() {
+        let mut p = placer(WriteFit::BestFit);
+        assert!(p.place(95, &[true, true, true]).is_none());
+        // state unchanged
+        assert_eq!(p.free_bytes(0), 10);
+        assert_eq!(p.free_bytes(2), 90);
+    }
+
+    #[test]
+    fn capacity_is_respected_over_many_writes() {
+        let mut p = WritePlacer::new(1_000, vec![0; 4], WriteFit::BestFit);
+        let spinning = vec![true; 4];
+        let mut placed = 0u64;
+        while let Some(w) = p.place(37, &spinning) {
+            placed += 37;
+            assert!(p.free_bytes(w.disk) <= 1_000);
+        }
+        // 4 × ⌊1000/37⌋ × 37 bytes must have been placed
+        assert_eq!(placed, 4 * (1_000 / 37) * 37);
+    }
+
+    #[test]
+    fn from_assignment_reads_totals() {
+        use spindown_packing::{Assignment, DiskBin};
+        let a = Assignment {
+            disks: vec![DiskBin {
+                items: vec![0],
+                total_s: 0.25,
+                total_l: 0.1,
+            }],
+        };
+        let p = WritePlacer::from_assignment(&a, 1_000, WriteFit::FirstFit);
+        assert_eq!(p.free_bytes(0), 750);
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn overfull_start_rejected() {
+        let _ = WritePlacer::new(100, vec![101], WriteFit::FirstFit);
+    }
+}

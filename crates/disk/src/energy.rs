@@ -1,0 +1,262 @@
+//! Exact energy accounting: piecewise-constant integration of power over
+//! time, broken down per [`PowerState`].
+//!
+//! The simulator drives an [`EnergyAccountant`] per disk: every time the disk
+//! changes state it calls [`EnergyAccountant::transition`], and at the end of
+//! the run [`EnergyAccountant::finish`]. Invariants (monotone time, total
+//! duration conservation) are enforced and unit-tested — the power-saving
+//! numbers of Figures 2, 4 and 5 all flow through this module.
+
+use serde::{Deserialize, Serialize};
+
+use crate::power::{power_of, PowerState};
+use crate::spec::DiskSpec;
+
+/// Per-state time and energy totals for one disk (or an aggregate).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Seconds spent in each state, indexed as [`PowerState::ALL`].
+    seconds: [f64; 6],
+    /// Joules consumed in each state, indexed as [`PowerState::ALL`].
+    joules: [f64; 6],
+}
+
+impl EnergyBreakdown {
+    fn index(state: PowerState) -> usize {
+        PowerState::ALL
+            .iter()
+            .position(|&s| s == state)
+            .expect("state present in ALL")
+    }
+
+    /// Seconds spent in `state`.
+    pub fn seconds_in(&self, state: PowerState) -> f64 {
+        self.seconds[Self::index(state)]
+    }
+
+    /// Joules consumed in `state`.
+    pub fn joules_in(&self, state: PowerState) -> f64 {
+        self.joules[Self::index(state)]
+    }
+
+    /// Total wall-clock seconds covered.
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Total joules consumed.
+    pub fn total_joules(&self) -> f64 {
+        self.joules.iter().sum()
+    }
+
+    /// Mean power over the covered interval, watts. Zero if no time covered.
+    pub fn mean_power_w(&self) -> f64 {
+        let t = self.total_seconds();
+        if t > 0.0 {
+            self.total_joules() / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Merge another breakdown into this one (for fleet-level aggregates).
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        for i in 0..6 {
+            self.seconds[i] += other.seconds[i];
+            self.joules[i] += other.joules[i];
+        }
+    }
+
+    fn add(&mut self, state: PowerState, seconds: f64, joules: f64) {
+        let i = Self::index(state);
+        self.seconds[i] += seconds;
+        self.joules[i] += joules;
+    }
+}
+
+/// Errors from misuse of the accountant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccountingError {
+    /// `transition`/`finish` called with a timestamp earlier than the last.
+    TimeWentBackwards,
+    /// The accountant was already finished.
+    AlreadyFinished,
+}
+
+impl std::fmt::Display for AccountingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccountingError::TimeWentBackwards => write!(f, "time went backwards"),
+            AccountingError::AlreadyFinished => write!(f, "accountant already finished"),
+        }
+    }
+}
+
+impl std::error::Error for AccountingError {}
+
+/// Integrates a disk's power draw over time.
+#[derive(Debug, Clone)]
+pub struct EnergyAccountant {
+    spec: DiskSpec,
+    state: PowerState,
+    since: f64,
+    breakdown: EnergyBreakdown,
+    finished: bool,
+}
+
+impl EnergyAccountant {
+    /// Start accounting at time `start` with the disk in `initial` state.
+    pub fn new(spec: DiskSpec, start: f64, initial: PowerState) -> Self {
+        EnergyAccountant {
+            spec,
+            state: initial,
+            since: start,
+            breakdown: EnergyBreakdown::default(),
+            finished: false,
+        }
+    }
+
+    /// The state currently being integrated.
+    pub fn current_state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Record that at time `now` the disk entered `next`.
+    ///
+    /// Time spent since the previous transition is charged to the previous
+    /// state at that state's power draw.
+    pub fn transition(&mut self, now: f64, next: PowerState) -> Result<(), AccountingError> {
+        self.charge(now)?;
+        self.state = next;
+        Ok(())
+    }
+
+    /// Close the books at time `now`. Subsequent calls fail.
+    pub fn finish(&mut self, now: f64) -> Result<(), AccountingError> {
+        self.charge(now)?;
+        self.finished = true;
+        Ok(())
+    }
+
+    fn charge(&mut self, now: f64) -> Result<(), AccountingError> {
+        if self.finished {
+            return Err(AccountingError::AlreadyFinished);
+        }
+        if now < self.since {
+            return Err(AccountingError::TimeWentBackwards);
+        }
+        let dt = now - self.since;
+        if dt > 0.0 {
+            let p = power_of(&self.spec, self.state);
+            self.breakdown.add(self.state, dt, p * dt);
+        }
+        self.since = now;
+        Ok(())
+    }
+
+    /// The totals accumulated so far (complete only after [`Self::finish`]).
+    pub fn breakdown(&self) -> &EnergyBreakdown {
+        &self.breakdown
+    }
+
+    /// Consume the accountant, returning its breakdown.
+    pub fn into_breakdown(self) -> EnergyBreakdown {
+        self.breakdown
+    }
+}
+
+/// Energy a disk would use staying in a single state for `seconds`.
+pub fn constant_state_energy(spec: &DiskSpec, state: PowerState, seconds: f64) -> f64 {
+    power_of(spec, state) * seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DiskSpec {
+        DiskSpec::seagate_st3500630as()
+    }
+
+    #[test]
+    fn idle_hour_consumes_expected_joules() {
+        let mut acc = EnergyAccountant::new(spec(), 0.0, PowerState::Idle);
+        acc.finish(3600.0).unwrap();
+        let b = acc.breakdown();
+        assert!((b.total_joules() - 9.3 * 3600.0).abs() < 1e-9);
+        assert!((b.seconds_in(PowerState::Idle) - 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_sequence_partitions_time() {
+        let mut acc = EnergyAccountant::new(spec(), 0.0, PowerState::Idle);
+        acc.transition(53.3, PowerState::SpinningDown).unwrap();
+        acc.transition(63.3, PowerState::Standby).unwrap();
+        acc.transition(1000.0, PowerState::SpinningUp).unwrap();
+        acc.transition(1015.0, PowerState::Active).unwrap();
+        acc.finish(1020.0).unwrap();
+        let b = acc.breakdown();
+        assert!((b.total_seconds() - 1020.0).abs() < 1e-9);
+        assert!((b.seconds_in(PowerState::Idle) - 53.3).abs() < 1e-9);
+        assert!((b.seconds_in(PowerState::SpinningDown) - 10.0).abs() < 1e-9);
+        assert!((b.seconds_in(PowerState::Standby) - (1000.0 - 63.3)).abs() < 1e-9);
+        assert!((b.seconds_in(PowerState::SpinningUp) - 15.0).abs() < 1e-9);
+        assert!((b.seconds_in(PowerState::Active) - 5.0).abs() < 1e-9);
+        // energy = Σ seconds × state power
+        let expected = 53.3 * 9.3 + 10.0 * 9.3 + (1000.0 - 63.3) * 0.8 + 15.0 * 24.0 + 5.0 * 13.0;
+        assert!((b.total_joules() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_length_transitions_are_free() {
+        let mut acc = EnergyAccountant::new(spec(), 5.0, PowerState::Idle);
+        acc.transition(5.0, PowerState::Seek).unwrap();
+        acc.transition(5.0, PowerState::Active).unwrap();
+        acc.finish(5.0).unwrap();
+        assert_eq!(acc.breakdown().total_joules(), 0.0);
+        assert_eq!(acc.breakdown().total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn time_going_backwards_is_rejected() {
+        let mut acc = EnergyAccountant::new(spec(), 10.0, PowerState::Idle);
+        let err = acc.transition(9.0, PowerState::Standby).unwrap_err();
+        assert_eq!(err, AccountingError::TimeWentBackwards);
+    }
+
+    #[test]
+    fn double_finish_is_rejected() {
+        let mut acc = EnergyAccountant::new(spec(), 0.0, PowerState::Idle);
+        acc.finish(1.0).unwrap();
+        assert_eq!(acc.finish(2.0).unwrap_err(), AccountingError::AlreadyFinished);
+    }
+
+    #[test]
+    fn merge_accumulates_fleet_totals() {
+        let mut a = EnergyAccountant::new(spec(), 0.0, PowerState::Idle);
+        a.finish(100.0).unwrap();
+        let mut b = EnergyAccountant::new(spec(), 0.0, PowerState::Standby);
+        b.finish(100.0).unwrap();
+        let mut fleet = a.into_breakdown();
+        fleet.merge(&b.into_breakdown());
+        assert!((fleet.total_seconds() - 200.0).abs() < 1e-9);
+        assert!((fleet.total_joules() - (9.3 + 0.8) * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_power_of_idle_is_idle_power() {
+        let mut acc = EnergyAccountant::new(spec(), 0.0, PowerState::Idle);
+        acc.finish(123.0).unwrap();
+        assert!((acc.breakdown().mean_power_w() - 9.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_mean_power_is_zero() {
+        assert_eq!(EnergyBreakdown::default().mean_power_w(), 0.0);
+    }
+
+    #[test]
+    fn constant_state_energy_helper() {
+        assert!((constant_state_energy(&spec(), PowerState::Standby, 10.0) - 8.0).abs() < 1e-12);
+    }
+}

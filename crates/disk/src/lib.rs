@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # spindown-disk
+//!
+//! A hard-disk power, timing and reliability model, built around the disk
+//! characteristics used in Otoo, Rotem & Tsao, *Analysis of Trade-Off Between
+//! Power Saving and Response Time in Disk Storage Systems* (IPPS 2009),
+//! Table 2 (a Seagate ST3500630AS), and the disk power modelling literature it
+//! builds on (Zedlewski et al., FAST '03).
+//!
+//! The crate provides:
+//!
+//! - [`DiskSpec`] — the static description of a drive (capacity, transfer
+//!   rate, seek/rotation times, per-state power draws, spin-up/down costs).
+//! - [`PowerState`] / [`power::power_of`] — the power-state taxonomy of
+//!   Figure 1 of the paper.
+//! - [`mechanics`] — request service-time model (seek + rotational latency +
+//!   transfer).
+//! - [`DiskStateMachine`] — a validated state machine that enforces legal
+//!   power-state transitions and their durations.
+//! - [`EnergyAccountant`] — exact piecewise-constant integration of power
+//!   over time.
+//! - [`breakeven`] — the break-even ("idleness threshold") computation; for
+//!   Table 2 it reproduces the paper's 53.3 s.
+//! - [`reliability`] — duty-cycle counters and a start/stop wear model.
+//! - [`zoned`] — multi-zone transfer rates (the §6 "more detailed disk
+//!   modeling" extension).
+//!
+//! All times are in seconds (`f64`), powers in watts, energies in joules and
+//! sizes in bytes unless stated otherwise.
+
+pub mod breakeven;
+pub mod energy;
+pub mod mechanics;
+pub mod power;
+pub mod reliability;
+pub mod spec;
+pub mod state;
+pub mod zoned;
+
+pub use breakeven::{break_even_threshold, transition_energy_overhead};
+pub use energy::EnergyAccountant;
+pub use mechanics::{RequestKind, ServiceTimer};
+pub use power::PowerState;
+pub use reliability::DutyCycleCounter;
+pub use spec::{DiskSpec, DiskSpecBuilder, SpecError};
+pub use state::{DiskStateMachine, TransitionError};
+pub use zoned::{Zone, ZonedModel};
+
+/// Bytes in a megabyte (decimal, as used by disk vendors and the paper:
+/// 72 MB/s means 72 × 10⁶ bytes per second).
+pub const MB: u64 = 1_000_000;
+/// Bytes in a gigabyte (decimal).
+pub const GB: u64 = 1_000_000_000;
+/// Bytes in a terabyte (decimal).
+pub const TB: u64 = 1_000_000_000_000;

@@ -1,0 +1,136 @@
+//! Disk power states (Figure 1 of the paper) and their power draws.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::DiskSpec;
+
+/// The power states a drive can be in, following Figure 1 of the paper.
+///
+/// `Active` covers read/write data transfer; `Seek` is head movement (briefly
+/// higher power than transfer on most drives); `Idle` is platters spinning
+/// with no command in flight; `Standby` is spun down; `SpinningUp` /
+/// `SpinningDown` are the transitions, which take a fixed amount of time and
+/// draw their own power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Transferring data (read or write).
+    Active,
+    /// Moving the head to the target cylinder.
+    Seek,
+    /// Platters spinning, no work.
+    Idle,
+    /// Spun down; only the electronics draw power.
+    Standby,
+    /// Transitioning standby → idle; takes [`DiskSpec::spin_up_time`].
+    SpinningUp,
+    /// Transitioning idle → standby; takes [`DiskSpec::spin_down_time`].
+    SpinningDown,
+}
+
+impl PowerState {
+    /// All states, in declaration order. Useful for table-driven tests and
+    /// for iterating energy breakdowns.
+    pub const ALL: [PowerState; 6] = [
+        PowerState::Active,
+        PowerState::Seek,
+        PowerState::Idle,
+        PowerState::Standby,
+        PowerState::SpinningUp,
+        PowerState::SpinningDown,
+    ];
+
+    /// Whether the platters are at full rotational speed in this state
+    /// (i.e. the disk could begin servicing a request without spinning up).
+    pub fn is_spun_up(self) -> bool {
+        matches!(self, PowerState::Active | PowerState::Seek | PowerState::Idle)
+    }
+
+    /// Whether this is one of the two transitional states.
+    pub fn is_transitional(self) -> bool {
+        matches!(self, PowerState::SpinningUp | PowerState::SpinningDown)
+    }
+
+    /// Short lowercase label, stable across versions (used in reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerState::Active => "active",
+            PowerState::Seek => "seek",
+            PowerState::Idle => "idle",
+            PowerState::Standby => "standby",
+            PowerState::SpinningUp => "spinup",
+            PowerState::SpinningDown => "spindown",
+        }
+    }
+}
+
+/// Power draw (watts) of `state` for a drive described by `spec`.
+pub fn power_of(spec: &DiskSpec, state: PowerState) -> f64 {
+    match state {
+        PowerState::Active => spec.active_power_w,
+        PowerState::Seek => spec.seek_power_w,
+        PowerState::Idle => spec.idle_power_w,
+        PowerState::Standby => spec.standby_power_w,
+        PowerState::SpinningUp => spec.spin_up_power_w,
+        PowerState::SpinningDown => spec.spin_down_power_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DiskSpec;
+
+    #[test]
+    fn paper_power_values_match_table2() {
+        let spec = DiskSpec::seagate_st3500630as();
+        assert_eq!(power_of(&spec, PowerState::Idle), 9.3);
+        assert_eq!(power_of(&spec, PowerState::Standby), 0.8);
+        assert_eq!(power_of(&spec, PowerState::Active), 13.0);
+        assert_eq!(power_of(&spec, PowerState::Seek), 12.6);
+        assert_eq!(power_of(&spec, PowerState::SpinningUp), 24.0);
+        assert_eq!(power_of(&spec, PowerState::SpinningDown), 9.3);
+    }
+
+    #[test]
+    fn standby_draws_least_power() {
+        let spec = DiskSpec::seagate_st3500630as();
+        for state in PowerState::ALL {
+            if state != PowerState::Standby {
+                assert!(
+                    power_of(&spec, state) > power_of(&spec, PowerState::Standby),
+                    "{state:?} should draw more than standby"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spun_up_classification() {
+        assert!(PowerState::Active.is_spun_up());
+        assert!(PowerState::Seek.is_spun_up());
+        assert!(PowerState::Idle.is_spun_up());
+        assert!(!PowerState::Standby.is_spun_up());
+        assert!(!PowerState::SpinningUp.is_spun_up());
+        assert!(!PowerState::SpinningDown.is_spun_up());
+    }
+
+    #[test]
+    fn transitional_classification() {
+        let transitional: Vec<_> = PowerState::ALL
+            .into_iter()
+            .filter(|s| s.is_transitional())
+            .collect();
+        assert_eq!(
+            transitional,
+            vec![PowerState::SpinningUp, PowerState::SpinningDown]
+        );
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = PowerState::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), PowerState::ALL.len());
+    }
+}

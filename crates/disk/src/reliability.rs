@@ -1,0 +1,181 @@
+//! Duty-cycle accounting and a start/stop wear model.
+//!
+//! §5.1 of the paper argues that saving power *without* frequent spin-downs
+//! matters because "low frequently spinning down and up … can prevent the
+//! mean-time-to-failure of disks from dramatically decreasing". Desktop
+//! drives are rated for a finite number of start/stop cycles (50 000 for the
+//! ST3500630AS class); this module tracks cycles and converts them into a
+//! rated-life consumption estimate so experiments can report reliability
+//! impact alongside energy.
+
+use serde::{Deserialize, Serialize};
+
+/// Rated start/stop cycles for a desktop-class SATA drive (Seagate 7200.10
+/// product manual ballpark).
+pub const DEFAULT_RATED_START_STOP_CYCLES: u64 = 50_000;
+
+/// Tracks start/stop cycles for one disk over an observation window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DutyCycleCounter {
+    spin_downs: u64,
+    spin_ups: u64,
+    observed_seconds: f64,
+}
+
+impl DutyCycleCounter {
+    /// New counter with nothing observed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed spin-down.
+    pub fn record_spin_down(&mut self) {
+        self.spin_downs += 1;
+    }
+
+    /// Record a completed spin-up.
+    pub fn record_spin_up(&mut self) {
+        self.spin_ups += 1;
+    }
+
+    /// Record that the counters cover `seconds` of (additional) wall time.
+    pub fn extend_observation(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "observation window cannot shrink");
+        self.observed_seconds += seconds;
+    }
+
+    /// Completed spin-downs.
+    pub fn spin_downs(&self) -> u64 {
+        self.spin_downs
+    }
+
+    /// Completed spin-ups.
+    pub fn spin_ups(&self) -> u64 {
+        self.spin_ups
+    }
+
+    /// Covered wall time in seconds.
+    pub fn observed_seconds(&self) -> f64 {
+        self.observed_seconds
+    }
+
+    /// Full start/stop cycles: a cycle is one spin-down plus its matching
+    /// spin-up, so the completed-cycle count is the smaller of the two.
+    pub fn full_cycles(&self) -> u64 {
+        self.spin_downs.min(self.spin_ups)
+    }
+
+    /// Cycles per hour over the observation window (0 if no time observed).
+    pub fn cycles_per_hour(&self) -> f64 {
+        if self.observed_seconds > 0.0 {
+            self.full_cycles() as f64 / (self.observed_seconds / 3600.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated years until the rated cycle budget is exhausted at the
+    /// observed rate. `None` when no cycles were observed (infinite life
+    /// from the start/stop wear perspective).
+    pub fn projected_years_to_rated_limit(&self, rated_cycles: u64) -> Option<f64> {
+        let per_hour = self.cycles_per_hour();
+        if per_hour <= 0.0 {
+            return None;
+        }
+        let hours = rated_cycles as f64 / per_hour;
+        Some(hours / (24.0 * 365.25))
+    }
+
+    /// Fraction of the rated cycle budget consumed so far.
+    pub fn rated_life_consumed(&self, rated_cycles: u64) -> f64 {
+        if rated_cycles == 0 {
+            return if self.full_cycles() > 0 { f64::INFINITY } else { 0.0 };
+        }
+        self.full_cycles() as f64 / rated_cycles as f64
+    }
+
+    /// Merge another counter (fleet aggregation).
+    pub fn merge(&mut self, other: &DutyCycleCounter) {
+        self.spin_downs += other.spin_downs;
+        self.spin_ups += other.spin_ups;
+        self.observed_seconds += other.observed_seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(downs: u64, ups: u64, hours: f64) -> DutyCycleCounter {
+        let mut c = DutyCycleCounter::new();
+        for _ in 0..downs {
+            c.record_spin_down();
+        }
+        for _ in 0..ups {
+            c.record_spin_up();
+        }
+        c.extend_observation(hours * 3600.0);
+        c
+    }
+
+    #[test]
+    fn full_cycles_is_min_of_directions() {
+        assert_eq!(counter(5, 4, 1.0).full_cycles(), 4);
+        assert_eq!(counter(4, 5, 1.0).full_cycles(), 4);
+        assert_eq!(counter(0, 0, 1.0).full_cycles(), 0);
+    }
+
+    #[test]
+    fn cycles_per_hour() {
+        let c = counter(10, 10, 2.0);
+        assert!((c.cycles_per_hour() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_observation_no_rate() {
+        let c = counter(3, 3, 0.0);
+        assert_eq!(c.cycles_per_hour(), 0.0);
+        assert_eq!(c.projected_years_to_rated_limit(50_000), None);
+    }
+
+    #[test]
+    fn projection_matches_hand_computation() {
+        // 1 cycle/hour → 50 000 hours → ≈ 5.7 years
+        let c = counter(2, 2, 2.0);
+        let years = c.projected_years_to_rated_limit(50_000).unwrap();
+        assert!((years - 50_000.0 / (24.0 * 365.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequent_cycling_shortens_projected_life() {
+        let gentle = counter(1, 1, 10.0);
+        let harsh = counter(100, 100, 10.0);
+        let g = gentle.projected_years_to_rated_limit(50_000).unwrap();
+        let h = harsh.projected_years_to_rated_limit(50_000).unwrap();
+        assert!(h < g / 50.0);
+    }
+
+    #[test]
+    fn rated_life_consumed_fraction() {
+        let c = counter(500, 500, 1.0);
+        assert!((c.rated_life_consumed(50_000) - 0.01).abs() < 1e-12);
+        assert_eq!(counter(0, 0, 1.0).rated_life_consumed(0), 0.0);
+        assert_eq!(counter(1, 1, 1.0).rated_life_consumed(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = counter(1, 2, 1.0);
+        a.merge(&counter(3, 4, 2.0));
+        assert_eq!(a.spin_downs(), 4);
+        assert_eq!(a.spin_ups(), 6);
+        assert!((a.observed_seconds() - 3.0 * 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation window cannot shrink")]
+    fn negative_observation_panics() {
+        let mut c = DutyCycleCounter::new();
+        c.extend_observation(-1.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! A validated disk power-state machine.
+//!
+//! [`DiskStateMachine`] enforces the legal transition graph of Figure 1:
+//!
+//! ```text
+//! Idle ⇄ {Seek, Active}          (instantaneous command handling)
+//! Idle → SpinningDown → Standby  (takes spin_down_time_s)
+//! Standby → SpinningUp → Idle    (takes spin_up_time_s)
+//! ```
+//!
+//! plus `Seek → Active` (positioning then transfer). Transitional states can
+//! only be exited after their full duration has elapsed — violating either
+//! rule is a bug in the caller (the simulator) and is reported as a
+//! [`TransitionError`]. Energy is integrated through an embedded
+//! [`EnergyAccountant`].
+
+use crate::energy::{AccountingError, EnergyAccountant, EnergyBreakdown};
+use crate::power::PowerState;
+use crate::spec::DiskSpec;
+
+/// Errors from illegal state-machine use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransitionError {
+    /// The requested edge does not exist in the transition graph.
+    IllegalEdge {
+        /// State the disk was in.
+        from: PowerState,
+        /// State requested.
+        to: PowerState,
+    },
+    /// A transitional state was exited before its fixed duration elapsed.
+    TransitionNotElapsed {
+        /// The transitional state being exited.
+        state: PowerState,
+        /// Seconds remaining.
+        remaining: f64,
+    },
+    /// Underlying accounting failure (time went backwards etc.).
+    Accounting(AccountingError),
+}
+
+impl std::fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransitionError::IllegalEdge { from, to } => {
+                write!(f, "illegal disk state transition {from:?} -> {to:?}")
+            }
+            TransitionError::TransitionNotElapsed { state, remaining } => {
+                write!(f, "{state:?} exited {remaining:.3}s early")
+            }
+            TransitionError::Accounting(e) => write!(f, "accounting error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+impl From<AccountingError> for TransitionError {
+    fn from(e: AccountingError) -> Self {
+        TransitionError::Accounting(e)
+    }
+}
+
+/// A single disk's power-state machine with embedded energy accounting.
+#[derive(Debug, Clone)]
+pub struct DiskStateMachine {
+    spec: DiskSpec,
+    state: PowerState,
+    state_entered_at: f64,
+    accountant: EnergyAccountant,
+    spin_downs: u64,
+    spin_ups: u64,
+}
+
+impl DiskStateMachine {
+    /// Create a machine at time `start`, initially `Idle` (spun up, the
+    /// state disks boot into).
+    pub fn new(spec: DiskSpec, start: f64) -> Self {
+        let accountant = EnergyAccountant::new(spec.clone(), start, PowerState::Idle);
+        DiskStateMachine {
+            spec,
+            state: PowerState::Idle,
+            state_entered_at: start,
+            accountant,
+            spin_downs: 0,
+            spin_ups: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Time the current state was entered.
+    pub fn state_entered_at(&self) -> f64 {
+        self.state_entered_at
+    }
+
+    /// Number of completed spin-down transitions so far.
+    pub fn spin_downs(&self) -> u64 {
+        self.spin_downs
+    }
+
+    /// Number of completed spin-up transitions so far.
+    pub fn spin_ups(&self) -> u64 {
+        self.spin_ups
+    }
+
+    /// The drive spec this machine models.
+    pub fn spec(&self) -> &DiskSpec {
+        &self.spec
+    }
+
+    /// When the in-flight transitional state (if any) completes.
+    pub fn transition_completes_at(&self) -> Option<f64> {
+        match self.state {
+            PowerState::SpinningDown => Some(self.state_entered_at + self.spec.spin_down_time_s),
+            PowerState::SpinningUp => Some(self.state_entered_at + self.spec.spin_up_time_s),
+            _ => None,
+        }
+    }
+
+    fn edge_is_legal(from: PowerState, to: PowerState) -> bool {
+        use PowerState::*;
+        matches!(
+            (from, to),
+            (Idle, Seek)
+                | (Idle, Active)
+                | (Idle, SpinningDown)
+                | (Seek, Active)
+                | (Seek, Idle)
+                | (Active, Idle)
+                | (Active, Seek)
+                | (SpinningDown, Standby)
+                | (Standby, SpinningUp)
+                | (SpinningUp, Idle)
+        )
+    }
+
+    /// Move to `next` at time `now`, validating the edge and transitional
+    /// durations, and charging energy for the state being left.
+    pub fn transition(&mut self, now: f64, next: PowerState) -> Result<(), TransitionError> {
+        if !Self::edge_is_legal(self.state, next) {
+            return Err(TransitionError::IllegalEdge {
+                from: self.state,
+                to: next,
+            });
+        }
+        if let Some(done_at) = self.transition_completes_at() {
+            // Allow tiny float slack: the simulator schedules completion
+            // events at exactly `done_at`.
+            if now + 1e-9 < done_at {
+                return Err(TransitionError::TransitionNotElapsed {
+                    state: self.state,
+                    remaining: done_at - now,
+                });
+            }
+        }
+        self.accountant.transition(now, next)?;
+        match next {
+            PowerState::Standby => self.spin_downs += 1,
+            PowerState::Idle if self.state == PowerState::SpinningUp => self.spin_ups += 1,
+            _ => {}
+        }
+        self.state = next;
+        self.state_entered_at = now;
+        Ok(())
+    }
+
+    /// Convenience: begin spinning down (must currently be `Idle`). Returns
+    /// the completion time.
+    pub fn begin_spin_down(&mut self, now: f64) -> Result<f64, TransitionError> {
+        self.transition(now, PowerState::SpinningDown)?;
+        Ok(now + self.spec.spin_down_time_s)
+    }
+
+    /// Convenience: begin spinning up (must currently be `Standby`). Returns
+    /// the completion time.
+    pub fn begin_spin_up(&mut self, now: f64) -> Result<f64, TransitionError> {
+        self.transition(now, PowerState::SpinningUp)?;
+        Ok(now + self.spec.spin_up_time_s)
+    }
+
+    /// Close the books at `now` and return the energy breakdown.
+    pub fn finish(mut self, now: f64) -> Result<EnergyBreakdown, TransitionError> {
+        self.accountant.finish(now)?;
+        Ok(self.accountant.into_breakdown())
+    }
+
+    /// Peek at the accumulated breakdown without finishing.
+    pub fn breakdown_so_far(&self) -> &EnergyBreakdown {
+        self.accountant.breakdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> DiskStateMachine {
+        DiskStateMachine::new(DiskSpec::seagate_st3500630as(), 0.0)
+    }
+
+    #[test]
+    fn starts_idle() {
+        let m = machine();
+        assert_eq!(m.state(), PowerState::Idle);
+        assert_eq!(m.spin_ups(), 0);
+        assert_eq!(m.spin_downs(), 0);
+    }
+
+    #[test]
+    fn full_power_cycle() {
+        let mut m = machine();
+        let down_done = m.begin_spin_down(100.0).unwrap();
+        assert_eq!(down_done, 110.0);
+        m.transition(down_done, PowerState::Standby).unwrap();
+        assert_eq!(m.spin_downs(), 1);
+        let up_done = m.begin_spin_up(500.0).unwrap();
+        assert_eq!(up_done, 515.0);
+        m.transition(up_done, PowerState::Idle).unwrap();
+        assert_eq!(m.spin_ups(), 1);
+        let b = m.finish(600.0).unwrap();
+        assert!((b.total_seconds() - 600.0).abs() < 1e-9);
+        assert!((b.seconds_in(PowerState::Standby) - 390.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_cycle_idle_seek_active_idle() {
+        let mut m = machine();
+        m.transition(1.0, PowerState::Seek).unwrap();
+        m.transition(1.0085, PowerState::Active).unwrap();
+        m.transition(8.0, PowerState::Idle).unwrap();
+        let b = m.finish(10.0).unwrap();
+        assert!((b.seconds_in(PowerState::Seek) - 0.0085).abs() < 1e-12);
+        assert!((b.seconds_in(PowerState::Active) - (8.0 - 1.0085)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn illegal_edges_rejected() {
+        let mut m = machine();
+        // Idle cannot jump straight to Standby.
+        let err = m.transition(1.0, PowerState::Standby).unwrap_err();
+        assert_eq!(
+            err,
+            TransitionError::IllegalEdge {
+                from: PowerState::Idle,
+                to: PowerState::Standby
+            }
+        );
+        // Idle cannot "spin up".
+        assert!(m.transition(1.0, PowerState::SpinningUp).is_err());
+    }
+
+    #[test]
+    fn cannot_cut_spin_down_short() {
+        let mut m = machine();
+        m.begin_spin_down(0.0).unwrap();
+        let err = m.transition(5.0, PowerState::Standby).unwrap_err();
+        match err {
+            TransitionError::TransitionNotElapsed { state, remaining } => {
+                assert_eq!(state, PowerState::SpinningDown);
+                assert!((remaining - 5.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cannot_cut_spin_up_short() {
+        let mut m = machine();
+        m.begin_spin_down(0.0).unwrap();
+        m.transition(10.0, PowerState::Standby).unwrap();
+        m.begin_spin_up(20.0).unwrap();
+        assert!(m.transition(30.0, PowerState::Idle).is_err());
+        assert!(m.transition(35.0, PowerState::Idle).is_ok());
+    }
+
+    #[test]
+    fn spin_down_requires_idle() {
+        let mut m = machine();
+        m.transition(0.0, PowerState::Active).unwrap();
+        assert!(m.begin_spin_down(1.0).is_err());
+    }
+
+    #[test]
+    fn transition_completion_times() {
+        let mut m = machine();
+        assert_eq!(m.transition_completes_at(), None);
+        m.begin_spin_down(7.0).unwrap();
+        assert_eq!(m.transition_completes_at(), Some(17.0));
+    }
+
+    #[test]
+    fn breakdown_so_far_is_live() {
+        let mut m = machine();
+        m.transition(10.0, PowerState::Active).unwrap();
+        assert!((m.breakdown_so_far().seconds_in(PowerState::Idle) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_counters_only_count_completions() {
+        let mut m = machine();
+        m.begin_spin_down(0.0).unwrap();
+        // mid-flight: no completed spin-down yet
+        assert_eq!(m.spin_downs(), 0);
+        m.transition(10.0, PowerState::Standby).unwrap();
+        assert_eq!(m.spin_downs(), 1);
+        m.begin_spin_up(10.0).unwrap();
+        assert_eq!(m.spin_ups(), 0);
+        m.transition(25.0, PowerState::Idle).unwrap();
+        assert_eq!(m.spin_ups(), 1);
+    }
+}

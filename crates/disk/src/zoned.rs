@@ -1,0 +1,303 @@
+//! Zoned (multi-rate) transfer model — the paper's §6 "more detailed
+//! modeling of the disk storage system", following Zedlewski et al.'s
+//! observation that sustained transfer rate varies ~2× between the outer
+//! and inner cylinders of a drive.
+//!
+//! A [`ZonedModel`] divides the LBA space into zones, each covering a
+//! fraction of the capacity at a constant rate (outer zones first, fastest).
+//! [`ZonedModel::transfer_time`] integrates a transfer that may span zones,
+//! so allocation studies can price *where* on the platter a file lives. The
+//! flat 72 MB/s of Table 2 is the single-zone special case (tested
+//! equivalent).
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::DiskSpec;
+
+/// One zone: a capacity share and its sustained rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Zone {
+    /// Fraction of the disk's capacity in this zone, (0, 1].
+    pub capacity_fraction: f64,
+    /// Sustained transfer rate in the zone, bytes/second.
+    pub rate_bps: f64,
+}
+
+/// A multi-zone transfer-rate model over a drive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZonedModel {
+    capacity_bytes: u64,
+    /// Zone boundaries in bytes (cumulative), len = zones + 1, starting 0.
+    boundaries: Vec<u64>,
+    rates: Vec<f64>,
+}
+
+impl ZonedModel {
+    /// Build from explicit zones (outermost first).
+    ///
+    /// # Panics
+    /// If zones are empty, fractions don't sum to ≈ 1, any fraction or rate
+    /// is non-positive, or rates are not non-increasing (outer zones must
+    /// be at least as fast as inner ones).
+    pub fn new(capacity_bytes: u64, zones: &[Zone]) -> Self {
+        assert!(!zones.is_empty(), "need at least one zone");
+        let total: f64 = zones.iter().map(|z| z.capacity_fraction).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "zone fractions must sum to 1, got {total}"
+        );
+        let mut boundaries = Vec::with_capacity(zones.len() + 1);
+        boundaries.push(0u64);
+        let mut acc = 0.0;
+        let mut last_rate = f64::INFINITY;
+        let mut rates = Vec::with_capacity(zones.len());
+        for z in zones {
+            assert!(z.capacity_fraction > 0.0, "zone fraction must be positive");
+            assert!(z.rate_bps > 0.0, "zone rate must be positive");
+            assert!(
+                z.rate_bps <= last_rate + 1e-9,
+                "zones must be ordered fastest (outer) first"
+            );
+            last_rate = z.rate_bps;
+            acc += z.capacity_fraction;
+            boundaries.push((acc * capacity_bytes as f64).round() as u64);
+            rates.push(z.rate_bps);
+        }
+        *boundaries.last_mut().expect("non-empty") = capacity_bytes;
+        ZonedModel {
+            capacity_bytes,
+            boundaries,
+            rates,
+        }
+    }
+
+    /// A single-zone model equivalent to the spec's flat rate.
+    pub fn flat(spec: &DiskSpec) -> Self {
+        ZonedModel::new(
+            spec.capacity_bytes,
+            &[Zone {
+                capacity_fraction: 1.0,
+                rate_bps: spec.transfer_rate_bps,
+            }],
+        )
+    }
+
+    /// A typical 4-zone profile for the spec's drive: the *outer* zone runs
+    /// ~15 % above the nominal (sustained-average) rate, the inner zone
+    /// ~35 % below, roughly matching vendor zone tables.
+    pub fn typical_four_zone(spec: &DiskSpec) -> Self {
+        let r = spec.transfer_rate_bps;
+        ZonedModel::new(
+            spec.capacity_bytes,
+            &[
+                Zone {
+                    capacity_fraction: 0.30,
+                    rate_bps: 1.15 * r,
+                },
+                Zone {
+                    capacity_fraction: 0.30,
+                    rate_bps: 1.05 * r,
+                },
+                Zone {
+                    capacity_fraction: 0.25,
+                    rate_bps: 0.90 * r,
+                },
+                Zone {
+                    capacity_fraction: 0.15,
+                    rate_bps: 0.65 * r,
+                },
+            ],
+        )
+    }
+
+    /// Number of zones.
+    pub fn zones(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The instantaneous rate at byte offset `offset` (clamped to the last
+    /// zone at the very end of the disk).
+    pub fn rate_at(&self, offset: u64) -> f64 {
+        let idx = self
+            .boundaries
+            .partition_point(|&b| b <= offset)
+            .saturating_sub(1)
+            .min(self.rates.len() - 1);
+        self.rates[idx]
+    }
+
+    /// Time to transfer `bytes` starting at byte offset `start`, crossing
+    /// zone boundaries as needed.
+    ///
+    /// # Panics
+    /// If the transfer runs past the end of the disk.
+    pub fn transfer_time(&self, start: u64, bytes: u64) -> f64 {
+        assert!(
+            start + bytes <= self.capacity_bytes,
+            "transfer [{start}, {}) beyond capacity {}",
+            start + bytes,
+            self.capacity_bytes
+        );
+        let mut t = 0.0;
+        let mut pos = start;
+        let end = start + bytes;
+        while pos < end {
+            let zone = self
+                .boundaries
+                .partition_point(|&b| b <= pos)
+                .saturating_sub(1)
+                .min(self.rates.len() - 1);
+            let zone_end = self.boundaries[zone + 1];
+            let chunk = end.min(zone_end) - pos;
+            t += chunk as f64 / self.rates[zone];
+            pos += chunk;
+        }
+        t
+    }
+
+    /// Mean sustained rate over the whole surface (capacity / full-read
+    /// time) — useful for calibrating a zone table against a nominal rate.
+    pub fn mean_rate_bps(&self) -> f64 {
+        self.capacity_bytes as f64 / self.transfer_time(0, self.capacity_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GB;
+
+    fn spec() -> DiskSpec {
+        DiskSpec::seagate_st3500630as()
+    }
+
+    #[test]
+    fn flat_model_matches_service_timer() {
+        let m = ZonedModel::flat(&spec());
+        let t = m.transfer_time(0, 544_000_000);
+        assert!((t - 544.0e6 / 72.0e6).abs() < 1e-9);
+        assert_eq!(m.zones(), 1);
+        assert!((m.mean_rate_bps() - 72.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn outer_zone_is_faster_than_inner() {
+        let m = ZonedModel::typical_four_zone(&spec());
+        let bytes = GB;
+        let outer = m.transfer_time(0, bytes);
+        let inner = m.transfer_time(spec().capacity_bytes - bytes, bytes);
+        assert!(
+            inner > outer * 1.5,
+            "inner {inner} not ≫ outer {outer} for the 4-zone profile"
+        );
+    }
+
+    #[test]
+    fn transfer_across_boundary_integrates_both_rates() {
+        let m = ZonedModel::new(
+            1_000,
+            &[
+                Zone {
+                    capacity_fraction: 0.5,
+                    rate_bps: 100.0,
+                },
+                Zone {
+                    capacity_fraction: 0.5,
+                    rate_bps: 50.0,
+                },
+            ],
+        );
+        // 200 bytes starting 100 before the boundary: 100 @ 100 B/s + 100 @ 50 B/s
+        let t = m.transfer_time(400, 200);
+        assert!((t - (1.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_at_respects_boundaries() {
+        let m = ZonedModel::new(
+            1_000,
+            &[
+                Zone {
+                    capacity_fraction: 0.5,
+                    rate_bps: 100.0,
+                },
+                Zone {
+                    capacity_fraction: 0.5,
+                    rate_bps: 50.0,
+                },
+            ],
+        );
+        assert_eq!(m.rate_at(0), 100.0);
+        assert_eq!(m.rate_at(499), 100.0);
+        assert_eq!(m.rate_at(500), 50.0);
+        assert_eq!(m.rate_at(999), 50.0);
+    }
+
+    #[test]
+    fn full_surface_read_equals_zone_sum() {
+        let m = ZonedModel::typical_four_zone(&spec());
+        let cap = spec().capacity_bytes as f64;
+        let r = spec().transfer_rate_bps;
+        let expect = 0.30 * cap / (1.15 * r)
+            + 0.30 * cap / (1.05 * r)
+            + 0.25 * cap / (0.90 * r)
+            + 0.15 * cap / (0.65 * r);
+        let got = m.transfer_time(0, spec().capacity_bytes);
+        assert!((got - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn typical_profile_mean_rate_near_nominal() {
+        // The 4-zone profile averages within ~5 % of the Table 2 rate, so
+        // swapping it in changes per-file times, not fleet-level energy.
+        let m = ZonedModel::typical_four_zone(&spec());
+        let mean = m.mean_rate_bps();
+        assert!(
+            (mean - 72.0e6).abs() / 72.0e6 < 0.06,
+            "mean zoned rate {mean}"
+        );
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_free() {
+        let m = ZonedModel::flat(&spec());
+        assert_eq!(m.transfer_time(123, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn overrun_rejected() {
+        let m = ZonedModel::flat(&spec());
+        let _ = m.transfer_time(spec().capacity_bytes - 10, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must sum to 1")]
+    fn bad_fractions_rejected() {
+        let _ = ZonedModel::new(
+            1_000,
+            &[Zone {
+                capacity_fraction: 0.7,
+                rate_bps: 10.0,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fastest (outer) first")]
+    fn unsorted_zones_rejected() {
+        let _ = ZonedModel::new(
+            1_000,
+            &[
+                Zone {
+                    capacity_fraction: 0.5,
+                    rate_bps: 50.0,
+                },
+                Zone {
+                    capacity_fraction: 0.5,
+                    rate_bps: 100.0,
+                },
+            ],
+        );
+    }
+}

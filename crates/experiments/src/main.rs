@@ -1,0 +1,112 @@
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] CMD...
+//!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds all }
+//! ```
+//!
+//! Prints each artefact as an aligned table and writes `DIR/<id>.csv`
+//! (default `results/`). `--quick` runs proportionally shrunken instances.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spindown_experiments::output::{render_table, write_csv};
+use spindown_experiments::{
+    bounds_exp, fig23, fig4, fig56, sensitivity, shootout, tables, vsweep, Figure, Scale,
+};
+
+fn usage() -> &'static str {
+    "usage: experiments [--quick] [--out DIR] CMD...\n\
+     CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout all"
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Paper;
+    let mut out_dir = PathBuf::from("results");
+    let mut cmds: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => cmds.push(other.to_owned()),
+        }
+    }
+    if cmds.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if cmds.iter().any(|c| c == "all") {
+        cmds = [
+            "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "vsweep", "bounds",
+            "sensitivity", "shootout",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    // fig2/fig3 and fig5/fig6 share their sweeps; compute lazily and reuse.
+    let mut fig23_cache: Option<(Figure, Figure)> = None;
+    let mut fig56_cache: Option<(Figure, Figure)> = None;
+
+    for cmd in &cmds {
+        let figure: Figure = match cmd.as_str() {
+            "table1" => tables::table1(scale),
+            "table2" => tables::table2(),
+            "fig2" => {
+                let (f2, _) = fig23_cache
+                    .get_or_insert_with(|| fig23::fig23(scale))
+                    .clone();
+                f2
+            }
+            "fig3" => {
+                let (_, f3) = fig23_cache
+                    .get_or_insert_with(|| fig23::fig23(scale))
+                    .clone();
+                f3
+            }
+            "fig4" => fig4::fig4(scale),
+            "fig5" => {
+                let (f5, _) = fig56_cache
+                    .get_or_insert_with(|| fig56::fig56(scale))
+                    .clone();
+                f5
+            }
+            "fig6" => {
+                let (_, f6) = fig56_cache
+                    .get_or_insert_with(|| fig56::fig56(scale))
+                    .clone();
+                f6
+            }
+            "vsweep" => vsweep::vsweep(scale),
+            "bounds" => bounds_exp::bounds(scale),
+            "sensitivity" => sensitivity::sensitivity(scale),
+            "shootout" => shootout::shootout(scale),
+            other => {
+                eprintln!("unknown command {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", render_table(&figure));
+        match write_csv(&figure, &out_dir) {
+            Ok(path) => println!("wrote {}\n", path.display()),
+            Err(e) => {
+                eprintln!("failed to write CSV: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

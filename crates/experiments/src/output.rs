@@ -1,0 +1,134 @@
+//! Rendering figures as aligned text tables and CSV files.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::Figure;
+
+/// Render an aligned text table (what the CLI prints).
+pub fn render_table(fig: &Figure) -> String {
+    let mut widths: Vec<usize> = fig.columns.iter().map(|c| c.len()).collect();
+    let cells: Vec<Vec<String>> = fig
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|v| format_number(*v)).collect())
+        .collect();
+    for row in &cells {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("# {} — {}\n", fig.id, fig.title));
+    for note in &fig.notes {
+        out.push_str(&format!("# {note}\n"));
+    }
+    let header: Vec<String> = fig
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+        .collect();
+    out.push_str(&header.join("  "));
+    out.push('\n');
+    out.push_str(&header.iter().map(|h| "-".repeat(h.len())).collect::<Vec<_>>().join("  "));
+    out.push('\n');
+    for row in &cells {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Number formatting: integers plainly, small magnitudes with 4 decimals.
+pub fn format_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Serialise as CSV (header + rows).
+pub fn render_csv(fig: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str(&fig.columns.join(","));
+    out.push('\n');
+    for row in &fig.rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write `<dir>/<id>.csv`; creates the directory if needed.
+pub fn write_csv(fig: &Figure, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", fig.id));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(render_csv(fig).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        let mut f = Figure::new(
+            "demo",
+            "A demo",
+            vec!["x".into(), "power_w".into()],
+        );
+        f.notes.push("note line".into());
+        f.push_row(vec![1.0, 930.5]);
+        f.push_row(vec![2.0, 12.25]);
+        f
+    }
+
+    #[test]
+    fn table_is_aligned_and_annotated() {
+        let t = render_table(&fig());
+        assert!(t.contains("# demo — A demo"));
+        assert!(t.contains("# note line"));
+        assert!(t.contains("power_w"));
+        assert!(t.contains("930.5000"));
+        // all data lines have equal length
+        let lines: Vec<&str> = t.lines().skip(2).collect();
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let c = render_csv(&fig());
+        let mut lines = c.lines();
+        assert_eq!(lines.next(), Some("x,power_w"));
+        assert_eq!(lines.next(), Some("1,930.5"));
+        assert_eq!(lines.next(), Some("2,12.25"));
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(0.123456), "0.1235");
+        assert_eq!(format_number(1234.56), "1234.6");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("spindown_test_out");
+        let path = write_csv(&fig(), &dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x,power_w"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,129 @@
+//! Allocator shootout (extension): every allocation policy in the
+//! workspace head-to-head on the Table 1 workload — the packing quality
+//! (disks used), the energy relative to random placement, and the response
+//! times. This generalises the paper's two-way Pack_Disks-vs-random
+//! comparison into the design-space study its §6 hints at.
+
+use rayon::prelude::*;
+use spindown_core::{Planner, PlannerConfig};
+use spindown_packing::Allocator;
+use spindown_sim::engine::Simulator;
+use spindown_workload::{FileCatalog, Trace};
+
+use crate::{grid_seed, Figure, Scale};
+
+/// The competitors, with stable row indices. CHP (identical output to
+/// Pack_Disks, O(n²)) joins only at paper scale — at 40 000 items it
+/// dominates the debug-build test time without adding information.
+pub fn competitors(scale: Scale, fleet: usize) -> Vec<Allocator> {
+    let mut v = vec![
+        Allocator::PackDisks,
+        Allocator::PackDisksV(4),
+    ];
+    if scale == Scale::Paper {
+        v.push(Allocator::Chp);
+    }
+    v.extend([
+        Allocator::Pdc,
+        Allocator::FirstFitDecreasing,
+        Allocator::BestFit,
+        Allocator::NextFit,
+        Allocator::RandomFixed {
+            disks: fleet as u32,
+            seed: 0xBEEF,
+        },
+    ]);
+    v
+}
+
+/// Run the shootout at R = 4, L = 0.7.
+pub fn shootout(scale: Scale) -> Figure {
+    let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
+    let rate = 4.0;
+    let fleet = scale.fleet();
+    let trace = Trace::poisson(&catalog, rate, scale.sim_time(), grid_seed(90, 0, 0));
+
+    let allocators = competitors(scale, fleet);
+    let reports: Vec<(usize, f64, f64, f64)> = allocators
+        .par_iter()
+        .map(|alloc| {
+            let mut cfg = PlannerConfig::default();
+            cfg.allocator = *alloc;
+            let planner = Planner::new(cfg);
+            let plan = planner.plan(&catalog, rate).expect("plan feasible");
+            let report = Simulator::run_with_fleet(
+                &catalog,
+                &trace,
+                &plan.assignment,
+                &planner.config().sim,
+                fleet,
+            )
+            .expect("simulates");
+            let mut resp = report.responses.clone();
+            (
+                plan.disks_used(),
+                report.energy.total_joules(),
+                report.responses.mean(),
+                resp.quantile(0.95),
+            )
+        })
+        .collect();
+    let random_energy = reports.last().expect("random is last").1;
+
+    let mut fig = Figure::new(
+        "shootout",
+        "Allocator shootout at R = 4, L = 0.7 (saving is vs random placement)",
+        vec![
+            "alloc".into(),
+            "disks_used".into(),
+            "saving_vs_rnd".into(),
+            "resp_s".into(),
+            "resp_p95_s".into(),
+        ],
+    );
+    for (idx, alloc) in allocators.iter().enumerate() {
+        fig.notes.push(format!("alloc {idx} = {}", alloc.label()));
+    }
+    for (idx, (disks, energy, resp, p95)) in reports.iter().enumerate() {
+        fig.push_row(vec![
+            idx as f64,
+            *disks as f64,
+            1.0 - energy / random_energy,
+            *resp,
+            *p95,
+        ]);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shootout_covers_all_allocators_and_pack_wins_energy() {
+        let fig = shootout(Scale::Quick);
+        assert_eq!(fig.rows.len(), competitors(Scale::Quick, 100).len());
+        let savings = fig.series("saving_vs_rnd").unwrap();
+        let disks = fig.series("disks_used").unwrap();
+        // Pack_Disks (row 0) saves clearly against random (last row, 0).
+        assert!(savings[0] > 0.25, "pack saving {}", savings[0]);
+        assert!(savings.last().unwrap().abs() < 1e-9);
+        // Every deterministic packer beats random's disk count.
+        for (i, &d) in disks.iter().enumerate().take(disks.len() - 1) {
+            assert!(
+                d <= disks[disks.len() - 1],
+                "alloc {i} used {d} disks, random used {}",
+                disks[disks.len() - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn chp_only_competes_at_paper_scale() {
+        assert!(competitors(Scale::Paper, 100).contains(&Allocator::Chp));
+        assert!(!competitors(Scale::Quick, 100).contains(&Allocator::Chp));
+        // output equality of CHP and Pack_Disks is property-tested in
+        // spindown-packing; no need to re-simulate it here.
+    }
+}

@@ -1,0 +1,127 @@
+//! Tables 1 and 2: the published configuration, regenerated from the code
+//! (so drift between the implementation and the paper is caught by tests).
+
+use spindown_disk::{break_even_threshold, DiskSpec};
+use spindown_workload::{paper_theta, FileCatalog};
+
+use crate::{Figure, Scale};
+
+/// Table 1 — system parameters, with the derived workload statistics the
+/// text quotes (total footprint, size endpoints).
+pub fn table1(scale: Scale) -> Figure {
+    let n = scale.n_files();
+    let catalog = FileCatalog::paper_table1(n, 0);
+    let min_size = catalog
+        .iter()
+        .map(|f| f.size_bytes)
+        .min()
+        .unwrap_or(0);
+    let max_size = catalog
+        .iter()
+        .map(|f| f.size_bytes)
+        .max()
+        .unwrap_or(0);
+    let mut fig = Figure::new(
+        "table1",
+        "System parameters (Table 1)",
+        vec![
+            "n_files".into(),
+            "theta".into(),
+            "min_size_mb".into(),
+            "max_size_gb".into(),
+            "total_tb".into(),
+            "n_disks".into(),
+            "sim_time_s".into(),
+        ],
+    );
+    fig.notes
+        .push("paper values: 40000 files, θ=log0.6/log0.4≈0.5575, 188 MB–20 GB, 12.86 TB, 100 disks, 4000 s".into());
+    fig.push_row(vec![
+        n as f64,
+        paper_theta(),
+        min_size as f64 / 1e6,
+        max_size as f64 / 1e9,
+        catalog.total_bytes() as f64 / 1e12,
+        scale.fleet() as f64,
+        scale.sim_time(),
+    ]);
+    fig
+}
+
+/// Table 2 — the disk characteristics, including the derived idleness
+/// threshold the paper quotes (53.3 s).
+pub fn table2() -> Figure {
+    let spec = DiskSpec::seagate_st3500630as();
+    let mut fig = Figure::new(
+        "table2",
+        "Hard disk characteristics (Table 2, Seagate ST3500630AS)",
+        vec![
+            "capacity_gb".into(),
+            "transfer_mbps".into(),
+            "seek_ms".into(),
+            "rotation_ms".into(),
+            "idle_w".into(),
+            "standby_w".into(),
+            "active_w".into(),
+            "seek_w".into(),
+            "spinup_w".into(),
+            "spindown_w".into(),
+            "spinup_s".into(),
+            "spindown_s".into(),
+            "idleness_threshold_s".into(),
+        ],
+    );
+    fig.notes
+        .push("idleness_threshold_s is *derived* from the power figures; the paper quotes 53.3 s".into());
+    fig.push_row(vec![
+        spec.capacity_bytes as f64 / 1e9,
+        spec.transfer_rate_bps / 1e6,
+        spec.avg_seek_s * 1e3,
+        spec.avg_rotation_s * 1e3,
+        spec.idle_power_w,
+        spec.standby_power_w,
+        spec.active_power_w,
+        spec.seek_power_w,
+        spec.spin_up_power_w,
+        spec.spin_down_power_w,
+        spec.spin_up_time_s,
+        spec.spin_down_time_s,
+        break_even_threshold(&spec),
+    ]);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_at_full_scale() {
+        let t = table1(Scale::Paper);
+        let row = &t.rows[0];
+        assert_eq!(row[t.column("n_files").unwrap()], 40_000.0);
+        let theta = row[t.column("theta").unwrap()];
+        assert!((theta - 0.5575).abs() < 1e-3);
+        let min_mb = row[t.column("min_size_mb").unwrap()];
+        assert!((min_mb - 188.0).abs() < 2.0, "min size {min_mb} MB");
+        let max_gb = row[t.column("max_size_gb").unwrap()];
+        assert!((max_gb - 20.0).abs() < 1e-9);
+        let total = row[t.column("total_tb").unwrap()];
+        assert!(
+            total > 12.0 && total < 15.0,
+            "total {total} TB (paper: 12.86)"
+        );
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let t = table2();
+        let row = &t.rows[0];
+        assert_eq!(row[t.column("capacity_gb").unwrap()], 500.0);
+        assert_eq!(row[t.column("transfer_mbps").unwrap()], 72.0);
+        assert_eq!(row[t.column("idle_w").unwrap()], 9.3);
+        assert_eq!(row[t.column("standby_w").unwrap()], 0.8);
+        let th = row[t.column("idleness_threshold_s").unwrap()];
+        assert!((th - 53.3).abs() < 0.05, "threshold {th}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Lower bounds and the Theorem 1 approximation guarantee.
+//!
+//! Any packing needs at least `max(Σ s_i, Σ l_i)` disks (each disk supplies
+//! one unit of storage and one unit of load). Theorem 1 of the paper shows
+//! `Pack_Disks` uses at most `C*/(1−ρ) + 1` disks where `C*` is the optimum
+//! and `ρ` bounds every item coordinate; since `C* ≥ max(Σs, Σl)`, the
+//! *checkable* form (which the paper's proof actually establishes) is
+//!
+//! ```text
+//! C_PD ≤ max(Σ s_i, Σ l_i) / (1 − ρ) + 1
+//! ```
+//!
+//! [`theorem1_budget`] computes that right-hand side; the property tests in
+//! `pack_disks` assert it on random instances.
+
+use crate::instance::Instance;
+
+/// The fractional lower bound `max(Σ s_i, Σ l_i)` on the number of disks.
+pub fn fractional_lower_bound(instance: &Instance) -> f64 {
+    instance.total_s().max(instance.total_l())
+}
+
+/// Integral lower bound: `⌈max(Σs, Σl)⌉`, at least 1 for non-empty
+/// instances.
+pub fn lower_bound(instance: &Instance) -> usize {
+    if instance.is_empty() {
+        return 0;
+    }
+    (fractional_lower_bound(instance).ceil() as usize).max(1)
+}
+
+/// The Theorem 1 budget `max(Σs, Σl)/(1 − ρ) + 1`; `+∞` when `ρ ≥ 1`
+/// (an item fills a whole disk in some dimension and the multiplicative
+/// guarantee degenerates).
+pub fn theorem1_budget(instance: &Instance) -> f64 {
+    let rho = instance.rho();
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    fractional_lower_bound(instance) / (1.0 - rho) + 1.0
+}
+
+/// Empirical approximation ratio of a packing that used `disks_used` disks:
+/// `disks_used / lower_bound` (1.0 when the bound is met; `None` for empty
+/// instances).
+pub fn approximation_ratio(instance: &Instance, disks_used: usize) -> Option<f64> {
+    let lb = lower_bound(instance);
+    if lb == 0 {
+        return None;
+    }
+    Some(disks_used as f64 / lb as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, PackItem};
+
+    fn inst(items: Vec<PackItem>) -> Instance {
+        Instance::new(items).unwrap()
+    }
+
+    #[test]
+    fn fractional_bound_takes_the_max_dimension() {
+        let i = inst(vec![
+            PackItem { s: 0.5, l: 0.9 },
+            PackItem { s: 0.5, l: 0.9 },
+        ]);
+        assert!((fractional_lower_bound(&i) - 1.8).abs() < 1e-12);
+        assert_eq!(lower_bound(&i), 2);
+    }
+
+    #[test]
+    fn lower_bound_of_empty_is_zero() {
+        assert_eq!(lower_bound(&inst(vec![])), 0);
+        assert!(approximation_ratio(&inst(vec![]), 0).is_none());
+    }
+
+    #[test]
+    fn tiny_items_still_need_one_disk() {
+        let i = inst(vec![PackItem { s: 0.01, l: 0.01 }]);
+        assert_eq!(lower_bound(&i), 1);
+    }
+
+    #[test]
+    fn budget_formula() {
+        let i = inst(vec![
+            PackItem { s: 0.5, l: 0.1 },
+            PackItem { s: 0.5, l: 0.1 },
+        ]);
+        // Σs = 1.0, Σl = 0.2, rho = 0.5 → 1.0/0.5 + 1 = 3
+        assert!((theorem1_budget(&i) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_degenerates_at_rho_one() {
+        let i = inst(vec![PackItem { s: 1.0, l: 0.0 }]);
+        assert!(theorem1_budget(&i).is_infinite());
+    }
+
+    #[test]
+    fn approximation_ratio_sane() {
+        let i = inst(vec![PackItem { s: 0.6, l: 0.1 }, PackItem { s: 0.6, l: 0.1 }]);
+        // LB = ceil(1.2) = 2; a packing with 2 disks has ratio 1.
+        assert_eq!(approximation_ratio(&i, 2), Some(1.0));
+        assert_eq!(approximation_ratio(&i, 3), Some(1.5));
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-disk simulation actor: a FIFO request queue plus the validated power
+//! state machine and service timing from `spindown-disk`.
+
+use std::collections::VecDeque;
+
+use spindown_disk::energy::EnergyBreakdown;
+use spindown_disk::mechanics::ServiceTimer;
+use spindown_disk::state::{DiskStateMachine, TransitionError};
+use spindown_disk::{DiskSpec, PowerState};
+
+/// What the disk is doing, from the queueing perspective. Mirrors (and is
+/// asserted against) the state machine's power state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Spun up, empty of work.
+    Idle,
+    /// Serving a request.
+    Busy,
+    /// Transitioning to standby.
+    SpinningDown,
+    /// Spun down.
+    Standby,
+    /// Transitioning to idle.
+    SpinningUp,
+}
+
+/// One simulated disk.
+#[derive(Debug)]
+pub struct DiskActor {
+    machine: DiskStateMachine,
+    timer: ServiceTimer,
+    phase: Phase,
+    /// FIFO of pending request indices (into the trace).
+    pub queue: VecDeque<usize>,
+    /// The request currently in service.
+    pub current: Option<usize>,
+    /// Incremented every time the disk *becomes* idle; stale spin-down
+    /// timers carry an older generation and are ignored.
+    pub idle_generation: u64,
+    served: u64,
+}
+
+impl DiskActor {
+    /// New actor, idle at time 0.
+    pub fn new(spec: DiskSpec) -> Self {
+        let timer = ServiceTimer::new(&spec);
+        DiskActor {
+            machine: DiskStateMachine::new(spec, 0.0),
+            timer,
+            phase: Phase::Idle,
+            queue: VecDeque::new(),
+            current: None,
+            idle_generation: 0,
+            served: 0,
+        }
+    }
+
+    /// Current queueing phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Requests completed so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Completed spin-down count.
+    pub fn spin_downs(&self) -> u64 {
+        self.machine.spin_downs()
+    }
+
+    /// Completed spin-up count.
+    pub fn spin_ups(&self) -> u64 {
+        self.machine.spin_ups()
+    }
+
+    /// Begin serving request `req` for `bytes` bytes at time `t`; returns
+    /// the completion time. Must be idle.
+    pub fn start_service(
+        &mut self,
+        t: f64,
+        req: usize,
+        bytes: u64,
+    ) -> Result<f64, TransitionError> {
+        assert_eq!(self.phase, Phase::Idle, "start_service requires Idle");
+        let b = self.timer.breakdown(bytes);
+        self.machine.transition(t, PowerState::Seek)?;
+        // Rotation is charged at active power together with the transfer.
+        self.machine.transition(t + b.seek_s, PowerState::Active)?;
+        self.phase = Phase::Busy;
+        self.current = Some(req);
+        Ok(t + b.total())
+    }
+
+    /// Finish the in-flight request at `t`; returns its index.
+    pub fn complete_service(&mut self, t: f64) -> Result<usize, TransitionError> {
+        assert_eq!(self.phase, Phase::Busy, "no request in flight");
+        self.machine.transition(t, PowerState::Idle)?;
+        self.phase = Phase::Idle;
+        self.idle_generation += 1;
+        self.served += 1;
+        Ok(self.current.take().expect("busy implies current"))
+    }
+
+    /// Begin spinning down at `t` (must be idle); returns completion time.
+    pub fn begin_spin_down(&mut self, t: f64) -> Result<f64, TransitionError> {
+        assert_eq!(self.phase, Phase::Idle, "spin-down requires Idle");
+        let done = self.machine.begin_spin_down(t)?;
+        self.phase = Phase::SpinningDown;
+        Ok(done)
+    }
+
+    /// Spin-down completed at `t`.
+    pub fn complete_spin_down(&mut self, t: f64) -> Result<(), TransitionError> {
+        assert_eq!(self.phase, Phase::SpinningDown);
+        self.machine.transition(t, PowerState::Standby)?;
+        self.phase = Phase::Standby;
+        Ok(())
+    }
+
+    /// Begin spinning up at `t` (must be in standby); returns completion.
+    pub fn begin_spin_up(&mut self, t: f64) -> Result<f64, TransitionError> {
+        assert_eq!(self.phase, Phase::Standby, "spin-up requires Standby");
+        let done = self.machine.begin_spin_up(t)?;
+        self.phase = Phase::SpinningUp;
+        Ok(done)
+    }
+
+    /// Spin-up completed at `t`; the disk is idle again.
+    pub fn complete_spin_up(&mut self, t: f64) -> Result<(), TransitionError> {
+        assert_eq!(self.phase, Phase::SpinningUp);
+        self.machine.transition(t, PowerState::Idle)?;
+        self.phase = Phase::Idle;
+        self.idle_generation += 1;
+        Ok(())
+    }
+
+    /// Close the books at `t_end` and return the energy breakdown.
+    pub fn finish(self, t_end: f64) -> Result<EnergyBreakdown, TransitionError> {
+        self.machine.finish(t_end)
+    }
+
+    /// The service timer (for computing expected times in tests/analyses).
+    pub fn service_timer(&self) -> &ServiceTimer {
+        &self.timer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindown_disk::MB;
+
+    fn actor() -> DiskActor {
+        DiskActor::new(DiskSpec::seagate_st3500630as())
+    }
+
+    #[test]
+    fn service_lifecycle() {
+        let mut a = actor();
+        let done = a.start_service(10.0, 0, 72 * MB).unwrap();
+        // 72 MB at 72 MB/s = 1 s + positioning
+        assert!((done - (10.0 + 1.0 + 0.0085 + 0.00416)).abs() < 1e-9);
+        assert_eq!(a.phase(), Phase::Busy);
+        let req = a.complete_service(done).unwrap();
+        assert_eq!(req, 0);
+        assert_eq!(a.phase(), Phase::Idle);
+        assert_eq!(a.served(), 1);
+    }
+
+    #[test]
+    fn power_cycle_lifecycle() {
+        let mut a = actor();
+        let down = a.begin_spin_down(100.0).unwrap();
+        assert_eq!(down, 110.0);
+        a.complete_spin_down(down).unwrap();
+        assert_eq!(a.phase(), Phase::Standby);
+        let up = a.begin_spin_up(200.0).unwrap();
+        assert_eq!(up, 215.0);
+        a.complete_spin_up(up).unwrap();
+        assert_eq!(a.phase(), Phase::Idle);
+        assert_eq!(a.spin_downs(), 1);
+        assert_eq!(a.spin_ups(), 1);
+    }
+
+    #[test]
+    fn idle_generation_bumps_on_each_idle_entry() {
+        let mut a = actor();
+        assert_eq!(a.idle_generation, 0);
+        let done = a.start_service(0.0, 7, MB).unwrap();
+        a.complete_service(done).unwrap();
+        assert_eq!(a.idle_generation, 1);
+        let d = a.begin_spin_down(100.0).unwrap();
+        a.complete_spin_down(d).unwrap();
+        let u = a.begin_spin_up(300.0).unwrap();
+        a.complete_spin_up(u).unwrap();
+        assert_eq!(a.idle_generation, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "start_service requires Idle")]
+    fn cannot_serve_while_busy() {
+        let mut a = actor();
+        a.start_service(0.0, 0, MB).unwrap();
+        let _ = a.start_service(0.1, 1, MB);
+    }
+
+    #[test]
+    #[should_panic(expected = "spin-down requires Idle")]
+    fn cannot_spin_down_while_busy() {
+        let mut a = actor();
+        a.start_service(0.0, 0, MB).unwrap();
+        let _ = a.begin_spin_down(0.1);
+    }
+
+    #[test]
+    fn energy_accounts_for_each_phase() {
+        let mut a = actor();
+        let done = a.start_service(0.0, 0, 72 * MB).unwrap();
+        a.complete_service(done).unwrap();
+        let b = a.finish(done).unwrap();
+        assert!((b.seconds_in(PowerState::Seek) - 0.0085).abs() < 1e-9);
+        assert!(
+            (b.seconds_in(PowerState::Active) - (1.0 + 0.00416)).abs() < 1e-9
+        );
+        assert!((b.total_seconds() - done).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_is_plain_fifo() {
+        let mut a = actor();
+        a.queue.push_back(3);
+        a.queue.push_back(4);
+        assert_eq!(a.queue.pop_front(), Some(3));
+        assert_eq!(a.queue.pop_front(), Some(4));
+    }
+}

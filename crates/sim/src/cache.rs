@@ -1,0 +1,245 @@
+//! A byte-budget LRU cache of whole files — the "16GB LRU cache … to cache
+//! the frequently accessed files" of §5.1.
+//!
+//! Whole-file granularity matches the paper's request model (a request
+//! always asks for the entire file). Files larger than the budget are never
+//! cached. Hit/miss/byte counters feed the report (the paper quotes the
+//! observed hit ratio, 5.6%, for its workload).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use spindown_workload::FileId;
+
+/// Running cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that missed.
+    pub misses: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Bytes evicted over the run.
+    pub evicted_bytes: u64,
+    /// Files rejected because they exceed the whole budget.
+    pub oversize_rejections: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in [0, 1]; 0 when nothing was accessed.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Byte-capacity LRU over whole files.
+///
+/// Recency is tracked with a monotone stamp per entry plus an ordered index
+/// from stamp to file, giving `O(log n)` accesses without unsafe code.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity_bytes: u64,
+    entries: HashMap<FileId, (u64, u64)>, // file -> (size, stamp)
+    by_stamp: std::collections::BTreeMap<u64, FileId>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Cache with the given byte budget.
+    pub fn new(capacity_bytes: u64) -> Self {
+        LruCache {
+            capacity_bytes,
+            entries: HashMap::new(),
+            by_stamp: std::collections::BTreeMap::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Access `file` of `size_bytes`: returns `true` on a hit. On a miss the
+    /// file is admitted (evicting least-recently-used files as needed)
+    /// unless it exceeds the whole budget.
+    pub fn access(&mut self, file: FileId, size_bytes: u64) -> bool {
+        if let Some(&(size, stamp)) = self.entries.get(&file) {
+            debug_assert_eq!(size, size_bytes, "file size changed between accesses");
+            self.by_stamp.remove(&stamp);
+            let new_stamp = self.bump();
+            self.by_stamp.insert(new_stamp, file);
+            self.entries.insert(file, (size, new_stamp));
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if size_bytes > self.capacity_bytes {
+            self.stats.oversize_rejections += 1;
+            return false;
+        }
+        while self.stats.resident_bytes + size_bytes > self.capacity_bytes {
+            self.evict_lru();
+        }
+        let stamp = self.bump();
+        self.entries.insert(file, (size_bytes, stamp));
+        self.by_stamp.insert(stamp, file);
+        self.stats.resident_bytes += size_bytes;
+        false
+    }
+
+    /// Whether `file` is resident (no recency update, no stats update).
+    pub fn contains(&self, file: FileId) -> bool {
+        self.entries.contains_key(&file)
+    }
+
+    /// Number of resident files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The running statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    fn evict_lru(&mut self) {
+        let (&stamp, &file) = self
+            .by_stamp
+            .iter()
+            .next()
+            .expect("eviction requested from empty cache");
+        self.by_stamp.remove(&stamp);
+        let (size, _) = self.entries.remove(&file).expect("index consistent");
+        self.stats.resident_bytes -= size;
+        self.stats.evicted_bytes += size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = LruCache::new(100);
+        assert!(!c.access(f(1), 40));
+        assert!(c.access(f(1), 40));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(100);
+        c.access(f(1), 40);
+        c.access(f(2), 40);
+        c.access(f(1), 40); // refresh 1 → 2 is now LRU
+        c.access(f(3), 40); // evicts 2
+        assert!(c.contains(f(1)));
+        assert!(!c.contains(f(2)));
+        assert!(c.contains(f(3)));
+        assert_eq!(c.stats().evicted_bytes, 40);
+    }
+
+    #[test]
+    fn oversize_files_never_cached() {
+        let mut c = LruCache::new(100);
+        assert!(!c.access(f(9), 200));
+        assert!(!c.access(f(9), 200)); // still a miss
+        assert_eq!(c.stats().oversize_rejections, 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn resident_bytes_tracks_contents() {
+        let mut c = LruCache::new(100);
+        c.access(f(1), 30);
+        c.access(f(2), 30);
+        assert_eq!(c.stats().resident_bytes, 60);
+        c.access(f(3), 60); // evicts only 1 (LRU); 2 still fits
+        assert_eq!(c.stats().resident_bytes, 90);
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(f(1)));
+        assert!(c.contains(f(2)));
+    }
+
+    #[test]
+    fn multi_eviction_for_one_admission() {
+        let mut c = LruCache::new(100);
+        for i in 0..10 {
+            c.access(f(i), 10);
+        }
+        assert_eq!(c.len(), 10);
+        c.access(f(100), 95); // evicts almost everything
+        assert!(c.contains(f(100)));
+        assert!(c.stats().resident_bytes <= 100);
+    }
+
+    #[test]
+    fn empty_cache_hit_ratio_zero() {
+        let c = LruCache::new(10);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut c = LruCache::new(0);
+        assert!(!c.access(f(1), 1));
+        assert!(!c.access(f(1), 1));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn model_check_against_naive_lru() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        // Naive reference: Vec ordered by recency (front = LRU).
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ours = LruCache::new(50);
+        let mut reference: Vec<(u32, u64)> = Vec::new();
+        let sizes: Vec<u64> = (0..20).map(|_| rng.random_range(5..25u64)).collect();
+        for _ in 0..5000 {
+            let id = rng.random_range(0..20u32);
+            let size = sizes[id as usize];
+            let got = ours.access(FileId(id), size);
+            // reference behaviour
+            let pos = reference.iter().position(|&(i, _)| i == id);
+            let expected = if let Some(p) = pos {
+                let e = reference.remove(p);
+                reference.push(e);
+                true
+            } else if size > 50 {
+                false
+            } else {
+                let mut resident: u64 = reference.iter().map(|&(_, s)| s).sum();
+                while resident + size > 50 {
+                    let (_, s) = reference.remove(0);
+                    resident -= s;
+                }
+                reference.push((id, size));
+                false
+            };
+            assert_eq!(got, expected, "divergence on file {id}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use spindown_disk::{break_even_threshold, DiskSpec};
+
+/// When (if ever) an idle disk spins down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdPolicy {
+    /// Spin down after a fixed idle period (seconds).
+    Fixed(f64),
+    /// Spin down after the drive's break-even time — the paper's default
+    /// (53.3 s for the Table 2 drive, following Pinheiro & Bianchini).
+    BreakEven,
+    /// Never spin down ("spinning N disks without any power-saving
+    /// mechanism" — the normalisation baseline of §5.1).
+    Never,
+}
+
+impl ThresholdPolicy {
+    /// The threshold in seconds for a drive (`None` = never spin down).
+    pub fn threshold_s(&self, spec: &DiskSpec) -> Option<f64> {
+        match *self {
+            ThresholdPolicy::Fixed(s) => {
+                assert!(s.is_finite() && s >= 0.0, "bad threshold {s}");
+                Some(s)
+            }
+            ThresholdPolicy::BreakEven => Some(break_even_threshold(spec)),
+            ThresholdPolicy::Never => None,
+        }
+    }
+}
+
+/// LRU cache in front of the dispatcher (§5.1 uses 16 GB).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Byte budget.
+    pub capacity_bytes: u64,
+    /// Bandwidth at which cache hits are served, bytes/second (hit response
+    /// time = size / bandwidth).
+    pub bandwidth_bps: f64,
+}
+
+impl CacheConfig {
+    /// The paper's 16 GB cache, served at memory-ish speed (1 GB/s).
+    pub fn paper_16gb() -> Self {
+        CacheConfig {
+            capacity_bytes: 16 * 1_000_000_000,
+            bandwidth_bps: 1.0e9,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The drive model used for every disk in the fleet.
+    pub disk: DiskSpec,
+    /// Spin-down policy.
+    pub threshold: ThresholdPolicy,
+    /// Optional LRU cache in front of the dispatcher.
+    pub cache: Option<CacheConfig>,
+}
+
+impl SimConfig {
+    /// The paper's §4 setup: Table 2 drive, break-even idleness threshold,
+    /// no cache.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            disk: DiskSpec::seagate_st3500630as(),
+            threshold: ThresholdPolicy::BreakEven,
+            cache: None,
+        }
+    }
+
+    /// Same but with a fixed idleness threshold (Figures 5/6 sweep this).
+    pub fn with_threshold(mut self, threshold: ThresholdPolicy) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Attach a cache (§5.1's "+LRU" series).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn break_even_policy_gives_53_3s() {
+        let spec = DiskSpec::seagate_st3500630as();
+        let t = ThresholdPolicy::BreakEven.threshold_s(&spec).unwrap();
+        assert!((t - 53.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn fixed_policy_passthrough() {
+        let spec = DiskSpec::default();
+        assert_eq!(
+            ThresholdPolicy::Fixed(1800.0).threshold_s(&spec),
+            Some(1800.0)
+        );
+    }
+
+    #[test]
+    fn never_policy_is_none() {
+        assert_eq!(ThresholdPolicy::Never.threshold_s(&DiskSpec::default()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad threshold")]
+    fn negative_threshold_panics() {
+        let _ = ThresholdPolicy::Fixed(-1.0).threshold_s(&DiskSpec::default());
+    }
+
+    #[test]
+    fn builder_combinators() {
+        let cfg = SimConfig::paper_default()
+            .with_threshold(ThresholdPolicy::Fixed(600.0))
+            .with_cache(CacheConfig::paper_16gb());
+        assert_eq!(cfg.threshold, ThresholdPolicy::Fixed(600.0));
+        assert_eq!(cfg.cache.unwrap().capacity_bytes, 16 * 1_000_000_000);
+    }
+}

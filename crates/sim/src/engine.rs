@@ -1,0 +1,580 @@
+//! The simulation engine: ties the trace, the dispatcher (with optional LRU
+//! cache), the per-disk actors and the event queue together.
+//!
+//! ## Semantics (matching §4 of the paper)
+//!
+//! - A request is dispatched to the disk holding its file. If a cache is
+//!   configured, the whole file is looked up first; hits are served at cache
+//!   bandwidth without touching the disk, misses are admitted to the cache
+//!   *and* forwarded to the disk.
+//! - Disks serve their queue FIFO. Service = seek + rotation + transfer.
+//! - An idle disk arms a spin-down timer (the idleness threshold); arrival
+//!   of work cancels it (by generation check). After the timer fires the
+//!   disk spins down (10 s) into standby.
+//! - A request reaching a standby disk triggers spin-up (15 s). A request
+//!   reaching a disk *mid-spin-down* waits for the spin-down to complete and
+//!   then spins up — disks cannot abort transitions (Zedlewski et al.).
+//! - Simulation ends when all events have drained; energy is integrated to
+//!   `max(horizon, last event)`. Spin-down timers that would fire after the
+//!   trace horizon are not armed (end effects would otherwise depend on the
+//!   drain order).
+//! - Response time = completion − arrival, including queueing and power
+//!   transitions.
+
+use spindown_disk::state::TransitionError;
+use spindown_packing::Assignment;
+use spindown_workload::{FileCatalog, FileId, Trace};
+
+use crate::actor::{DiskActor, Phase};
+use crate::cache::LruCache;
+use crate::config::SimConfig;
+use crate::event::{Event, EventQueue};
+use crate::metrics::{ResponseStats, SimReport};
+
+/// Simulation failures.
+#[derive(Debug)]
+pub enum SimError {
+    /// The trace references a file the assignment does not place.
+    UnmappedFile {
+        /// The unplaced file.
+        file: FileId,
+    },
+    /// The fleet is smaller than the assignment needs.
+    FleetTooSmall {
+        /// Disks required by the assignment.
+        required: usize,
+        /// Fleet size requested.
+        fleet: usize,
+    },
+    /// Internal state-machine violation (a bug — should never surface).
+    Transition(TransitionError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnmappedFile { file } => write!(f, "file {file} is not mapped to a disk"),
+            SimError::FleetTooSmall { required, fleet } => {
+                write!(f, "fleet of {fleet} disks < {required} required")
+            }
+            SimError::Transition(e) => write!(f, "disk state machine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<TransitionError> for SimError {
+    fn from(e: TransitionError) -> Self {
+        SimError::Transition(e)
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<'a> {
+    catalog: &'a FileCatalog,
+    trace: &'a Trace,
+    cfg: &'a SimConfig,
+    file_to_disk: Vec<usize>,
+    actors: Vec<DiskActor>,
+    events: EventQueue,
+    cache: Option<LruCache>,
+    responses: ResponseStats,
+    threshold_s: Option<f64>,
+    horizon: f64,
+    last_event_time: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Run a simulation over exactly the disks the assignment uses.
+    pub fn run(
+        catalog: &'a FileCatalog,
+        trace: &'a Trace,
+        assignment: &Assignment,
+        cfg: &'a SimConfig,
+    ) -> Result<SimReport, SimError> {
+        Self::run_with_fleet(catalog, trace, assignment, cfg, assignment.disk_slots())
+    }
+
+    /// Run with an explicit fleet size ≥ the assignment's disk count — the
+    /// paper's synthetic experiments keep 100 disks spinning regardless of
+    /// how many the allocator loaded (the empty ones just go to standby).
+    pub fn run_with_fleet(
+        catalog: &'a FileCatalog,
+        trace: &'a Trace,
+        assignment: &Assignment,
+        cfg: &'a SimConfig,
+        fleet: usize,
+    ) -> Result<SimReport, SimError> {
+        let required = assignment.disk_slots();
+        if fleet < required {
+            return Err(SimError::FleetTooSmall { required, fleet });
+        }
+        let file_to_disk = assignment.item_to_disk(catalog.len());
+        // Validate that every *requested* file is mapped.
+        for r in trace.requests() {
+            if file_to_disk
+                .get(r.file.index())
+                .copied()
+                .unwrap_or(usize::MAX)
+                == usize::MAX
+            {
+                return Err(SimError::UnmappedFile { file: r.file });
+            }
+        }
+        let threshold_s = cfg.threshold.threshold_s(&cfg.disk);
+        let mut sim = Simulator {
+            catalog,
+            trace,
+            cfg,
+            file_to_disk,
+            actors: (0..fleet.max(1))
+                .map(|_| DiskActor::new(cfg.disk.clone()))
+                .collect(),
+            events: EventQueue::new(),
+            cache: cfg.cache.as_ref().map(|c| LruCache::new(c.capacity_bytes)),
+            responses: ResponseStats::new(),
+            threshold_s,
+            horizon: trace.horizon(),
+            last_event_time: 0.0,
+        };
+        sim.prime();
+        sim.drive()?;
+        sim.finish()
+    }
+
+    /// Schedule all arrivals and the initial idle timers.
+    fn prime(&mut self) {
+        for (i, r) in self.trace.requests().iter().enumerate() {
+            self.events.schedule(r.time, Event::Arrival { req: i });
+        }
+        for disk in 0..self.actors.len() {
+            self.arm_timer(disk, 0.0);
+        }
+    }
+
+    /// Arm disk `disk`'s spin-down timer for an idle period starting at `t`,
+    /// unless the policy never spins down or the timer would fire beyond the
+    /// trace horizon.
+    fn arm_timer(&mut self, disk: usize, t: f64) {
+        let Some(th) = self.threshold_s else { return };
+        let fire = t + th;
+        if fire > self.horizon {
+            return;
+        }
+        let generation = self.actors[disk].idle_generation;
+        self.events
+            .schedule(fire, Event::SpinDownTimer { disk, generation });
+    }
+
+    fn drive(&mut self) -> Result<(), SimError> {
+        while let Some((t, ev)) = self.events.pop() {
+            self.last_event_time = self.last_event_time.max(t);
+            match ev {
+                Event::Arrival { req } => self.on_arrival(t, req)?,
+                Event::PhaseDone { disk } => self.on_phase_done(t, disk)?,
+                Event::SpinDownTimer { disk, generation } => {
+                    self.on_timer(t, disk, generation)?
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_arrival(&mut self, t: f64, req: usize) -> Result<(), SimError> {
+        let r = self.trace.requests()[req];
+        let size = self.catalog.file(r.file).size_bytes;
+        if let Some(cache) = self.cache.as_mut() {
+            if cache.access(r.file, size) {
+                // Cache hit: served without disk involvement.
+                let bw = self
+                    .cfg
+                    .cache
+                    .as_ref()
+                    .expect("cache config present when cache exists")
+                    .bandwidth_bps;
+                self.responses.record(size as f64 / bw);
+                return Ok(());
+            }
+        }
+        let disk = self.file_to_disk[r.file.index()];
+        self.actors[disk].queue.push_back(req);
+        self.kick(t, disk)
+    }
+
+    /// Make progress on a disk that has (or may have) pending work.
+    fn kick(&mut self, t: f64, disk: usize) -> Result<(), SimError> {
+        match self.actors[disk].phase() {
+            Phase::Idle => {
+                if let Some(req) = self.actors[disk].queue.pop_front() {
+                    let file = self.trace.requests()[req].file;
+                    let bytes = self.catalog.file(file).size_bytes;
+                    let done = self.actors[disk].start_service(t, req, bytes)?;
+                    self.events.schedule(done, Event::PhaseDone { disk });
+                }
+            }
+            Phase::Standby => {
+                let done = self.actors[disk].begin_spin_up(t)?;
+                self.events.schedule(done, Event::PhaseDone { disk });
+            }
+            // Busy: the queue drains at service completion.
+            // SpinningUp / SpinningDown: the transition completion handler
+            // will look at the queue.
+            Phase::Busy | Phase::SpinningUp | Phase::SpinningDown => {}
+        }
+        Ok(())
+    }
+
+    fn on_phase_done(&mut self, t: f64, disk: usize) -> Result<(), SimError> {
+        match self.actors[disk].phase() {
+            Phase::Busy => {
+                let req = self.actors[disk].complete_service(t)?;
+                let arrival = self.trace.requests()[req].time;
+                self.responses.record(t - arrival);
+                if self.actors[disk].queue.is_empty() {
+                    self.arm_timer(disk, t);
+                } else {
+                    self.kick(t, disk)?;
+                }
+            }
+            Phase::SpinningUp => {
+                self.actors[disk].complete_spin_up(t)?;
+                if self.actors[disk].queue.is_empty() {
+                    // Rare: the waiting request was served from elsewhere —
+                    // impossible today, but arm the timer for robustness.
+                    self.arm_timer(disk, t);
+                } else {
+                    self.kick(t, disk)?;
+                }
+            }
+            Phase::SpinningDown => {
+                self.actors[disk].complete_spin_down(t)?;
+                if !self.actors[disk].queue.is_empty() {
+                    // Work arrived mid-spin-down; spin straight back up.
+                    self.kick(t, disk)?;
+                }
+            }
+            other => unreachable!("PhaseDone in phase {other:?}"),
+        }
+        Ok(())
+    }
+
+    fn on_timer(&mut self, t: f64, disk: usize, generation: u64) -> Result<(), SimError> {
+        let actor = &mut self.actors[disk];
+        if actor.phase() != Phase::Idle
+            || actor.idle_generation != generation
+            || !actor.queue.is_empty()
+        {
+            return Ok(()); // stale timer
+        }
+        let done = actor.begin_spin_down(t)?;
+        self.events.schedule(done, Event::PhaseDone { disk });
+        Ok(())
+    }
+
+    fn finish(self) -> Result<SimReport, SimError> {
+        let t_end = self.horizon.max(self.last_event_time);
+        let mut fleet = spindown_disk::energy::EnergyBreakdown::default();
+        let mut per_disk = Vec::with_capacity(self.actors.len());
+        let mut per_disk_served = Vec::with_capacity(self.actors.len());
+        let mut spin_downs = 0;
+        let mut spin_ups = 0;
+        let disks = self.actors.len();
+        for actor in self.actors {
+            spin_downs += actor.spin_downs();
+            spin_ups += actor.spin_ups();
+            per_disk_served.push(actor.served());
+            let b = actor.finish(t_end)?;
+            fleet.merge(&b);
+            per_disk.push(b);
+        }
+        Ok(SimReport {
+            sim_time_s: t_end,
+            energy: fleet,
+            per_disk_energy: per_disk,
+            responses: self.responses,
+            spin_downs,
+            spin_ups,
+            cache: self.cache.map(|c| c.stats()),
+            disks,
+            per_disk_served,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, ThresholdPolicy};
+    use spindown_disk::PowerState;
+    use spindown_packing::{Assignment, DiskBin};
+    use spindown_workload::trace::Request;
+    use spindown_workload::MB;
+
+    /// Catalog of `n` equally popular files of `size` bytes, one per disk or
+    /// per explicit layout.
+    fn catalog(n: usize, size: u64) -> FileCatalog {
+        FileCatalog::from_parts(vec![size; n], vec![1.0 / n as f64; n])
+    }
+
+    /// Assignment placing file i on disk `layout[i]`.
+    fn assignment(layout: &[usize]) -> Assignment {
+        let disks = layout.iter().copied().max().map_or(0, |m| m + 1);
+        let mut bins: Vec<DiskBin> = (0..disks).map(|_| DiskBin::default()).collect();
+        for (file, &d) in layout.iter().enumerate() {
+            bins[d].items.push(file);
+        }
+        Assignment { disks: bins }
+    }
+
+    fn trace(reqs: &[(f64, u32)], horizon: f64) -> Trace {
+        Trace::new(
+            reqs.iter()
+                .map(|&(time, f)| Request {
+                    time,
+                    file: FileId(f),
+                })
+                .collect(),
+            horizon,
+        )
+    }
+
+    fn service_time_72mb() -> f64 {
+        1.0 + 0.0085 + 0.00416 // 72 MB at 72 MB/s + positioning
+    }
+
+    #[test]
+    fn single_request_response_is_service_time() {
+        let cat = catalog(1, 72 * MB);
+        let tr = trace(&[(5.0, 0)], 100.0);
+        let cfg = SimConfig::paper_default();
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        assert_eq!(report.responses.len(), 1);
+        let mut resp = report.responses.clone();
+        assert!((resp.quantile(1.0) - service_time_72mb()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_queueing_delays_second_request() {
+        let cat = catalog(1, 72 * MB);
+        let tr = trace(&[(0.0, 0), (0.0, 0)], 100.0);
+        let cfg = SimConfig::paper_default();
+        let mut report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg)
+            .unwrap()
+            .responses;
+        assert_eq!(report.len(), 2);
+        let s = service_time_72mb();
+        assert!((report.quantile(0.0) - s).abs() < 1e-9);
+        assert!((report.quantile(1.0) - 2.0 * s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standby_disk_pays_spin_up_penalty() {
+        let cat = catalog(1, 72 * MB);
+        // Threshold 10 s: disk idles from t=0, spins down 10→20, request at
+        // t=100 finds standby → 15 s spin-up + service.
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(10.0));
+        let tr = trace(&[(100.0, 0)], 200.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        // Two spin-downs: the initial idle period and the post-service one
+        // (threshold 10 s, horizon 200 s leaves room for the second).
+        assert_eq!(report.spin_downs, 2);
+        assert_eq!(report.spin_ups, 1);
+        let mut resp = report.responses.clone();
+        assert!(
+            (resp.quantile(1.0) - (15.0 + service_time_72mb())).abs() < 1e-9,
+            "response {}",
+            resp.quantile(1.0)
+        );
+    }
+
+    #[test]
+    fn request_mid_spin_down_waits_for_both_transitions() {
+        let cat = catalog(1, 72 * MB);
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(10.0));
+        // Spin-down runs 10→20; request at t=12 waits 8 s + 15 s + service.
+        let tr = trace(&[(12.0, 0)], 200.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        let mut resp = report.responses.clone();
+        let expected = 8.0 + 15.0 + service_time_72mb();
+        assert!(
+            (resp.quantile(1.0) - expected).abs() < 1e-9,
+            "response {} vs {expected}",
+            resp.quantile(1.0)
+        );
+    }
+
+    #[test]
+    fn never_policy_has_no_spin_downs() {
+        let cat = catalog(2, 10 * MB);
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
+        let tr = trace(&[(1.0, 0), (500.0, 1)], 1000.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0, 1]), &cfg).unwrap();
+        assert_eq!(report.spin_downs, 0);
+        assert_eq!(report.spin_ups, 0);
+        // Energy ≈ idle for the whole window per disk (service negligible
+        // but strictly above pure idle).
+        let idle_only = report.always_on_idle_joules(9.3);
+        let e = report.energy.total_joules();
+        assert!(e >= idle_only * 0.99 && e < idle_only * 1.05);
+    }
+
+    #[test]
+    fn energy_time_conservation() {
+        let cat = catalog(3, 50 * MB);
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(30.0));
+        let tr = trace(&[(0.0, 0), (10.0, 1), (700.0, 2), (800.0, 0)], 1000.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0, 1, 2]), &cfg).unwrap();
+        // Σ per-state seconds = disks × sim_time
+        let expect = report.sim_time_s * report.disks as f64;
+        assert!(
+            (report.energy.total_seconds() - expect).abs() < 1e-6,
+            "covered {} vs {}",
+            report.energy.total_seconds(),
+            expect
+        );
+        assert_eq!(report.responses.len(), 4);
+    }
+
+    #[test]
+    fn spin_down_saves_energy_on_long_idle() {
+        let cat = catalog(1, 10 * MB);
+        let tr = trace(&[(1.0, 0)], 7200.0);
+        let sleepy = SimConfig::paper_default().with_threshold(ThresholdPolicy::BreakEven);
+        let awake = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
+        let e_sleepy = Simulator::run(&cat, &tr, &assignment(&[0]), &sleepy)
+            .unwrap()
+            .energy
+            .total_joules();
+        let e_awake = Simulator::run(&cat, &tr, &assignment(&[0]), &awake)
+            .unwrap()
+            .energy
+            .total_joules();
+        assert!(
+            e_sleepy < 0.25 * e_awake,
+            "sleepy {e_sleepy} vs awake {e_awake}"
+        );
+    }
+
+    #[test]
+    fn cache_hit_skips_the_disk() {
+        let cat = catalog(1, 100 * MB);
+        let cfg = SimConfig::paper_default()
+            .with_threshold(ThresholdPolicy::Never)
+            .with_cache(CacheConfig {
+                capacity_bytes: 1_000 * MB,
+                bandwidth_bps: 1.0e9,
+            });
+        let tr = trace(&[(0.0, 0), (50.0, 0)], 100.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        let stats = report.cache.unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // one slow (disk) + one fast (cache) response
+        let mut resp = report.responses.clone();
+        assert!(resp.quantile(0.0) < 0.2); // 100 MB at 1 GB/s
+        assert!(resp.quantile(1.0) > 1.0);
+        // disk served exactly one request
+        assert_eq!(report.responses.len(), 2);
+    }
+
+    #[test]
+    fn fleet_larger_than_assignment_spins_down_empties() {
+        let cat = catalog(1, 10 * MB);
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(10.0));
+        let tr = trace(&[(1.0, 0)], 500.0);
+        let report =
+            Simulator::run_with_fleet(&cat, &tr, &assignment(&[0]), &cfg, 5).unwrap();
+        assert_eq!(report.disks, 5);
+        // all 5 disks eventually spin down (the loaded one after its service)
+        assert_eq!(report.spin_downs, 5);
+        assert_eq!(report.spin_ups, 0);
+        // standby time dominates
+        assert!(report.fleet_seconds_in(PowerState::Standby) > 4.0 * 400.0);
+    }
+
+    #[test]
+    fn unmapped_file_is_an_error() {
+        let cat = catalog(2, MB);
+        let tr = trace(&[(0.0, 1)], 10.0);
+        let cfg = SimConfig::paper_default();
+        // assignment only covers file 0 — file 1 unmapped
+        let a = Assignment {
+            disks: vec![DiskBin {
+                items: vec![0],
+                total_s: 0.0,
+                total_l: 0.0,
+            }],
+        };
+        let err = Simulator::run(&cat, &tr, &a, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::UnmappedFile { file } if file == FileId(1)));
+    }
+
+    #[test]
+    fn fleet_too_small_is_an_error() {
+        let cat = catalog(2, MB);
+        let tr = trace(&[], 1.0);
+        let cfg = SimConfig::paper_default();
+        let a = assignment(&[0, 1]);
+        let err = Simulator::run_with_fleet(&cat, &tr, &a, &cfg, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::FleetTooSmall {
+                required: 2,
+                fleet: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_trace_runs_to_horizon() {
+        let cat = catalog(1, MB);
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
+        let tr = trace(&[], 250.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        assert_eq!(report.sim_time_s, 250.0);
+        assert!((report.energy.total_joules() - 9.3 * 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_disk_served_and_utilisation() {
+        let cat = catalog(2, 72 * MB);
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
+        // three requests to disk 0's file, none to disk 1's
+        let tr = trace(&[(0.0, 0), (10.0, 0), (20.0, 0)], 100.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0, 1]), &cfg).unwrap();
+        assert_eq!(report.per_disk_served, vec![3, 0]);
+        assert_eq!(report.active_disks(), 1);
+        // disk 0: 3 × (seek + rotation + 1 s transfer) over 100 s ≈ 3%
+        let u0 = report.disk_utilisation(0);
+        assert!((u0 - 3.0 * service_time_72mb() / 100.0).abs() < 1e-6, "{u0}");
+        assert_eq!(report.disk_utilisation(1), 0.0);
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let cat = catalog(4, 30 * MB);
+        let tr = Trace::poisson(&cat, 1.0, 300.0, 5);
+        let cfg = SimConfig::paper_default();
+        let a = assignment(&[0, 1, 2, 3]);
+        let r1 = Simulator::run(&cat, &tr, &a, &cfg).unwrap();
+        let r2 = Simulator::run(&cat, &tr, &a, &cfg).unwrap();
+        assert_eq!(r1.energy.total_joules(), r2.energy.total_joules());
+        assert_eq!(r1.responses, r2.responses);
+    }
+
+    #[test]
+    fn response_includes_queueing_after_spin_up() {
+        // Two requests arrive while the disk is in standby; both pay the
+        // spin-up, the second also queues behind the first.
+        let cat = catalog(1, 72 * MB);
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(5.0));
+        let tr = trace(&[(100.0, 0), (100.0, 0)], 300.0);
+        let mut resp = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg)
+            .unwrap()
+            .responses;
+        let s = service_time_72mb();
+        assert!((resp.quantile(0.0) - (15.0 + s)).abs() < 1e-9);
+        assert!((resp.quantile(1.0) - (15.0 + 2.0 * s)).abs() < 1e-9);
+    }
+}

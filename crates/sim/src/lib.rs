@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # spindown-sim
+//!
+//! A deterministic discrete-event simulator for multi-disk storage systems
+//! with spin-down power management — the Rust replacement for the paper's
+//! SimPy environment (§4).
+//!
+//! The simulated system is the paper's: a workload generator produces file
+//! requests; a dispatcher (optionally fronted by a byte-budget LRU cache)
+//! forwards each request to the disk holding the file, per a file→disk
+//! mapping produced by an allocator from `spindown-packing`; each disk
+//! serves its FIFO queue with seek + rotation + transfer timing from
+//! `spindown-disk`, spins down after a configurable idleness threshold, and
+//! pays the spin-up latency when a request finds it in standby. Energy is
+//! integrated exactly per power state.
+//!
+//! Modules:
+//! - [`event`] — the time-ordered event queue.
+//! - [`cache`] — the 16 GB LRU front of §5.1.
+//! - [`config`] — [`config::SimConfig`] and the idleness-threshold policy.
+//! - [`actor`] — per-disk actor bridging queueing and the state machine.
+//! - [`metrics`] — response-time statistics and the simulation report.
+//! - [`engine`] — the [`engine::Simulator`] main loop.
+//!
+//! ## Example
+//!
+//! ```
+//! use spindown_packing::{pack_disks, Instance};
+//! use spindown_sim::config::SimConfig;
+//! use spindown_sim::engine::Simulator;
+//! use spindown_workload::{FileCatalog, Trace};
+//!
+//! let catalog = FileCatalog::paper_table1(200, 0);
+//! let trace = Trace::poisson(&catalog, 0.2, 500.0, 42);
+//! let cfg = SimConfig::paper_default();
+//! let loads = catalog.loads(0.2, |b| b as f64 / cfg.disk.transfer_rate_bps);
+//! let sizes: Vec<u64> = catalog.iter().map(|f| f.size_bytes).collect();
+//! let inst = Instance::from_raw(&sizes, &loads, cfg.disk.capacity_bytes, 0.7).unwrap();
+//! let assignment = pack_disks(&inst);
+//! let report = Simulator::run(&catalog, &trace, &assignment, &cfg).unwrap();
+//! assert!(report.energy.total_joules() > 0.0);
+//! ```
+
+pub mod actor;
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod metrics;
+
+pub use cache::LruCache;
+pub use config::{CacheConfig, SimConfig, ThresholdPolicy};
+pub use engine::{SimError, Simulator};
+pub use metrics::{ResponseStats, SimReport};

@@ -1,0 +1,226 @@
+//! Response-time statistics and the simulation report.
+
+use serde::{Deserialize, Serialize};
+use spindown_disk::energy::EnergyBreakdown;
+use spindown_disk::PowerState;
+
+use crate::cache::CacheStats;
+
+/// Collects response times and summarises them.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl ResponseStats {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one response time (seconds).
+    ///
+    /// # Panics
+    /// If the sample is negative or not finite.
+    pub fn record(&mut self, seconds: f64) {
+        assert!(seconds.is_finite() && seconds >= 0.0, "bad sample {seconds}");
+        self.samples.push(seconds);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// `q`-quantile with nearest-rank semantics, `q ∈ [0, 1]`
+    /// (0 when empty).
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.total_cmp(b));
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Median.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples at or below `bound` seconds (1.0 when empty —
+    /// an empty workload vacuously meets any deadline).
+    pub fn fraction_within(&self, bound: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        let ok = self.samples.iter().filter(|&&s| s <= bound).count();
+        ok as f64 / self.samples.len() as f64
+    }
+
+    /// Merge another collector into this one.
+    pub fn merge(&mut self, other: &ResponseStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Wall-clock span of the simulation (≥ trace horizon), seconds.
+    pub sim_time_s: f64,
+    /// Fleet-aggregate energy.
+    pub energy: EnergyBreakdown,
+    /// Per-disk energy, in disk order.
+    pub per_disk_energy: Vec<EnergyBreakdown>,
+    /// Response-time samples for requests served by disks *and* the cache.
+    pub responses: ResponseStats,
+    /// Total completed spin-down transitions across the fleet.
+    pub spin_downs: u64,
+    /// Total completed spin-up transitions across the fleet.
+    pub spin_ups: u64,
+    /// Cache statistics, when a cache was configured.
+    pub cache: Option<CacheStats>,
+    /// Number of disks simulated (fleet size).
+    pub disks: usize,
+    /// Requests served per disk, in disk order (excludes cache hits).
+    pub per_disk_served: Vec<u64>,
+}
+
+impl SimReport {
+    /// Mean electrical power over the run, watts (whole fleet).
+    pub fn mean_power_w(&self) -> f64 {
+        if self.sim_time_s > 0.0 {
+            self.energy.total_joules() / self.sim_time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Energy the fleet would have used never leaving the *idle* state —
+    /// the §5.1 normaliser ("spinning N disks without any power-saving
+    /// mechanism"), ignoring the (identical) service energy.
+    pub fn always_on_idle_joules(&self, idle_power_w: f64) -> f64 {
+        idle_power_w * self.sim_time_s * self.disks as f64
+    }
+
+    /// Power-saving fraction of this run against a reference energy:
+    /// `1 − E_this/E_ref`.
+    pub fn saving_vs(&self, reference_joules: f64) -> f64 {
+        if reference_joules <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy.total_joules() / reference_joules
+    }
+
+    /// Seconds the fleet spent in `state`, summed over disks.
+    pub fn fleet_seconds_in(&self, state: PowerState) -> f64 {
+        self.energy.seconds_in(state)
+    }
+
+    /// Utilisation of one disk: fraction of the run spent seeking or
+    /// transferring. 0 when the run had zero length.
+    pub fn disk_utilisation(&self, disk: usize) -> f64 {
+        if self.sim_time_s <= 0.0 {
+            return 0.0;
+        }
+        let b = &self.per_disk_energy[disk];
+        (b.seconds_in(PowerState::Active) + b.seconds_in(PowerState::Seek)) / self.sim_time_s
+    }
+
+    /// Number of disks that served at least one request.
+    pub fn active_disks(&self) -> usize {
+        self.per_disk_served.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut r = ResponseStats::new();
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            r.record(v);
+        }
+        assert_eq!(r.quantile(0.0), 1.0);
+        assert_eq!(r.median(), 3.0);
+        assert_eq!(r.quantile(0.8), 4.0);
+        assert_eq!(r.quantile(1.0), 5.0);
+        assert_eq!(r.max(), 5.0);
+        assert!((r.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zeroes() {
+        let mut r = ResponseStats::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.median(), 0.0);
+        assert_eq!(r.max(), 0.0);
+        assert_eq!(r.fraction_within(1.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_within_bound() {
+        let mut r = ResponseStats::new();
+        for v in [1.0, 2.0, 10.0, 20.0] {
+            r.record(v);
+        }
+        assert!((r.fraction_within(10.0) - 0.75).abs() < 1e-12);
+        let _ = r.median();
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = ResponseStats::new();
+        a.record(1.0);
+        let mut b = ResponseStats::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sample")]
+    fn negative_sample_rejected() {
+        ResponseStats::new().record(-0.1);
+    }
+
+    #[test]
+    fn record_after_quantile_resorts() {
+        let mut r = ResponseStats::new();
+        r.record(5.0);
+        r.record(1.0);
+        assert_eq!(r.median(), 1.0);
+        r.record(0.5);
+        assert_eq!(r.quantile(0.0), 0.5, "sort flag must reset on record");
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the simulator's global invariants: time/energy
+//! conservation, response-time lower bounds, power-state bookkeeping and
+//! determinism, over randomized small workloads.
+
+use proptest::prelude::*;
+use spindown_disk::mechanics::ServiceTimer;
+use spindown_disk::{DiskSpec, PowerState};
+use spindown_packing::{Assignment, DiskBin};
+use spindown_sim::config::{SimConfig, ThresholdPolicy};
+use spindown_sim::engine::Simulator;
+use spindown_workload::trace::Request;
+use spindown_workload::{FileCatalog, FileId, Trace};
+
+/// A randomized mini-workload: n files (1–6 disks), m requests in [0, 500 s].
+#[derive(Debug, Clone)]
+struct MiniWorkload {
+    catalog: FileCatalog,
+    trace: Trace,
+    assignment: Assignment,
+}
+
+fn mini_workload() -> impl Strategy<Value = MiniWorkload> {
+    let files = prop::collection::vec(1_000_000u64..2_000_000_000, 1..12);
+    (files, 1usize..6, prop::collection::vec((0.0f64..500.0, any::<u8>()), 0..60)).prop_map(
+        |(sizes, disks, raw_reqs)| {
+            let n = sizes.len();
+            let pop = vec![1.0 / n as f64; n];
+            let catalog = FileCatalog::from_parts(sizes, pop);
+            // round-robin layout over `disks` disks
+            let mut bins: Vec<DiskBin> = (0..disks).map(|_| DiskBin::default()).collect();
+            for i in 0..n {
+                bins[i % disks].items.push(i);
+            }
+            let assignment = Assignment { disks: bins };
+            let mut reqs: Vec<Request> = raw_reqs
+                .into_iter()
+                .map(|(time, f)| Request {
+                    time,
+                    file: FileId((f as usize % n) as u32),
+                })
+                .collect();
+            reqs.sort_by(|a, b| a.time.total_cmp(&b.time));
+            let trace = Trace::new(reqs, 500.0);
+            MiniWorkload {
+                catalog,
+                trace,
+                assignment,
+            }
+        },
+    )
+}
+
+fn threshold_strategy() -> impl Strategy<Value = ThresholdPolicy> {
+    prop_oneof![
+        Just(ThresholdPolicy::Never),
+        Just(ThresholdPolicy::BreakEven),
+        (1.0f64..300.0).prop_map(ThresholdPolicy::Fixed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn time_is_conserved_across_states(w in mini_workload(), th in threshold_strategy()) {
+        let cfg = SimConfig::paper_default().with_threshold(th);
+        let report = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        let covered = report.energy.total_seconds();
+        let expected = report.sim_time_s * report.disks as f64;
+        prop_assert!((covered - expected).abs() < 1e-6 * expected.max(1.0),
+            "covered {covered} vs {expected}");
+    }
+
+    #[test]
+    fn every_request_is_answered_no_faster_than_service(
+        w in mini_workload(), th in threshold_strategy()
+    ) {
+        let cfg = SimConfig::paper_default().with_threshold(th);
+        let report = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        prop_assert_eq!(report.responses.len(), w.trace.len());
+        if w.trace.is_empty() {
+            return Ok(());
+        }
+        let timer = ServiceTimer::new(&cfg.disk);
+        let min_service = w
+            .catalog
+            .iter()
+            .map(|f| timer.service_time(f.size_bytes))
+            .fold(f64::INFINITY, f64::min);
+        let mut resp = report.responses.clone();
+        prop_assert!(resp.quantile(0.0) >= min_service - 1e-9,
+            "response below the smallest possible service time");
+    }
+
+    #[test]
+    fn energy_bounded_between_standby_and_max_power(
+        w in mini_workload(), th in threshold_strategy()
+    ) {
+        let cfg = SimConfig::paper_default().with_threshold(th);
+        let report = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        let t = report.energy.total_seconds();
+        let spec = DiskSpec::seagate_st3500630as();
+        prop_assert!(report.energy.total_joules() >= spec.standby_power_w * t - 1e-6);
+        prop_assert!(report.energy.total_joules() <= spec.spin_up_power_w * t + 1e-6);
+    }
+
+    #[test]
+    fn never_policy_never_sleeps(w in mini_workload()) {
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
+        let report = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        prop_assert_eq!(report.spin_downs, 0);
+        prop_assert_eq!(report.spin_ups, 0);
+        prop_assert_eq!(report.fleet_seconds_in(PowerState::Standby), 0.0);
+        prop_assert_eq!(report.fleet_seconds_in(PowerState::SpinningUp), 0.0);
+    }
+
+    #[test]
+    fn spin_bookkeeping_is_consistent(w in mini_workload(), fixed in 1.0f64..120.0) {
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(fixed));
+        let report = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        // A spin-up can only follow a spin-down.
+        prop_assert!(report.spin_ups <= report.spin_downs);
+        // Transitional residency equals count × fixed transition time.
+        let spec = &cfg.disk;
+        let down_s = report.fleet_seconds_in(PowerState::SpinningDown);
+        prop_assert!((down_s - report.spin_downs as f64 * spec.spin_down_time_s).abs() < 1e-6,
+            "spin-down residency {down_s} vs {} transitions", report.spin_downs);
+        let up_s = report.fleet_seconds_in(PowerState::SpinningUp);
+        prop_assert!((up_s - report.spin_ups as f64 * spec.spin_up_time_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sleepier_policies_never_serve_fewer_requests(w in mini_workload()) {
+        let sleepy = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(5.0));
+        let awake = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
+        let a = Simulator::run(&w.catalog, &w.trace, &w.assignment, &sleepy).unwrap();
+        let b = Simulator::run(&w.catalog, &w.trace, &w.assignment, &awake).unwrap();
+        prop_assert_eq!(a.responses.len(), b.responses.len());
+        // and the awake fleet is at least as fast on average
+        prop_assert!(b.responses.mean() <= a.responses.mean() + 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(w in mini_workload(), th in threshold_strategy()) {
+        let cfg = SimConfig::paper_default().with_threshold(th);
+        let a = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        let b = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        prop_assert_eq!(a.energy.total_joules(), b.energy.total_joules());
+        prop_assert_eq!(a.responses, b.responses);
+        prop_assert_eq!(a.spin_downs, b.spin_downs);
+    }
+
+    #[test]
+    fn fleet_extension_only_adds_idle_or_sleeping_disks(w in mini_workload()) {
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::BreakEven);
+        let base = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        let bigger = Simulator::run_with_fleet(
+            &w.catalog, &w.trace, &w.assignment, &cfg, w.assignment.disk_slots() + 3,
+        )
+        .unwrap();
+        // Responses are identical — extra disks never serve anything.
+        prop_assert_eq!(base.responses, bigger.responses);
+        // Energy strictly grows (idle/standby power of the extras).
+        prop_assert!(bigger.energy.total_joules() >= base.energy.total_joules());
+    }
+}

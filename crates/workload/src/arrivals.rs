@@ -1,0 +1,210 @@
+//! Arrival processes: Poisson (Table 1) and batched bursts (§3.2).
+//!
+//! The paper's synthetic experiments use Poisson arrivals with rate
+//! `R ∈ 1..12` per second. §3.2 additionally motivates `Pack_Disks_v` with a
+//! pattern seen in the real logs: "many users request a batch of files of
+//! similar sizes all at once" — modelled here as a compound-Poisson process
+//! whose bursts target runs of adjacent size-ranked files.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Sample an exponential inter-arrival time with the given `rate` (events
+/// per second) via inverse transform.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    // 1 − u ∈ (0, 1]: avoids ln(0).
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+/// A homogeneous Poisson process generating arrival instants.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate: f64,
+    clock: f64,
+    /// An arrival already drawn but beyond the last requested horizon; it is
+    /// replayed first so extending the horizon never drops arrivals.
+    pending: Option<f64>,
+    rng: SmallRng,
+}
+
+impl PoissonProcess {
+    /// New process with `rate` events/second starting at time 0.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        PoissonProcess {
+            rate,
+            clock: 0.0,
+            pending: None,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Next arrival instant (monotone increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        if let Some(t) = self.pending.take() {
+            return t;
+        }
+        self.clock += sample_exponential(&mut self.rng, self.rate);
+        self.clock
+    }
+
+    /// All arrivals strictly before `horizon`, from the current clock.
+    pub fn arrivals_until(&mut self, horizon: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival();
+            if t >= horizon {
+                // Buffer the overshooting arrival so it is not lost if the
+                // caller extends the horizon later.
+                self.pending = Some(t);
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Configuration of the batched ("bursty") arrival process of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Rate of bursts per second (each burst carries several requests).
+    pub burst_rate: f64,
+    /// Minimum requests per burst.
+    pub min_batch: usize,
+    /// Maximum requests per burst (inclusive).
+    pub max_batch: usize,
+    /// Requests within a burst are spaced this many seconds apart
+    /// (0 = truly simultaneous).
+    pub intra_batch_gap_s: f64,
+}
+
+impl BatchConfig {
+    /// Validate invariants.
+    pub fn validate(&self) {
+        assert!(self.burst_rate > 0.0 && self.burst_rate.is_finite());
+        assert!(self.min_batch >= 1);
+        assert!(self.max_batch >= self.min_batch);
+        assert!(self.intra_batch_gap_s >= 0.0);
+    }
+}
+
+/// One burst: a start time and the number of back-to-back requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Burst start time, seconds.
+    pub start: f64,
+    /// Number of requests in the burst.
+    pub count: usize,
+}
+
+/// Generate bursts before `horizon` under `cfg`.
+pub fn generate_bursts(cfg: &BatchConfig, horizon: f64, seed: u64) -> Vec<Burst> {
+    cfg.validate();
+    let mut process = PoissonProcess::new(cfg.burst_rate, seed);
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    process
+        .arrivals_until(horizon)
+        .into_iter()
+        .map(|start| Burst {
+            start,
+            count: rng.random_range(cfg.min_batch..=cfg.max_batch),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let rate = 4.0;
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, rate))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01,
+            "mean {mean} vs expected {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn poisson_count_matches_rate() {
+        let mut p = PoissonProcess::new(6.0, 3);
+        let arrivals = p.arrivals_until(4000.0);
+        let expected = 6.0 * 4000.0;
+        let got = arrivals.len() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "got {got} arrivals, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut p = PoissonProcess::new(100.0, 5);
+        let arrivals = p.arrivals_until(10.0);
+        for w in arrivals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn arrivals_respect_horizon() {
+        let mut p = PoissonProcess::new(2.0, 9);
+        for &t in &p.arrivals_until(100.0) {
+            assert!(t < 100.0);
+        }
+    }
+
+    #[test]
+    fn process_is_seed_deterministic() {
+        let a = PoissonProcess::new(3.0, 42).arrivals_until(50.0);
+        let b = PoissonProcess::new(3.0, 42).arrivals_until(50.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn horizon_extension_does_not_drop_arrivals() {
+        // Generating in two stages must equal generating in one.
+        let mut two_stage = PoissonProcess::new(5.0, 77);
+        let mut all = two_stage.arrivals_until(10.0);
+        all.extend(two_stage.arrivals_until(20.0));
+        let one_stage = PoissonProcess::new(5.0, 77).arrivals_until(20.0);
+        assert_eq!(all, one_stage);
+    }
+
+    #[test]
+    fn bursts_have_counts_in_range() {
+        let cfg = BatchConfig {
+            burst_rate: 0.5,
+            min_batch: 3,
+            max_batch: 8,
+            intra_batch_gap_s: 0.0,
+        };
+        let bursts = generate_bursts(&cfg, 1000.0, 21);
+        assert!(!bursts.is_empty());
+        for b in &bursts {
+            assert!((3..=8).contains(&b.count));
+            assert!(b.start < 1000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = PoissonProcess::new(0.0, 0);
+    }
+}

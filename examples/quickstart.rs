@@ -1,0 +1,64 @@
+//! Quickstart: plan a power-aware allocation for a Zipf catalog, simulate
+//! it against random placement, and print the trade-off.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spindown::core::{compare, Planner, PlannerConfig};
+use spindown::packing::Allocator;
+use spindown::workload::{FileCatalog, Trace};
+
+fn main() {
+    // 1. A file population: Table 1 of the paper — 40 000 files, Zipf
+    //    popularity, sizes 188 MB – 20 GB inversely related to popularity.
+    let catalog = FileCatalog::paper_table1(40_000, 0);
+    println!(
+        "catalog: {} files, {:.2} TB total",
+        catalog.len(),
+        catalog.total_bytes() as f64 / 1e12
+    );
+
+    // 2. Plan an allocation with Pack_Disks for 4 requests/second under a
+    //    70% load constraint.
+    let rate = 4.0;
+    let mut cfg = PlannerConfig::default();
+    cfg.load_constraint = 0.7;
+    let planner = Planner::new(cfg.clone());
+    let pack = planner.plan(&catalog, rate).expect("plan");
+    println!(
+        "Pack_Disks: {} disks loaded (lower bound ratio {:.3})",
+        pack.disks_used(),
+        pack.approximation_ratio().unwrap()
+    );
+
+    // 3. The baseline the paper compares against: random placement over the
+    //    whole 100-disk fleet.
+    let mut rnd_cfg = cfg;
+    rnd_cfg.allocator = Allocator::RandomFixed {
+        disks: 100,
+        seed: 7,
+    };
+    let random = Planner::new(rnd_cfg).plan(&catalog, rate).expect("random");
+
+    // 4. Simulate both on the same Poisson trace and fleet.
+    let trace = Trace::poisson(&catalog, rate, 4_000.0, 42);
+    let cmp = compare(&planner, &pack, &random, &catalog, &trace, Some(100)).expect("simulate");
+
+    println!(
+        "power:    Pack_Disks {:.0} W vs random {:.0} W  → saving {:.1}%",
+        cmp.candidate_power_w(),
+        cmp.reference_power_w(),
+        100.0 * cmp.power_saving()
+    );
+    println!(
+        "response: Pack_Disks {:.2} s vs random {:.2} s  → ratio {:.2}",
+        cmp.candidate.responses.mean(),
+        cmp.reference.responses.mean(),
+        cmp.response_ratio().unwrap_or(f64::NAN)
+    );
+    println!(
+        "spin cycles: Pack_Disks {} vs random {}",
+        cmp.candidate.spin_downs, cmp.reference.spin_downs
+    );
+}

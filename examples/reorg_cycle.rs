@@ -1,0 +1,85 @@
+//! Semi-dynamic operation (§1 and §6 of the paper): run the allocator
+//! periodically as the workload drifts, placing incoming writes
+//! energy-friendlily in between, and price the migrations.
+//!
+//! ```text
+//! cargo run --release --example reorg_cycle
+//! ```
+
+use spindown::core::reorg::plan_reorg;
+use spindown::core::writes::{WriteFit, WritePlacer};
+use spindown::core::{Planner, PlannerConfig};
+use spindown::workload::catalog::FileCatalog;
+use spindown::workload::zipf::ZipfDistribution;
+
+fn main() {
+    let n = 20_000;
+    let rate = 4.0;
+    let planner = Planner::new(PlannerConfig::default());
+
+    // Epoch 0: the initial catalog and allocation.
+    let catalog = FileCatalog::paper_table1(n, 0);
+    let plan0 = planner.plan(&catalog, rate).expect("initial plan");
+    println!(
+        "epoch 0: {} disks for {:.2} TB",
+        plan0.disks_used(),
+        catalog.total_bytes() as f64 / 1e12
+    );
+
+    // Between reorganizations: a stream of new files is written using the
+    // paper's policy — spinning disks first, best-fit fallback.
+    let cap = planner.config().disk.capacity_bytes;
+    let mut placer = WritePlacer::from_assignment(&plan0.assignment, cap, WriteFit::BestFit);
+    // Suppose the first half of the loaded disks are currently spinning.
+    let slots = placer.disks();
+    let spinning: Vec<bool> = (0..slots).map(|d| d < slots / 2).collect();
+    let mut on_spinning = 0usize;
+    let mut fallback = 0usize;
+    for i in 0..500 {
+        let size = 200_000_000 + (i % 7) * 50_000_000; // 200–500 MB writes
+        match placer.place(size as u64, &spinning) {
+            Some(w) if w.on_spinning_disk => on_spinning += 1,
+            Some(_) => fallback += 1,
+            None => break,
+        }
+    }
+    println!(
+        "writes: {on_spinning} placed on spinning disks, {fallback} fell back \
+         ({} disks flagged for reorganization)",
+        placer.pending_reorg().len()
+    );
+
+    // Epoch 1: popularity drifts — re-estimate loads with a *different*
+    // popularity ordering (a seeded shuffle), re-pack, and price the moves.
+    let drifted = {
+        let pop = ZipfDistribution::paper_popularity(n);
+        let mut probs = pop.probabilities().to_vec();
+        // rotate popularity ranks: yesterday's hot files cool down
+        probs.rotate_left(n / 3);
+        let sizes: Vec<u64> = catalog.iter().map(|f| f.size_bytes).collect();
+        FileCatalog::from_parts(sizes, probs)
+    };
+    let instance = planner.instance(&drifted, rate).expect("instance");
+    let sizes: Vec<u64> = drifted.iter().map(|f| f.size_bytes).collect();
+    let migration = plan_reorg(
+        &plan0.assignment,
+        &instance,
+        &sizes,
+        planner.config().disk.transfer_rate_bps,
+    );
+    println!(
+        "epoch 1 reorg: {} moves, {:.2} TB moved ({:.1}% of data), ≈ {:.1} h of transfer",
+        migration.moves.len(),
+        migration.bytes_moved as f64 / 1e12,
+        100.0 * migration.moved_fraction(drifted.total_bytes()),
+        migration.migration_seconds / 3600.0
+    );
+    migration
+        .new_assignment
+        .verify(&instance)
+        .expect("reorganized allocation feasible");
+    println!(
+        "epoch 1: {} disks after reorganization",
+        migration.new_assignment.disks_used()
+    );
+}

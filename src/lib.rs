@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # spindown
+//!
+//! Umbrella crate for the `spindown` workspace — a reproduction of
+//! Otoo, Rotem & Tsao, *Analysis of Trade-Off Between Power Saving and
+//! Response Time in Disk Storage Systems* (IPPS 2009).
+//!
+//! This crate re-exports the member crates under stable module names and is
+//! what the `examples/` and integration `tests/` build against:
+//!
+//! - [`disk`] — drive power/timing/reliability model (Table 2).
+//! - [`workload`] — Zipf/Poisson workload generation, traces, synthetic
+//!   NERSC trace (Table 1, §5.1).
+//! - [`packing`] — the `Pack_Disks` 2DVPP allocator, `Pack_Disks_v`, the CHP
+//!   baseline and naïve baselines (§3).
+//! - [`sim`] — discrete-event storage simulator with spin-down power
+//!   management (§4).
+//! - [`analysis`] — M/G/1 response model, DPM competitive analysis, Zipf
+//!   fitting, capacity planning.
+//! - [`core`] — the high-level planner/trade-off API.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spindown::core::{Planner, PlannerConfig};
+//! use spindown::workload::catalog::FileCatalog;
+//!
+//! // A small synthetic catalog: 500 files, Zipf popularity, inverse sizes.
+//! let catalog = FileCatalog::paper_table1(500, 42);
+//! let planner = Planner::new(PlannerConfig::default());
+//! let plan = planner.plan(&catalog, 2.0).expect("plan");
+//! assert!(plan.disks_used() >= 1);
+//! ```
+
+pub use spindown_analysis as analysis;
+pub use spindown_core as core;
+pub use spindown_disk as disk;
+pub use spindown_experiments as experiments;
+pub use spindown_packing as packing;
+pub use spindown_sim as sim;
+pub use spindown_workload as workload;
