@@ -102,10 +102,7 @@ mod tests {
         let tau = break_even_threshold(&s);
         for gap in [0.5, 10.0, 53.0, 54.0, 100.0, 1000.0, 100_000.0] {
             let ratio = online_gap_cost(&s, tau, gap) / offline_gap_cost(&s, gap).max(1e-9);
-            assert!(
-                ratio <= 2.0 + 1e-6,
-                "gap {gap}: per-gap ratio {ratio} > 2"
-            );
+            assert!(ratio <= 2.0 + 1e-6, "gap {gap}: per-gap ratio {ratio} > 2");
         }
     }
 
@@ -115,9 +112,7 @@ mod tests {
         let tau = break_even_threshold(&s);
         let mut rng = SmallRng::seed_from_u64(31);
         for _ in 0..20 {
-            let gaps: Vec<f64> = (0..200)
-                .map(|_| rng.random::<f64>() * 2000.0)
-                .collect();
+            let gaps: Vec<f64> = (0..200).map(|_| rng.random::<f64>() * 2000.0).collect();
             let r = competitive_ratio(&s, tau, &gaps).unwrap();
             assert!(r <= 2.0 + 1e-6, "ratio {r}");
             assert!(r >= 1.0 - 1e-9, "online can't beat offline: {r}");

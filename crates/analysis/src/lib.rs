@@ -14,6 +14,9 @@
 //! - [`ski_rental`] — exact ski-rental theory: the 2-competitive
 //!   deterministic and e/(e−1)-competitive randomised spin-down policies in
 //!   closed form.
+//! - [`online`] — the theory made executable: randomised ski-rental and
+//!   adaptive idle-prediction policies implementing the simulator's
+//!   `PowerPolicy` trait.
 //! - [`capacity`] — capacity planning: disks needed by storage/load and the
 //!   response-time-constrained utilisation cap (the paper's "percentage of
 //!   disks that must be maintained on-line … under budget constraints").
@@ -21,6 +24,7 @@
 pub mod capacity;
 pub mod dpm;
 pub mod mg1;
+pub mod online;
 pub mod regression;
 pub mod ski_rental;
 pub mod stats;
@@ -28,5 +32,6 @@ pub mod tradeoff;
 
 pub use dpm::{competitive_ratio, offline_gap_cost, online_gap_cost};
 pub use mg1::{mg1_mean_response, mg1_mean_wait, utilisation_for_response};
+pub use online::{AdaptivePolicy, SkiRentalPolicy};
 pub use stats::Welford;
 pub use tradeoff::{knee_index, pareto_front, TradeoffPoint};

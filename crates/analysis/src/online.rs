@@ -1,0 +1,262 @@
+//! Online power-policy adapters: the §2 dynamic-power-management theory of
+//! [`crate::ski_rental`] and [`crate::dpm`], packaged as live
+//! [`PowerPolicy`] implementations the simulator can run.
+//!
+//! Two policies are provided:
+//!
+//! - [`SkiRentalPolicy`] — the optimal *randomised* ski-rental policy:
+//!   every idle period draws a fresh spin-down threshold from the density
+//!   `f(t) = e^{t/β}/(β(e−1))` on `[0, β]`, which is
+//!   `e/(e−1) ≈ 1.582`-competitive in expectation (beating every
+//!   deterministic threshold's factor-2 bound). Deterministic per seed.
+//! - [`AdaptivePolicy`] — an exponential-average idle-period predictor
+//!   (Hwang & Wu style): it tracks per-disk idle-gap lengths
+//!   `Î_{n+1} = α·i_n + (1−α)·Î_n` and spins down *immediately* when the
+//!   predicted gap already exceeds the break-even time, falling back to the
+//!   classical 2-competitive break-even timeout when it does not.
+//!
+//! Both derive their cost scale β from the drive constants via
+//! [`dpm::classical_threshold`] (`β = E_over / P_idle`).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use spindown_disk::DiskSpec;
+use spindown_sim::policy::PowerPolicy;
+
+use crate::{dpm, ski_rental};
+
+/// The e/(e−1)-competitive randomised ski-rental spin-down policy.
+#[derive(Debug, Clone)]
+pub struct SkiRentalPolicy {
+    beta_s: f64,
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl SkiRentalPolicy {
+    /// Policy with an explicit buy cost `beta_s` (seconds of idle power
+    /// equivalent to one spin-down/up cycle) and RNG seed.
+    pub fn new(beta_s: f64, seed: u64) -> Self {
+        assert!(beta_s > 0.0 && beta_s.is_finite(), "bad beta {beta_s}");
+        SkiRentalPolicy {
+            beta_s,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Derive β from a drive's constants (`β = E_over / P_idle`).
+    pub fn for_drive(spec: &DiskSpec, seed: u64) -> Self {
+        Self::new(dpm::classical_threshold(spec), seed)
+    }
+
+    /// The configured buy cost, seconds.
+    pub fn beta_s(&self) -> f64 {
+        self.beta_s
+    }
+}
+
+impl PowerPolicy for SkiRentalPolicy {
+    fn name(&self) -> String {
+        format!("ski_rental(beta={:.1}s, seed={})", self.beta_s, self.seed)
+    }
+
+    fn idle_started(&mut self, _disk: usize, _t: f64) -> Option<f64> {
+        let u: f64 = self.rng.random();
+        Some(ski_rental::sample_threshold(self.beta_s, u))
+    }
+}
+
+/// Exponential-average idle-period predictor with a break-even watchdog.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    alpha: f64,
+    break_even_s: f64,
+    /// Per-disk predicted idle-gap length, seconds (0 until observed).
+    predicted: Vec<f64>,
+    /// Per-disk start of the current idle period, if one is open.
+    idle_since: Vec<Option<f64>>,
+}
+
+impl AdaptivePolicy {
+    /// Policy with smoothing factor `alpha ∈ (0, 1]` and an explicit
+    /// break-even time.
+    pub fn new(alpha: f64, break_even_s: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} outside (0, 1]");
+        assert!(
+            break_even_s > 0.0 && break_even_s.is_finite(),
+            "bad break-even {break_even_s}"
+        );
+        AdaptivePolicy {
+            alpha,
+            break_even_s,
+            predicted: Vec::new(),
+            idle_since: Vec::new(),
+        }
+    }
+
+    /// Derive the break-even watchdog from a drive's constants.
+    pub fn for_drive(spec: &DiskSpec, alpha: f64) -> Self {
+        Self::new(alpha, dpm::classical_threshold(spec))
+    }
+
+    fn ensure_disk(&mut self, disk: usize) {
+        if disk >= self.predicted.len() {
+            self.predicted.resize(disk + 1, 0.0);
+            self.idle_since.resize(disk + 1, None);
+        }
+    }
+
+    /// Current prediction for one disk (0 before any observation).
+    pub fn predicted_gap_s(&self, disk: usize) -> f64 {
+        self.predicted.get(disk).copied().unwrap_or(0.0)
+    }
+}
+
+impl PowerPolicy for AdaptivePolicy {
+    fn name(&self) -> String {
+        format!(
+            "adaptive(alpha={:.2}, be={:.1}s)",
+            self.alpha, self.break_even_s
+        )
+    }
+
+    fn idle_started(&mut self, disk: usize, t: f64) -> Option<f64> {
+        self.ensure_disk(disk);
+        self.idle_since[disk] = Some(t);
+        if self.predicted[disk] >= self.break_even_s {
+            // Predicted long gap: race to sleep.
+            Some(0.0)
+        } else {
+            // Predicted short gap: keep spinning, but retain the classical
+            // 2-competitive safety net in case the prediction is wrong.
+            Some(self.break_even_s)
+        }
+    }
+
+    fn request_arrived(&mut self, disk: usize, t: f64) {
+        self.ensure_disk(disk);
+        if let Some(start) = self.idle_since[disk].take() {
+            let gap = (t - start).max(0.0);
+            self.predicted[disk] = self.alpha * gap + (1.0 - self.alpha) * self.predicted[disk];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DiskSpec {
+        DiskSpec::seagate_st3500630as()
+    }
+
+    #[test]
+    fn ski_rental_draws_fresh_thresholds_within_beta() {
+        let mut p = SkiRentalPolicy::for_drive(&spec(), 42);
+        let beta = p.beta_s();
+        assert!((beta - 48.7).abs() < 0.1, "beta {beta}");
+        let draws: Vec<f64> = (0..50)
+            .map(|i| p.idle_started(0, i as f64).unwrap())
+            .collect();
+        for &d in &draws {
+            assert!((0.0..=beta).contains(&d), "draw {d}");
+        }
+        // Draws differ (randomised, not a fixed threshold).
+        assert!(draws.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn ski_rental_is_deterministic_per_seed() {
+        let mut a = SkiRentalPolicy::for_drive(&spec(), 7);
+        let mut b = SkiRentalPolicy::for_drive(&spec(), 7);
+        for i in 0..100 {
+            assert_eq!(a.idle_started(0, i as f64), b.idle_started(0, i as f64));
+        }
+        let mut c = SkiRentalPolicy::for_drive(&spec(), 8);
+        let different = (0..20).any(|i| a.idle_started(0, i as f64) != c.idle_started(0, i as f64));
+        assert!(different, "distinct seeds must give distinct streams");
+    }
+
+    #[test]
+    fn ski_rental_mean_draw_matches_theory() {
+        // E[τ] = β²/(β(e−1)) = β/(e−1).
+        let beta = 10.0;
+        let mut p = SkiRentalPolicy::new(beta, 3);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|i| p.idle_started(0, i as f64).unwrap())
+            .sum::<f64>()
+            / n as f64;
+        let expect = beta / (std::f64::consts::E - 1.0);
+        assert!(
+            (mean - expect).abs() < 0.1,
+            "mean draw {mean} vs theory {expect}"
+        );
+    }
+
+    #[test]
+    fn adaptive_starts_conservative_then_races_after_long_gaps() {
+        let spec = spec();
+        let be = dpm::classical_threshold(&spec);
+        let mut p = AdaptivePolicy::for_drive(&spec, 0.5);
+        // No history: break-even timeout, not an immediate spin-down.
+        assert_eq!(p.idle_started(0, 0.0), Some(be));
+        // A long observed gap (10× break-even) flips the prediction.
+        p.request_arrived(0, 10.0 * be);
+        assert!(p.predicted_gap_s(0) > be);
+        assert_eq!(p.idle_started(0, 10.0 * be + 1.0), Some(0.0));
+    }
+
+    #[test]
+    fn adaptive_learns_short_gaps_back_down() {
+        let mut p = AdaptivePolicy::new(0.5, 50.0);
+        // One huge gap, then a run of tiny ones: prediction must decay
+        // below break-even and the policy must stop racing to sleep.
+        p.idle_started(0, 0.0);
+        p.request_arrived(0, 1000.0);
+        assert_eq!(p.idle_started(0, 1000.0), Some(0.0));
+        let mut t = 1000.0;
+        for _ in 0..8 {
+            p.request_arrived(0, t + 1.0); // 1 s gaps
+            t += 1.0;
+            p.idle_started(0, t);
+        }
+        assert!(p.predicted_gap_s(0) < 50.0, "pred {}", p.predicted_gap_s(0));
+        assert_eq!(p.idle_started(0, t), Some(50.0));
+    }
+
+    #[test]
+    fn adaptive_tracks_disks_independently() {
+        let mut p = AdaptivePolicy::new(1.0, 50.0);
+        p.idle_started(0, 0.0);
+        p.idle_started(5, 0.0);
+        p.request_arrived(0, 500.0);
+        p.request_arrived(5, 2.0);
+        assert!(p.predicted_gap_s(0) > 50.0);
+        assert!(p.predicted_gap_s(5) < 50.0);
+        assert_eq!(p.idle_started(0, 500.0), Some(0.0));
+        assert_eq!(p.idle_started(5, 500.0), Some(50.0));
+    }
+
+    #[test]
+    fn adaptive_ignores_arrivals_while_busy() {
+        let mut p = AdaptivePolicy::new(1.0, 50.0);
+        p.idle_started(0, 0.0);
+        p.request_arrived(0, 10.0); // closes the gap: 10 s
+        p.request_arrived(0, 11.0); // busy-time arrival: no open gap
+        assert!((p.predicted_gap_s(0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn adaptive_rejects_bad_alpha() {
+        let _ = AdaptivePolicy::new(0.0, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad beta")]
+    fn ski_rental_rejects_bad_beta() {
+        let _ = SkiRentalPolicy::new(0.0, 1);
+    }
+}

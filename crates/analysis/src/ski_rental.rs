@@ -92,6 +92,17 @@ pub fn e_over_e_minus_1() -> f64 {
     e / (e - 1.0)
 }
 
+/// Inverse-CDF sampler for the optimal randomised threshold density
+/// `f(t) = e^{t/β}/(β(e−1))` on `[0, β]`: maps a uniform `u ∈ [0, 1)` to a
+/// threshold draw `τ = β·ln(1 + u(e−1))`. This is what the online
+/// [`crate::online::SkiRentalPolicy`] draws once per idle period.
+pub fn sample_threshold(beta: f64, u: f64) -> f64 {
+    assert!(beta > 0.0, "beta must be positive");
+    assert!((0.0..=1.0).contains(&u), "u must be a unit sample, got {u}");
+    let e = std::f64::consts::E;
+    beta * (1.0 + u * (e - 1.0)).ln()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,7 +154,10 @@ mod tests {
         let g = beta + 1e-6;
         let det = deterministic_cost(beta, beta, g) / offline_cost(beta, g);
         let rnd = randomized_expected_cost(beta, g) / offline_cost(beta, g);
-        assert!(rnd < det, "randomised {rnd} should beat deterministic {det}");
+        assert!(
+            rnd < det,
+            "randomised {rnd} should beat deterministic {det}"
+        );
     }
 
     #[test]
@@ -155,7 +169,35 @@ mod tests {
         assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
     }
 
+    #[test]
+    fn sample_threshold_spans_zero_to_beta() {
+        let beta = 6.0;
+        assert_eq!(sample_threshold(beta, 0.0), 0.0);
+        assert!((sample_threshold(beta, 1.0) - beta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_threshold_matches_cdf() {
+        // CDF F(t) = (e^{t/β} − 1)/(e − 1); the sampler must invert it:
+        // F(sample(u)) = u.
+        let beta = 3.0;
+        let e = std::f64::consts::E;
+        for u in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let t = sample_threshold(beta, u);
+            let cdf = ((t / beta).exp() - 1.0) / (e - 1.0);
+            assert!((cdf - u).abs() < 1e-12, "u {u} round-trips to {cdf}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn sampled_thresholds_stay_in_unit_beta_interval(
+            beta in 0.1f64..100.0, u in 0.0f64..1.0
+        ) {
+            let t = sample_threshold(beta, u);
+            prop_assert!((0.0..=beta).contains(&t), "draw {t} outside [0, {beta}]");
+        }
+
         #[test]
         fn randomized_cost_continuous_at_beta(beta in 0.1f64..50.0) {
             let below = randomized_expected_cost(beta, beta * (1.0 - 1e-9));

@@ -162,8 +162,9 @@ mod tests {
 
     #[test]
     fn straight_line_knee_is_weak_but_defined() {
-        let line: Vec<TradeoffPoint> =
-            (0..5).map(|i| p(i as f64, i as f64, 4.0 - i as f64)).collect();
+        let line: Vec<TradeoffPoint> = (0..5)
+            .map(|i| p(i as f64, i as f64, 4.0 - i as f64))
+            .collect();
         // all distances ~0; any index is acceptable, must not panic
         assert!(knee_index(&line).is_some());
     }

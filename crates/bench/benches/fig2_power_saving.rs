@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
     let trace = Trace::poisson(&catalog, rate, 400.0, 2);
     let planner = Planner::new(PlannerConfig::default());
     let mut rnd_cfg = PlannerConfig::default();
-    rnd_cfg.allocator = Allocator::RandomFixed { disks: 100, seed: 5 };
+    rnd_cfg.allocator = Allocator::RandomFixed {
+        disks: 100,
+        seed: 5,
+    };
     let rnd_planner = Planner::new(rnd_cfg);
 
     // Report the reproduced number once.
@@ -33,8 +36,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let pack = planner.plan(&catalog, rate).unwrap();
             let random = rnd_planner.plan(&catalog, rate).unwrap();
-            let cmp =
-                compare(&planner, &pack, &random, &catalog, &trace, Some(100)).unwrap();
+            let cmp = compare(&planner, &pack, &random, &catalog, &trace, Some(100)).unwrap();
             black_box(cmp.power_saving())
         })
     });

@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
     pack_cfg.load_constraint = 0.8;
     let planner = Planner::new(pack_cfg.clone());
     let mut rnd_cfg = pack_cfg;
-    rnd_cfg.allocator = Allocator::RandomFixed { disks: 100, seed: 6 };
+    rnd_cfg.allocator = Allocator::RandomFixed {
+        disks: 100,
+        seed: 6,
+    };
     let rnd_planner = Planner::new(rnd_cfg);
 
     let pack = planner.plan(&catalog, rate).unwrap();
@@ -31,8 +34,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("grid_point_r8_l80", |b| {
         b.iter(|| {
-            let cmp =
-                compare(&planner, &pack, &random, &catalog, &trace, Some(100)).unwrap();
+            let cmp = compare(&planner, &pack, &random, &catalog, &trace, Some(100)).unwrap();
             black_box(cmp.response_ratio())
         })
     });

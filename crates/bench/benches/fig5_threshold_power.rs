@@ -26,10 +26,11 @@ fn bench(c: &mut Criterion) {
     let sim = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(1_800.0));
     let never = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
     let saving = |assignment| {
-        let e = Simulator::run_with_fleet(&workload.catalog, &workload.trace, assignment, &sim, fleet)
-            .unwrap()
-            .energy
-            .total_joules();
+        let e =
+            Simulator::run_with_fleet(&workload.catalog, &workload.trace, assignment, &sim, fleet)
+                .unwrap()
+                .energy
+                .total_joules();
         let e0 = Simulator::run_with_fleet(
             &workload.catalog,
             &workload.trace,

@@ -18,8 +18,7 @@ fn bench(c: &mut Criterion) {
     let fleet = pack.disk_slots();
 
     for hours in [0.1, 2.0] {
-        let sim =
-            SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(hours * 3600.0));
+        let sim = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(hours * 3600.0));
         let report = Simulator::run_with_fleet(
             &workload.catalog,
             &workload.trace,
@@ -37,8 +36,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_threshold_response");
     group.sample_size(10);
     for hours in [0.1, 2.0] {
-        let sim =
-            SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(hours * 3600.0));
+        let sim = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(hours * 3600.0));
         group.bench_with_input(
             BenchmarkId::new("nersc_response_h", format!("{hours}")),
             &sim,

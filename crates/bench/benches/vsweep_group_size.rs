@@ -27,8 +27,8 @@ fn bench(c: &mut Criterion) {
         let planner = Planner::new(pcfg);
         let plan = planner.plan(&workload.catalog, rate).unwrap();
         let sim = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(1_800.0));
-        let report = Simulator::run(&workload.catalog, &workload.trace, &plan.assignment, &sim)
-            .unwrap();
+        let report =
+            Simulator::run(&workload.catalog, &workload.trace, &plan.assignment, &sim).unwrap();
         println!(
             "[vsweep] v={v}: {} disks, mean response {:.2} s",
             plan.disks_used(),

@@ -24,10 +24,12 @@
 
 pub mod comparison;
 pub mod planner;
+pub mod policy;
 pub mod reorg;
 pub mod writes;
 
 pub use comparison::{compare, Comparison};
 pub use planner::{Plan, PlanError, Planner, PlannerConfig, ServiceModel};
+pub use policy::PolicyChoice;
 pub use reorg::{plan_reorg, MigrationPlan};
 pub use writes::{WriteFit, WritePlacer};

@@ -7,7 +7,10 @@ use spindown_packing::{Allocator, Assignment, Instance, InstanceError};
 use spindown_sim::config::SimConfig;
 use spindown_sim::engine::{SimError, Simulator};
 use spindown_sim::metrics::SimReport;
+use spindown_sim::policy::PowerPolicy;
 use spindown_workload::{FileCatalog, Trace};
+
+use crate::policy::PolicyChoice;
 
 /// How file service time is modelled when computing loads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,6 +37,10 @@ pub struct PlannerConfig {
     pub allocator: Allocator,
     /// Simulation configuration used by [`Planner::evaluate`].
     pub sim: SimConfig,
+    /// Spin-down policy selection. `None` (the default) derives the policy
+    /// from `sim.threshold`, preserving the fixed-threshold behaviour;
+    /// `Some(choice)` overrides it, opening the full online-policy space.
+    pub policy: Option<PolicyChoice>,
 }
 
 impl Default for PlannerConfig {
@@ -44,6 +51,7 @@ impl Default for PlannerConfig {
             service_model: ServiceModel::TransferOnly,
             allocator: Allocator::PackDisks,
             sim: SimConfig::paper_default(),
+            policy: None,
         }
     }
 }
@@ -171,6 +179,19 @@ impl Planner {
         })
     }
 
+    /// The effective spin-down policy choice: the explicit `policy` field,
+    /// or the fixed-threshold family configured in `sim.threshold`.
+    pub fn policy_choice(&self) -> PolicyChoice {
+        self.cfg
+            .policy
+            .unwrap_or(PolicyChoice::Threshold(self.cfg.sim.threshold))
+    }
+
+    /// Build a fresh live policy instance for this planner's drive.
+    pub fn power_policy(&self) -> Box<dyn PowerPolicy> {
+        self.policy_choice().build(&self.cfg.sim.disk)
+    }
+
     /// Simulate a plan against a trace over exactly the plan's disks.
     pub fn evaluate(
         &self,
@@ -178,7 +199,7 @@ impl Planner {
         catalog: &FileCatalog,
         trace: &Trace,
     ) -> Result<SimReport, SimError> {
-        Simulator::run(catalog, trace, &plan.assignment, &self.cfg.sim)
+        self.evaluate_with_fleet(plan, catalog, trace, plan.disk_slots())
     }
 
     /// Simulate a plan over a fixed fleet (the paper keeps 100 disks).
@@ -189,7 +210,14 @@ impl Planner {
         trace: &Trace,
         fleet: usize,
     ) -> Result<SimReport, SimError> {
-        Simulator::run_with_fleet(catalog, trace, &plan.assignment, &self.cfg.sim, fleet)
+        Simulator::run_with_policy(
+            catalog,
+            trace,
+            &plan.assignment,
+            &self.cfg.sim,
+            fleet,
+            self.power_policy(),
+        )
     }
 }
 
@@ -254,6 +282,40 @@ mod tests {
         let with_pos = Planner::new(cfg).service_time(72_000_000);
         assert!((transfer - 1.0).abs() < 1e-12);
         assert!((with_pos - 1.0 - 0.0085 - 0.00416).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_override_changes_behaviour_and_stays_deterministic() {
+        let cat = catalog();
+        let trace = Trace::poisson(&cat, 0.2, 600.0, 3);
+        let mut cfg = PlannerConfig::default();
+        cfg.sim = cfg.sim.with_threshold(ThresholdPolicy::Never);
+        let never = Planner::new(cfg.clone());
+        let plan = never.plan(&cat, 0.2).unwrap();
+        let r_never = never.evaluate(&plan, &cat, &trace).unwrap();
+        assert_eq!(r_never.spin_downs, 0);
+
+        cfg.policy = Some(crate::policy::PolicyChoice::SkiRental { seed: 11 });
+        let ski = Planner::new(cfg);
+        let a = ski.evaluate(&plan, &cat, &trace).unwrap();
+        let b = ski.evaluate(&plan, &cat, &trace).unwrap();
+        // The override takes effect (the ski policy sleeps) and repeated
+        // runs replay the same seeded draws.
+        assert!(a.spin_downs > 0);
+        assert_eq!(a.energy.total_joules(), b.energy.total_joules());
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(ski.policy_choice().label(), "ski_rental");
+    }
+
+    #[test]
+    fn default_policy_choice_follows_sim_threshold() {
+        let mut cfg = PlannerConfig::default();
+        cfg.sim = cfg.sim.with_threshold(ThresholdPolicy::Fixed(12.0));
+        let planner = Planner::new(cfg);
+        assert_eq!(
+            planner.policy_choice(),
+            crate::policy::PolicyChoice::fixed(12.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Policy selection: a closed, serialisable description of *which* spin-down
+//! policy to run, and the factory that builds the live [`PowerPolicy`] for a
+//! drive.
+//!
+//! The simulator consumes policies as boxed trait objects, and randomised
+//! policies are deliberately single-use (each run re-seeds). A
+//! [`PolicyChoice`] is the value-semantics handle the planner and the
+//! experiment sweeps pass around instead: `Copy`, comparable, and buildable
+//! into a fresh policy instance any number of times.
+
+use serde::{Deserialize, Serialize};
+use spindown_analysis::online::{AdaptivePolicy, SkiRentalPolicy};
+use spindown_disk::DiskSpec;
+use spindown_sim::config::ThresholdPolicy;
+use spindown_sim::policy::{PowerPolicy, TimeoutPolicy};
+
+/// Which spin-down policy a simulation should run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyChoice {
+    /// The paper's fixed-threshold family (Fixed / BreakEven / Never).
+    Threshold(ThresholdPolicy),
+    /// The e/(e−1)-competitive randomised ski-rental policy; β derives from
+    /// the drive (`E_over / P_idle`).
+    SkiRental {
+        /// RNG seed — one seed, one reproducible run.
+        seed: u64,
+    },
+    /// The exponential-average adaptive idle predictor with break-even
+    /// watchdog; the break-even time derives from the drive.
+    Adaptive {
+        /// Smoothing factor in (0, 1].
+        alpha: f64,
+    },
+}
+
+impl PolicyChoice {
+    /// The paper's default: the drive's break-even threshold.
+    pub fn break_even() -> Self {
+        PolicyChoice::Threshold(ThresholdPolicy::BreakEven)
+    }
+
+    /// A fixed threshold in seconds.
+    pub fn fixed(threshold_s: f64) -> Self {
+        PolicyChoice::Threshold(ThresholdPolicy::Fixed(threshold_s))
+    }
+
+    /// Never spin down.
+    pub fn never() -> Self {
+        PolicyChoice::Threshold(ThresholdPolicy::Never)
+    }
+
+    /// Build a fresh policy instance for `spec`. Randomised policies come
+    /// back identically seeded every time, so repeated runs of the same
+    /// choice are reproducible.
+    pub fn build(&self, spec: &DiskSpec) -> Box<dyn PowerPolicy> {
+        match *self {
+            PolicyChoice::Threshold(t) => Box::new(TimeoutPolicy::from_config(t, spec)),
+            PolicyChoice::SkiRental { seed } => Box::new(SkiRentalPolicy::for_drive(spec, seed)),
+            PolicyChoice::Adaptive { alpha } => Box::new(AdaptivePolicy::for_drive(spec, alpha)),
+        }
+    }
+
+    /// Short stable label for figures and CSV notes.
+    pub fn label(&self) -> String {
+        match *self {
+            PolicyChoice::Threshold(ThresholdPolicy::Fixed(s)) => format!("fixed_{s:.0}s"),
+            PolicyChoice::Threshold(ThresholdPolicy::BreakEven) => "break_even".into(),
+            PolicyChoice::Threshold(ThresholdPolicy::Never) => "never".into(),
+            PolicyChoice::SkiRental { .. } => "ski_rental".into(),
+            PolicyChoice::Adaptive { alpha } => {
+                format!("adaptive_a{:02}", (alpha * 100.0).round() as u32)
+            }
+        }
+    }
+}
+
+impl Default for PolicyChoice {
+    fn default() -> Self {
+        Self::break_even()
+    }
+}
+
+impl From<ThresholdPolicy> for PolicyChoice {
+    fn from(t: ThresholdPolicy) -> Self {
+        PolicyChoice::Threshold(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_variant() {
+        let spec = DiskSpec::seagate_st3500630as();
+        let choices = [
+            PolicyChoice::fixed(30.0),
+            PolicyChoice::break_even(),
+            PolicyChoice::never(),
+            PolicyChoice::SkiRental { seed: 1 },
+            PolicyChoice::Adaptive { alpha: 0.5 },
+        ];
+        for c in choices {
+            let mut p = c.build(&spec);
+            // Every policy must answer an idle-start consultation.
+            let d = p.idle_started(0, 0.0);
+            match c {
+                PolicyChoice::Threshold(ThresholdPolicy::Never) => assert_eq!(d, None),
+                _ => assert!(d.is_some()),
+            }
+            assert!(!p.name().is_empty());
+            assert!(!c.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct_and_stable() {
+        assert_eq!(PolicyChoice::fixed(1800.0).label(), "fixed_1800s");
+        assert_eq!(PolicyChoice::break_even().label(), "break_even");
+        assert_eq!(PolicyChoice::never().label(), "never");
+        assert_eq!(PolicyChoice::SkiRental { seed: 9 }.label(), "ski_rental");
+        assert_eq!(
+            PolicyChoice::Adaptive { alpha: 0.25 }.label(),
+            "adaptive_a25"
+        );
+    }
+
+    #[test]
+    fn rebuilt_randomised_policies_replay_identically() {
+        let spec = DiskSpec::seagate_st3500630as();
+        let c = PolicyChoice::SkiRental { seed: 404 };
+        let mut a = c.build(&spec);
+        let mut b = c.build(&spec);
+        for i in 0..50 {
+            assert_eq!(a.idle_started(0, i as f64), b.idle_started(0, i as f64));
+        }
+    }
+
+    #[test]
+    fn threshold_conversion() {
+        let c: PolicyChoice = ThresholdPolicy::Fixed(5.0).into();
+        assert_eq!(c, PolicyChoice::fixed(5.0));
+        assert_eq!(PolicyChoice::default(), PolicyChoice::break_even());
+    }
+}

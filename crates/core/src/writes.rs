@@ -130,8 +130,7 @@ impl WritePlacer {
     }
 
     fn pick(&self, size_bytes: u64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
-        let fits =
-            |d: usize| eligible(d) && self.used_bytes[d] + size_bytes <= self.capacity_bytes;
+        let fits = |d: usize| eligible(d) && self.used_bytes[d] + size_bytes <= self.capacity_bytes;
         match self.fit {
             WriteFit::FirstFit => (0..self.used_bytes.len()).find(|&d| fits(d)),
             WriteFit::BestFit => (0..self.used_bytes.len())

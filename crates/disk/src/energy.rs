@@ -228,7 +228,10 @@ mod tests {
     fn double_finish_is_rejected() {
         let mut acc = EnergyAccountant::new(spec(), 0.0, PowerState::Idle);
         acc.finish(1.0).unwrap();
-        assert_eq!(acc.finish(2.0).unwrap_err(), AccountingError::AlreadyFinished);
+        assert_eq!(
+            acc.finish(2.0).unwrap_err(),
+            AccountingError::AlreadyFinished
+        );
     }
 
     #[test]

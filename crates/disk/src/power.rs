@@ -42,7 +42,10 @@ impl PowerState {
     /// Whether the platters are at full rotational speed in this state
     /// (i.e. the disk could begin servicing a request without spinning up).
     pub fn is_spun_up(self) -> bool {
-        matches!(self, PowerState::Active | PowerState::Seek | PowerState::Idle)
+        matches!(
+            self,
+            PowerState::Active | PowerState::Seek | PowerState::Idle
+        )
     }
 
     /// Whether this is one of the two transitional states.

@@ -89,7 +89,11 @@ impl DutyCycleCounter {
     /// Fraction of the rated cycle budget consumed so far.
     pub fn rated_life_consumed(&self, rated_cycles: u64) -> f64 {
         if rated_cycles == 0 {
-            return if self.full_cycles() > 0 { f64::INFINITY } else { 0.0 };
+            return if self.full_cycles() > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         self.full_cycles() as f64 / rated_cycles as f64
     }

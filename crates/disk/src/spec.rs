@@ -191,12 +191,10 @@ impl Default for DiskSpec {
 }
 
 /// Fluent builder over [`DiskSpec`] with validation at `build()` time.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DiskSpecBuilder {
     spec: DiskSpec,
 }
-
 
 macro_rules! builder_setter {
     ($(#[$doc:meta])* $name:ident: $ty:ty) => {
@@ -342,7 +340,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_zero_capacity() {
-        let err = DiskSpecBuilder::new().capacity_bytes(0).build().unwrap_err();
+        let err = DiskSpecBuilder::new()
+            .capacity_bytes(0)
+            .build()
+            .unwrap_err();
         assert_eq!(err, SpecError::NonPositive("capacity_bytes"));
     }
 

@@ -23,12 +23,12 @@ fn state_strategy() -> impl Strategy<Value = PowerState> {
 /// A spec with randomized but physically sensible parameters.
 fn spec_strategy() -> impl Strategy<Value = DiskSpec> {
     (
-        1.0f64..30.0,   // idle power
-        0.01f64..0.99,  // standby as fraction of idle
-        1.0f64..40.0,   // spin-up power
-        1.0f64..30.0,   // spin-down power
-        1.0f64..30.0,   // spin-up time
-        1.0f64..20.0,   // spin-down time
+        1.0f64..30.0,  // idle power
+        0.01f64..0.99, // standby as fraction of idle
+        1.0f64..40.0,  // spin-up power
+        1.0f64..30.0,  // spin-down power
+        1.0f64..30.0,  // spin-up time
+        1.0f64..20.0,  // spin-down time
     )
         .prop_map(|(idle, standby_frac, up_w, down_w, up_s, down_s)| {
             DiskSpecBuilder::new()

@@ -4,10 +4,10 @@
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use rayon::prelude::*;
 use spindown_packing::bounds::{fractional_lower_bound, theorem1_budget};
 use spindown_packing::{pack_disks, Instance, PackItem};
 
+use crate::sweep::parallel_map;
 use crate::{grid_seed, Figure, Scale};
 
 /// Generate a uniform instance with coordinates in `[0, rho_cap]`.
@@ -33,18 +33,15 @@ pub fn bounds(scale: Scale) -> Figure {
         .iter()
         .flat_map(|&n| rhos.iter().map(move |&r| (n, r)))
         .collect();
-    let rows: Vec<Vec<f64>> = grid
-        .par_iter()
-        .map(|&(n, rho)| {
-            let inst = uniform_instance(n, rho, grid_seed(10, n as u64, rho.to_bits()));
-            let a = pack_disks(&inst);
-            a.verify(&inst).expect("feasible");
-            let used = a.disks_used() as f64;
-            let lb = fractional_lower_bound(&inst);
-            let budget = theorem1_budget(&inst);
-            vec![n as f64, rho, lb, used, budget, used / lb.max(1.0)]
-        })
-        .collect();
+    let rows: Vec<Vec<f64>> = parallel_map(&grid, |_, &(n, rho)| {
+        let inst = uniform_instance(n, rho, grid_seed(10, n as u64, rho.to_bits()));
+        let a = pack_disks(&inst);
+        a.verify(&inst).expect("feasible");
+        let used = a.disks_used() as f64;
+        let lb = fractional_lower_bound(&inst);
+        let budget = theorem1_budget(&inst);
+        vec![n as f64, rho, lb, used, budget, used / lb.max(1.0)]
+    });
 
     let mut fig = Figure::new(
         "bounds",
@@ -58,8 +55,10 @@ pub fn bounds(scale: Scale) -> Figure {
             "ratio_vs_lb".into(),
         ],
     );
-    fig.notes
-        .push("Theorem 1: disks_used ≤ max(Σs,Σl)/(1−ρ) + 1; ratios near 1 mean near-optimal packing".into());
+    fig.notes.push(
+        "Theorem 1: disks_used ≤ max(Σs,Σl)/(1−ρ) + 1; ratios near 1 mean near-optimal packing"
+            .into(),
+    );
     for row in rows {
         fig.push_row(row);
     }
@@ -77,7 +76,12 @@ mod tests {
         let budget = fig.series("theorem1_budget").unwrap();
         let lb = fig.series("lower_bound").unwrap();
         for i in 0..used.len() {
-            assert!(used[i] <= budget[i] + 1e-9, "row {i}: {} > {}", used[i], budget[i]);
+            assert!(
+                used[i] <= budget[i] + 1e-9,
+                "row {i}: {} > {}",
+                used[i],
+                budget[i]
+            );
             assert!(used[i] + 1e-9 >= lb[i].floor(), "row {i} below LB");
         }
     }

@@ -6,11 +6,11 @@
 //! over the same fleet is the reference. Figure 2 plots the power saving
 //! `1 − E_pack/E_random`, Figure 3 the mean-response-time ratio.
 
-use rayon::prelude::*;
 use spindown_core::{compare, Planner, PlannerConfig};
 use spindown_packing::Allocator;
 use spindown_workload::{FileCatalog, Trace};
 
+use crate::sweep::parallel_map;
 use crate::{grid_seed, Figure, Scale};
 
 /// One grid point's results.
@@ -42,9 +42,9 @@ pub fn sweep(scale: Scale) -> Vec<SweepPoint> {
         .iter()
         .flat_map(|&r| loads.iter().map(move |&l| (r, l)))
         .collect();
-    grid.par_iter()
-        .map(|&(rate, load)| run_point(&catalog, fleet, scale.sim_time(), rate, load))
-        .collect()
+    parallel_map(&grid, |_, &(rate, load)| {
+        run_point(&catalog, fleet, scale.sim_time(), rate, load)
+    })
 }
 
 fn run_point(

@@ -7,11 +7,11 @@
 //! response time (right axis, seconds), plus the M/G/1 response prediction
 //! as an analytic cross-check.
 
-use rayon::prelude::*;
 use spindown_analysis::mg1::{mg1_mean_response, mixture_moments};
 use spindown_core::{Planner, PlannerConfig};
 use spindown_workload::{FileCatalog, Trace};
 
+use crate::sweep::parallel_map;
 use crate::{grid_seed, Figure, Scale};
 
 /// The fixed arrival rate of Figure 4.
@@ -25,30 +25,27 @@ pub fn fig4(scale: Scale) -> Figure {
     let trace = Trace::poisson(&catalog, FIG4_RATE, scale.sim_time(), seed);
 
     let loads = scale.fig4_loads();
-    let rows: Vec<Vec<f64>> = loads
-        .par_iter()
-        .map(|&load| {
-            let mut cfg = PlannerConfig::default();
-            cfg.load_constraint = load;
-            let planner = Planner::new(cfg);
-            let plan = planner
-                .plan(&catalog, FIG4_RATE)
-                .expect("Table 1 instance feasible");
-            let report = planner
-                .evaluate_with_fleet(&plan, &catalog, &trace, fleet)
-                .expect("simulation succeeds");
-            let mut responses = report.responses.clone();
-            let p95 = responses.quantile(0.95);
-            vec![
-                load,
-                report.mean_power_w(),
-                report.responses.mean(),
-                p95,
-                plan.disks_used() as f64,
-                analytic_response(&planner, &catalog, plan.disks_used(), load),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<f64>> = parallel_map(&loads, |_, &load| {
+        let mut cfg = PlannerConfig::default();
+        cfg.load_constraint = load;
+        let planner = Planner::new(cfg);
+        let plan = planner
+            .plan(&catalog, FIG4_RATE)
+            .expect("Table 1 instance feasible");
+        let report = planner
+            .evaluate_with_fleet(&plan, &catalog, &trace, fleet)
+            .expect("simulation succeeds");
+        let mut responses = report.responses.clone();
+        let p95 = responses.quantile(0.95);
+        vec![
+            load,
+            report.mean_power_w(),
+            report.responses.mean(),
+            p95,
+            plan.disks_used() as f64,
+            analytic_response(&planner, &catalog, plan.disks_used(), load),
+        ]
+    });
 
     let mut fig = Figure::new(
         "fig4",

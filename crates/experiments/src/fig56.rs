@@ -9,17 +9,22 @@
 //! is normalised against the same fleet spinning with no power-saving
 //! mechanism (threshold = Never).
 
-use rayon::prelude::*;
-use spindown_core::{Planner, PlannerConfig};
+use spindown_core::{Planner, PlannerConfig, PolicyChoice};
 use spindown_packing::Allocator;
-use spindown_sim::config::{CacheConfig, SimConfig, ThresholdPolicy};
-use spindown_sim::engine::Simulator;
+use spindown_sim::config::CacheConfig;
 use spindown_workload::nersc::{self, NerscConfig};
 
+use crate::sweep::{policy_cache_grid, run_sweep};
 use crate::{grid_seed, Figure, Scale};
 
 /// The five paper series.
-pub const SERIES: [&str; 5] = ["RND", "Pack_Disk", "Pack_Disk4", "RND+LRU", "Pack_Disk4+LRU"];
+pub const SERIES: [&str; 5] = [
+    "RND",
+    "Pack_Disk",
+    "Pack_Disk4",
+    "RND+LRU",
+    "Pack_Disk4+LRU",
+];
 
 struct SeriesSpec {
     name: &'static str,
@@ -126,8 +131,17 @@ pub fn study(scale: Scale) -> NerscStudy {
 
     let thresholds = scale.threshold_hours();
     let specs = series_specs();
+    // Each series is one (policy × cache) sweep: the threshold grid as
+    // fixed-threshold policies plus the never-spin-down normaliser, all
+    // fanned across threads by the generic sweep driver.
+    let disk = spindown_sim::config::SimConfig::paper_default().disk;
+    let policies: Vec<PolicyChoice> = thresholds
+        .iter()
+        .map(|&hours| PolicyChoice::fixed(hours * 3600.0))
+        .chain([PolicyChoice::never()])
+        .collect();
     let points: Vec<Vec<NerscPoint>> = specs
-        .par_iter()
+        .iter()
         .map(|spec| {
             let assignment = match spec.allocator_kind {
                 AllocKind::Random => &random.assignment,
@@ -135,39 +149,27 @@ pub fn study(scale: Scale) -> NerscStudy {
                 AllocKind::Pack4 => &pack4.assignment,
             };
             let cache = spec.cached.then(CacheConfig::paper_16gb);
-            // Normaliser: same assignment/cache, never spin down.
-            let mut never = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
-            never.cache = cache;
-            let e_never = Simulator::run_with_fleet(
+            let grid = policy_cache_grid(&policies, &[cache]);
+            let reports = run_sweep(
                 &workload.catalog,
                 &workload.trace,
                 assignment,
-                &never,
+                &disk,
                 fleet,
-            )
-            .expect("baseline run succeeds")
-            .energy
-            .total_joules();
-
-            thresholds
-                .par_iter()
-                .map(|&hours| {
-                    let mut sim = SimConfig::paper_default()
-                        .with_threshold(ThresholdPolicy::Fixed(hours * 3600.0));
-                    sim.cache = cache;
-                    let report = Simulator::run_with_fleet(
-                        &workload.catalog,
-                        &workload.trace,
-                        assignment,
-                        &sim,
-                        fleet,
-                    )
-                    .expect("threshold run succeeds");
-                    NerscPoint {
-                        power_saving: report.saving_vs(e_never),
-                        mean_response_s: report.responses.mean(),
-                        cache_hit_ratio: report.cache.map_or(0.0, |c| c.hit_ratio()),
-                    }
+                &grid,
+            );
+            // Normaliser: the trailing never-spin-down run.
+            let e_never = reports
+                .last()
+                .expect("grid is non-empty")
+                .energy
+                .total_joules();
+            reports[..thresholds.len()]
+                .iter()
+                .map(|report| NerscPoint {
+                    power_saving: report.saving_vs(e_never),
+                    mean_response_s: report.responses.mean(),
+                    cache_hit_ratio: report.cache.as_ref().map_or(0.0, |c| c.hit_ratio()),
                 })
                 .collect()
         })

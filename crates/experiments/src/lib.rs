@@ -4,9 +4,10 @@
 //! Regenerates every table and figure of Otoo, Rotem & Tsao (IPPS 2009).
 //! Each experiment is a pure function from a [`Scale`] to a [`Figure`]
 //! (column-oriented numeric data), which the `experiments` binary prints as
-//! an aligned table and writes as CSV. Sweeps run in parallel with rayon;
-//! every simulation is seeded deterministically from its grid point, so
-//! results do not depend on thread scheduling.
+//! an aligned table and writes as CSV. Sweeps fan across OS threads through
+//! the [`sweep`] driver (scoped threads, no external runtime); every
+//! simulation is seeded deterministically from its grid point, so results
+//! do not depend on thread scheduling.
 //!
 //! | Experiment | Paper artefact | Module |
 //! |------------|----------------|--------|
@@ -29,6 +30,7 @@ pub mod fig56;
 pub mod output;
 pub mod sensitivity;
 pub mod shootout;
+pub mod sweep;
 pub mod tables;
 pub mod vsweep;
 

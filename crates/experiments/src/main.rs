@@ -49,8 +49,17 @@ fn main() -> ExitCode {
     }
     if cmds.iter().any(|c| c == "all") {
         cmds = [
-            "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "vsweep", "bounds",
-            "sensitivity", "shootout",
+            "table1",
+            "table2",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "vsweep",
+            "bounds",
+            "sensitivity",
+            "shootout",
         ]
         .iter()
         .map(|s| s.to_string())

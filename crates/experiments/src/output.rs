@@ -31,7 +31,13 @@ pub fn render_table(fig: &Figure) -> String {
         .collect();
     out.push_str(&header.join("  "));
     out.push('\n');
-    out.push_str(&header.iter().map(|h| "-".repeat(h.len())).collect::<Vec<_>>().join("  "));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| "-".repeat(h.len()))
+            .collect::<Vec<_>>()
+            .join("  "),
+    );
     out.push('\n');
     for row in &cells {
         let line: Vec<String> = row
@@ -83,11 +89,7 @@ mod tests {
     use super::*;
 
     fn fig() -> Figure {
-        let mut f = Figure::new(
-            "demo",
-            "A demo",
-            vec!["x".into(), "power_w".into()],
-        );
+        let mut f = Figure::new("demo", "A demo", vec!["x".into(), "power_w".into()]);
         f.notes.push("note line".into());
         f.push_row(vec![1.0, 930.5]);
         f.push_row(vec![2.0, 12.25]);

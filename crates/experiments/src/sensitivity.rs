@@ -4,13 +4,13 @@
 //! the power/response trade-off shifts with the hardware's break-even
 //! characteristics.
 
-use rayon::prelude::*;
 use spindown_core::{compare, Planner, PlannerConfig};
 use spindown_disk::{break_even_threshold, DiskSpec};
 use spindown_packing::Allocator;
 use spindown_sim::config::SimConfig;
 use spindown_workload::{FileCatalog, Trace};
 
+use crate::sweep::parallel_map;
 use crate::{grid_seed, Figure, Scale};
 
 /// The drive presets studied, with stable indices used in the figure.
@@ -29,36 +29,33 @@ pub fn sensitivity(scale: Scale) -> Figure {
     let fleet = scale.fleet();
     let trace = Trace::poisson(&catalog, rate, scale.sim_time(), grid_seed(77, 0, 0));
 
-    let rows: Vec<Vec<f64>> = presets()
-        .par_iter()
-        .enumerate()
-        .map(|(idx, (_, spec))| {
-            let mut cfg = PlannerConfig::default();
-            cfg.disk = spec.clone();
-            cfg.sim = SimConfig {
-                disk: spec.clone(),
-                ..SimConfig::paper_default()
-            };
-            let planner = Planner::new(cfg.clone());
-            let pack = planner.plan(&catalog, rate).expect("feasible");
-            let mut rnd_cfg = cfg;
-            rnd_cfg.allocator = Allocator::RandomFixed {
-                disks: fleet as u32,
-                seed: grid_seed(77, idx as u64, 1),
-            };
-            let random = Planner::new(rnd_cfg).plan(&catalog, rate).expect("fits");
-            let cmp = compare(&planner, &pack, &random, &catalog, &trace, Some(fleet))
-                .expect("simulates");
-            vec![
-                idx as f64,
-                break_even_threshold(spec),
-                cmp.power_saving(),
-                cmp.candidate.responses.mean(),
-                cmp.response_ratio().unwrap_or(f64::NAN),
-                pack.disks_used() as f64,
-            ]
-        })
-        .collect();
+    let presets = presets();
+    let rows: Vec<Vec<f64>> = parallel_map(&presets, |idx, (_, spec)| {
+        let mut cfg = PlannerConfig::default();
+        cfg.disk = spec.clone();
+        cfg.sim = SimConfig {
+            disk: spec.clone(),
+            ..SimConfig::paper_default()
+        };
+        let planner = Planner::new(cfg.clone());
+        let pack = planner.plan(&catalog, rate).expect("feasible");
+        let mut rnd_cfg = cfg;
+        rnd_cfg.allocator = Allocator::RandomFixed {
+            disks: fleet as u32,
+            seed: grid_seed(77, idx as u64, 1),
+        };
+        let random = Planner::new(rnd_cfg).plan(&catalog, rate).expect("fits");
+        let cmp =
+            compare(&planner, &pack, &random, &catalog, &trace, Some(fleet)).expect("simulates");
+        vec![
+            idx as f64,
+            break_even_threshold(spec),
+            cmp.power_saving(),
+            cmp.candidate.responses.mean(),
+            cmp.response_ratio().unwrap_or(f64::NAN),
+            pack.disks_used() as f64,
+        ]
+    });
 
     let mut fig = Figure::new(
         "sensitivity",
@@ -72,7 +69,7 @@ pub fn sensitivity(scale: Scale) -> Figure {
             "disks_used".into(),
         ],
     );
-    for (idx, (name, _)) in presets().iter().enumerate() {
+    for (idx, (name, _)) in presets.iter().enumerate() {
         fig.notes.push(format!("preset {idx} = {name}"));
     }
     for row in rows {

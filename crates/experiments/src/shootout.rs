@@ -1,25 +1,25 @@
-//! Allocator shootout (extension): every allocation policy in the
-//! workspace head-to-head on the Table 1 workload — the packing quality
-//! (disks used), the energy relative to random placement, and the response
-//! times. This generalises the paper's two-way Pack_Disks-vs-random
-//! comparison into the design-space study its §6 hints at.
+//! Allocator *and* policy shootout (extension): every allocation policy in
+//! the workspace head-to-head on the Table 1 workload — packing quality
+//! (disks used), energy relative to random placement, response times —
+//! followed by every spin-down policy head-to-head on the Pack_Disks
+//! allocation: the paper's fixed-threshold curves against the online
+//! policies (randomised ski-rental, adaptive idle prediction) that the
+//! `PowerPolicy` trait opens up. This generalises the paper's two-way
+//! Pack_Disks-vs-random comparison into the design-space study its §6
+//! hints at.
 
-use rayon::prelude::*;
-use spindown_core::{Planner, PlannerConfig};
+use spindown_core::{Plan, Planner, PlannerConfig, PolicyChoice};
 use spindown_packing::Allocator;
-use spindown_sim::engine::Simulator;
 use spindown_workload::{FileCatalog, Trace};
 
+use crate::sweep::{parallel_map, policy_cache_grid, run_sweep};
 use crate::{grid_seed, Figure, Scale};
 
-/// The competitors, with stable row indices. CHP (identical output to
-/// Pack_Disks, O(n²)) joins only at paper scale — at 40 000 items it
-/// dominates the debug-build test time without adding information.
+/// The allocator competitors, with stable row indices. CHP (identical
+/// output to Pack_Disks, O(n²)) joins only at paper scale — at 40 000 items
+/// it dominates the debug-build test time without adding information.
 pub fn competitors(scale: Scale, fleet: usize) -> Vec<Allocator> {
-    let mut v = vec![
-        Allocator::PackDisks,
-        Allocator::PackDisksV(4),
-    ];
+    let mut v = vec![Allocator::PackDisks, Allocator::PackDisksV(4)];
     if scale == Scale::Paper {
         v.push(Allocator::Chp);
     }
@@ -36,6 +36,18 @@ pub fn competitors(scale: Scale, fleet: usize) -> Vec<Allocator> {
     v
 }
 
+/// The spin-down policy competitors for the second half of the shootout:
+/// the paper's fixed-threshold family plus the online policies.
+pub fn policy_competitors() -> Vec<PolicyChoice> {
+    vec![
+        PolicyChoice::break_even(),
+        PolicyChoice::fixed(1800.0),
+        PolicyChoice::SkiRental { seed: 0x5EED },
+        PolicyChoice::Adaptive { alpha: 0.5 },
+        PolicyChoice::never(),
+    ]
+}
+
 /// Run the shootout at R = 4, L = 0.7.
 pub fn shootout(scale: Scale) -> Figure {
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
@@ -43,38 +55,40 @@ pub fn shootout(scale: Scale) -> Figure {
     let fleet = scale.fleet();
     let trace = Trace::poisson(&catalog, rate, scale.sim_time(), grid_seed(90, 0, 0));
 
+    // Part 1: allocators under the default (break-even) policy.
     let allocators = competitors(scale, fleet);
-    let reports: Vec<(usize, f64, f64, f64)> = allocators
-        .par_iter()
-        .map(|alloc| {
-            let mut cfg = PlannerConfig::default();
-            cfg.allocator = *alloc;
-            let planner = Planner::new(cfg);
-            let plan = planner.plan(&catalog, rate).expect("plan feasible");
-            let report = Simulator::run_with_fleet(
-                &catalog,
-                &trace,
-                &plan.assignment,
-                &planner.config().sim,
-                fleet,
-            )
+    let alloc_results: Vec<(usize, f64, f64, f64, Plan)> = parallel_map(&allocators, |_, alloc| {
+        let mut cfg = PlannerConfig::default();
+        cfg.allocator = *alloc;
+        let planner = Planner::new(cfg);
+        let plan = planner.plan(&catalog, rate).expect("plan feasible");
+        let report = planner
+            .evaluate_with_fleet(&plan, &catalog, &trace, fleet)
             .expect("simulates");
-            let mut resp = report.responses.clone();
-            (
-                plan.disks_used(),
-                report.energy.total_joules(),
-                report.responses.mean(),
-                resp.quantile(0.95),
-            )
-        })
-        .collect();
-    let random_energy = reports.last().expect("random is last").1;
+        let mut resp = report.responses.clone();
+        (
+            plan.disks_used(),
+            report.energy.total_joules(),
+            report.responses.mean(),
+            resp.quantile(0.95),
+            plan,
+        )
+    });
+    let random_energy = alloc_results.last().expect("random is last").1;
+
+    // Part 2: spin-down policies on the Pack_Disks allocation (row 0),
+    // fanned as one (policy × cache) sweep grid.
+    let pack_plan = &alloc_results[0].4;
+    let policies = policy_competitors();
+    let grid = policy_cache_grid(&policies, &[None]);
+    let disk = PlannerConfig::default().disk;
+    let policy_reports = run_sweep(&catalog, &trace, &pack_plan.assignment, &disk, fleet, &grid);
 
     let mut fig = Figure::new(
         "shootout",
-        "Allocator shootout at R = 4, L = 0.7 (saving is vs random placement)",
+        "Allocator and policy shootout at R = 4, L = 0.7 (saving is vs random placement)",
         vec![
-            "alloc".into(),
+            "row".into(),
             "disks_used".into(),
             "saving_vs_rnd".into(),
             "resp_s".into(),
@@ -82,15 +96,36 @@ pub fn shootout(scale: Scale) -> Figure {
         ],
     );
     for (idx, alloc) in allocators.iter().enumerate() {
-        fig.notes.push(format!("alloc {idx} = {}", alloc.label()));
+        fig.notes.push(format!(
+            "row {idx} = alloc {} (break_even policy)",
+            alloc.label()
+        ));
     }
-    for (idx, (disks, energy, resp, p95)) in reports.iter().enumerate() {
+    for (j, spec) in grid.iter().enumerate() {
+        fig.notes.push(format!(
+            "row {} = policy {} (Pack_Disks allocation)",
+            allocators.len() + j,
+            spec.label()
+        ));
+    }
+    for (idx, (disks, energy, resp, p95, _)) in alloc_results.iter().enumerate() {
         fig.push_row(vec![
             idx as f64,
             *disks as f64,
             1.0 - energy / random_energy,
             *resp,
             *p95,
+        ]);
+    }
+    let pack_disks_used = alloc_results[0].0;
+    for (j, report) in policy_reports.iter().enumerate() {
+        let mut resp = report.responses.clone();
+        fig.push_row(vec![
+            (allocators.len() + j) as f64,
+            pack_disks_used as f64,
+            1.0 - report.energy.total_joules() / random_energy,
+            report.responses.mean(),
+            resp.quantile(0.95),
         ]);
     }
     fig
@@ -103,20 +138,56 @@ mod tests {
     #[test]
     fn shootout_covers_all_allocators_and_pack_wins_energy() {
         let fig = shootout(Scale::Quick);
-        assert_eq!(fig.rows.len(), competitors(Scale::Quick, 100).len());
+        let n_alloc = competitors(Scale::Quick, 100).len();
+        let n_policy = policy_competitors().len();
+        assert_eq!(fig.rows.len(), n_alloc + n_policy);
         let savings = fig.series("saving_vs_rnd").unwrap();
         let disks = fig.series("disks_used").unwrap();
-        // Pack_Disks (row 0) saves clearly against random (last row, 0).
+        // Pack_Disks (row 0) saves clearly against random (last alloc row).
         assert!(savings[0] > 0.25, "pack saving {}", savings[0]);
-        assert!(savings.last().unwrap().abs() < 1e-9);
+        assert!(savings[n_alloc - 1].abs() < 1e-9);
         // Every deterministic packer beats random's disk count.
-        for (i, &d) in disks.iter().enumerate().take(disks.len() - 1) {
+        for (i, &d) in disks.iter().enumerate().take(n_alloc - 1) {
             assert!(
-                d <= disks[disks.len() - 1],
+                d <= disks[n_alloc - 1],
                 "alloc {i} used {d} disks, random used {}",
-                disks[disks.len() - 1]
+                disks[n_alloc - 1]
             );
         }
+    }
+
+    #[test]
+    fn shootout_emits_rows_for_the_online_policies() {
+        let fig = shootout(Scale::Quick);
+        let n_alloc = competitors(Scale::Quick, 100).len();
+        let labels: Vec<String> = policy_competitors().iter().map(|p| p.label()).collect();
+        assert!(labels.contains(&"ski_rental".to_owned()));
+        assert!(labels.contains(&"adaptive_a50".to_owned()));
+        for l in &labels {
+            assert!(
+                fig.notes.iter().any(|n| n.contains(l.as_str())),
+                "missing policy note for {l}"
+            );
+        }
+        let savings = fig.series("saving_vs_rnd").unwrap();
+        let never_row = n_alloc + labels.len() - 1; // never() is last
+        for (j, l) in labels.iter().enumerate() {
+            let s = savings[n_alloc + j];
+            assert!(s.is_finite(), "policy {l} saving {s}");
+            // Every sleeping policy must beat the never-spin-down floor.
+            if l != "never" {
+                assert!(
+                    s >= savings[never_row] - 1e-9,
+                    "policy {l} saving {s} below never {}",
+                    savings[never_row]
+                );
+            }
+        }
+        // The online policies save meaningful energy vs random placement.
+        let ski = savings[n_alloc + 2];
+        let adaptive = savings[n_alloc + 3];
+        assert!(ski > 0.1, "ski_rental saving {ski}");
+        assert!(adaptive > 0.1, "adaptive saving {adaptive}");
     }
 
     #[test]

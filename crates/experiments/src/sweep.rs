@@ -1,0 +1,212 @@
+//! The parallel sweep driver: fan a grid of simulation configurations
+//! across OS threads with `std::thread::scope` (no external thread-pool
+//! dependency), preserving input order and determinism.
+//!
+//! Two layers:
+//!
+//! - [`parallel_map`] — the generic primitive every experiment uses: an
+//!   order-preserving parallel map over a slice, work-stealing via an
+//!   atomic cursor.
+//! - [`SweepSpec`]/[`run_sweep`]/[`policy_cache_grid`] — the
+//!   (policy × threshold × cache) grid runner: each grid point names a
+//!   [`PolicyChoice`] (fixed thresholds are policies too) and an optional
+//!   cache, and is simulated against a shared workload/assignment on its
+//!   own thread. Determinism holds because every simulation is seeded by
+//!   its grid point, never by thread scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use spindown_core::PolicyChoice;
+use spindown_disk::DiskSpec;
+use spindown_packing::Assignment;
+use spindown_sim::config::{CacheConfig, SimConfig};
+use spindown_sim::engine::Simulator;
+use spindown_sim::metrics::SimReport;
+use spindown_workload::{FileCatalog, Trace};
+
+/// Order-preserving parallel map over `items`, using up to
+/// `available_parallelism` scoped threads. Results arrive in input order
+/// regardless of which thread computed them.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                let mut slots = results.lock().expect("no poisoned worker");
+                for (i, r) in local {
+                    slots[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every index computed"))
+        .collect()
+}
+
+/// One point of a (policy × cache) sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSpec {
+    /// The spin-down policy to run (fixed thresholds included).
+    pub policy: PolicyChoice,
+    /// Optional LRU cache in front of the dispatcher.
+    pub cache: Option<CacheConfig>,
+}
+
+impl SweepSpec {
+    /// Label like `break_even` or `fixed_1800s+lru`.
+    pub fn label(&self) -> String {
+        match self.cache {
+            Some(_) => format!("{}+lru", self.policy.label()),
+            None => self.policy.label(),
+        }
+    }
+}
+
+/// The full cross product of policies and cache options, in row-major
+/// (policy-outer) order.
+pub fn policy_cache_grid(
+    policies: &[PolicyChoice],
+    caches: &[Option<CacheConfig>],
+) -> Vec<SweepSpec> {
+    policies
+        .iter()
+        .flat_map(|&policy| caches.iter().map(move |&cache| SweepSpec { policy, cache }))
+        .collect()
+}
+
+/// Simulate every grid point against one workload/assignment, in parallel.
+/// `fleet` disks spin regardless of how many the assignment loads.
+pub fn run_sweep(
+    catalog: &FileCatalog,
+    trace: &Trace,
+    assignment: &Assignment,
+    disk: &DiskSpec,
+    fleet: usize,
+    specs: &[SweepSpec],
+) -> Vec<SimReport> {
+    parallel_map(specs, |_, spec| {
+        let mut cfg = SimConfig {
+            disk: disk.clone(),
+            ..SimConfig::paper_default()
+        };
+        cfg.cache = spec.cache;
+        Simulator::run_with_policy(
+            catalog,
+            trace,
+            assignment,
+            &cfg,
+            fleet,
+            spec.policy.build(disk),
+        )
+        .expect("sweep point simulates")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindown_packing::DiskBin;
+    use spindown_sim::config::ThresholdPolicy;
+    use spindown_workload::MB;
+
+    #[test]
+    fn parallel_map_preserves_order_and_indices() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn grid_is_policy_outer_cross_product() {
+        let policies = [PolicyChoice::break_even(), PolicyChoice::never()];
+        let caches = [None, Some(CacheConfig::paper_16gb())];
+        let grid = policy_cache_grid(&policies, &caches);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].label(), "break_even");
+        assert_eq!(grid[1].label(), "break_even+lru");
+        assert_eq!(grid[2].label(), "never");
+        assert_eq!(grid[3].label(), "never+lru");
+    }
+
+    #[test]
+    fn run_sweep_is_deterministic_and_covers_all_points() {
+        let catalog =
+            spindown_workload::FileCatalog::from_parts(vec![10 * MB, 20 * MB], vec![0.5, 0.5]);
+        // Sparse arrivals: per-disk idle gaps far beyond the break-even
+        // time, so every sleeping policy beats the never-spin-down floor.
+        let trace = Trace::poisson(&catalog, 0.01, 2000.0, 99);
+        let assignment = Assignment {
+            disks: vec![
+                DiskBin {
+                    items: vec![0],
+                    total_s: 0.0,
+                    total_l: 0.0,
+                },
+                DiskBin {
+                    items: vec![1],
+                    total_s: 0.0,
+                    total_l: 0.0,
+                },
+            ],
+        };
+        let spec = DiskSpec::seagate_st3500630as();
+        let grid = policy_cache_grid(
+            &[
+                PolicyChoice::Threshold(ThresholdPolicy::BreakEven),
+                PolicyChoice::SkiRental { seed: 5 },
+                PolicyChoice::Adaptive { alpha: 0.5 },
+                PolicyChoice::never(),
+            ],
+            &[None],
+        );
+        let a = run_sweep(&catalog, &trace, &assignment, &spec, 2, &grid);
+        let b = run_sweep(&catalog, &trace, &assignment, &spec, 2, &grid);
+        assert_eq!(a.len(), grid.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.energy.total_joules(), y.energy.total_joules());
+            assert_eq!(x.responses, y.responses);
+        }
+        // The never policy is the energy ceiling of the grid.
+        let never = &a[3];
+        assert_eq!(never.spin_downs, 0);
+        for r in &a[..3] {
+            assert!(r.energy.total_joules() <= never.energy.total_joules() + 1e-6);
+        }
+    }
+}

@@ -11,16 +11,8 @@ use crate::{Figure, Scale};
 pub fn table1(scale: Scale) -> Figure {
     let n = scale.n_files();
     let catalog = FileCatalog::paper_table1(n, 0);
-    let min_size = catalog
-        .iter()
-        .map(|f| f.size_bytes)
-        .min()
-        .unwrap_or(0);
-    let max_size = catalog
-        .iter()
-        .map(|f| f.size_bytes)
-        .max()
-        .unwrap_or(0);
+    let min_size = catalog.iter().map(|f| f.size_bytes).min().unwrap_or(0);
+    let max_size = catalog.iter().map(|f| f.size_bytes).max().unwrap_or(0);
     let mut fig = Figure::new(
         "table1",
         "System parameters (Table 1)",
@@ -71,8 +63,9 @@ pub fn table2() -> Figure {
             "idleness_threshold_s".into(),
         ],
     );
-    fig.notes
-        .push("idleness_threshold_s is *derived* from the power figures; the paper quotes 53.3 s".into());
+    fig.notes.push(
+        "idleness_threshold_s is *derived* from the power figures; the paper quotes 53.3 s".into(),
+    );
     fig.push_row(vec![
         spec.capacity_bytes as f64 / 1e9,
         spec.transfer_rate_bps / 1e6,

@@ -7,7 +7,6 @@
 //! The bursty arrivals (batches of similar-size files, §3.2) are what make
 //! `v > 1` matter.
 
-use rayon::prelude::*;
 use spindown_core::{Planner, PlannerConfig};
 use spindown_packing::Allocator;
 use spindown_sim::config::{SimConfig, ThresholdPolicy};
@@ -15,6 +14,7 @@ use spindown_sim::engine::Simulator;
 use spindown_workload::arrivals::BatchConfig;
 use spindown_workload::nersc::{self, NerscConfig};
 
+use crate::sweep::parallel_map;
 use crate::{grid_seed, Figure, Scale};
 
 /// The idleness threshold the paper fixes for this sweep (0.5 h).
@@ -36,50 +36,47 @@ pub fn vsweep(scale: Scale) -> Figure {
     let rate = cfg.arrival_rate();
 
     let vs: Vec<usize> = (1..=8).collect();
-    let rows: Vec<Vec<f64>> = vs
-        .par_iter()
-        .map(|&v| {
-            let mut pcfg = PlannerConfig::default();
-            pcfg.allocator = Allocator::PackDisksV(v as u32);
-            let planner = Planner::new(pcfg);
-            let plan = planner
-                .plan(&workload.catalog, rate)
-                .expect("bursty NERSC catalog packs");
-            let fleet = plan.disk_slots();
+    let rows: Vec<Vec<f64>> = parallel_map(&vs, |_, &v| {
+        let mut pcfg = PlannerConfig::default();
+        pcfg.allocator = Allocator::PackDisksV(v as u32);
+        let planner = Planner::new(pcfg);
+        let plan = planner
+            .plan(&workload.catalog, rate)
+            .expect("bursty NERSC catalog packs");
+        let fleet = plan.disk_slots();
 
-            let sim =
-                SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(VSWEEP_THRESHOLD_S));
-            let report = Simulator::run_with_fleet(
-                &workload.catalog,
-                &workload.trace,
-                &plan.assignment,
-                &sim,
-                fleet,
-            )
-            .expect("vsweep run succeeds");
+        let sim =
+            SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(VSWEEP_THRESHOLD_S));
+        let report = Simulator::run_with_fleet(
+            &workload.catalog,
+            &workload.trace,
+            &plan.assignment,
+            &sim,
+            fleet,
+        )
+        .expect("vsweep run succeeds");
 
-            let never = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
-            let e_never = Simulator::run_with_fleet(
-                &workload.catalog,
-                &workload.trace,
-                &plan.assignment,
-                &never,
-                fleet,
-            )
-            .expect("baseline run succeeds")
-            .energy
-            .total_joules();
+        let never = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
+        let e_never = Simulator::run_with_fleet(
+            &workload.catalog,
+            &workload.trace,
+            &plan.assignment,
+            &never,
+            fleet,
+        )
+        .expect("baseline run succeeds")
+        .energy
+        .total_joules();
 
-            let mut responses = report.responses.clone();
-            vec![
-                v as f64,
-                report.saving_vs(e_never),
-                report.responses.mean(),
-                responses.quantile(0.95),
-                plan.disks_used() as f64,
-            ]
-        })
-        .collect();
+        let mut responses = report.responses.clone();
+        vec![
+            v as f64,
+            report.saving_vs(e_never),
+            report.responses.mean(),
+            responses.quantile(0.95),
+            plan.disks_used() as f64,
+        ]
+    });
 
     let mut fig = Figure::new(
         "vsweep",

@@ -306,7 +306,10 @@ mod tests {
             }],
         };
         let err = a.verify(&items).unwrap_err();
-        assert!(matches!(err, FeasibilityError::LoadOverflow { disk: 0, .. }));
+        assert!(matches!(
+            err,
+            FeasibilityError::LoadOverflow { disk: 0, .. }
+        ));
     }
 
     #[test]
@@ -316,10 +319,7 @@ mod tests {
         a.disks[1].total_s = 0.0;
         a.disks[1].total_l = 0.0;
         let err = a.verify(&inst()).unwrap_err();
-        assert_eq!(
-            err,
-            FeasibilityError::NotAPartition { item: 2, times: 0 }
-        );
+        assert_eq!(err, FeasibilityError::NotAPartition { item: 2, times: 0 });
     }
 
     #[test]
@@ -329,10 +329,7 @@ mod tests {
         a.disks[1].total_s += 0.4;
         a.disks[1].total_l += 0.1;
         let err = a.verify(&inst()).unwrap_err();
-        assert_eq!(
-            err,
-            FeasibilityError::NotAPartition { item: 0, times: 2 }
-        );
+        assert_eq!(err, FeasibilityError::NotAPartition { item: 0, times: 2 });
     }
 
     #[test]

@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn approximation_ratio_sane() {
-        let i = inst(vec![PackItem { s: 0.6, l: 0.1 }, PackItem { s: 0.6, l: 0.1 }]);
+        let i = inst(vec![
+            PackItem { s: 0.6, l: 0.1 },
+            PackItem { s: 0.6, l: 0.1 },
+        ]);
         // LB = ceil(1.2) = 2; a packing with 2 disks has ratio 1.
         assert_eq!(approximation_ratio(&i, 2), Some(1.0));
         assert_eq!(approximation_ratio(&i, 3), Some(1.5));

@@ -163,7 +163,11 @@ mod tests {
         h.push(entry(0.5, 2));
         h.push(entry(0.5, 0));
         h.push(entry(0.5, 1));
-        let order: Vec<u64> = h.into_sorted_vec().into_iter().map(|e| e.tiebreak).collect();
+        let order: Vec<u64> = h
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| e.tiebreak)
+            .collect();
         assert_eq!(order, vec![0, 1, 2]);
     }
 
@@ -177,8 +181,16 @@ mod tests {
         }
         assert!(a.check_invariant());
         assert!(b.check_invariant());
-        let sa: Vec<u64> = a.into_sorted_vec().into_iter().map(|e| e.tiebreak).collect();
-        let sb: Vec<u64> = b.into_sorted_vec().into_iter().map(|e| e.tiebreak).collect();
+        let sa: Vec<u64> = a
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| e.tiebreak)
+            .collect();
+        let sb: Vec<u64> = b
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| e.tiebreak)
+            .collect();
         assert_eq!(sa, sb);
     }
 

@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn oversized_item_rejected() {
         let err = Instance::new(vec![PackItem { s: 1.2, l: 0.1 }]).unwrap_err();
-        assert!(matches!(err, InstanceError::ItemDoesNotFit { index: 0, .. }));
+        assert!(matches!(
+            err,
+            InstanceError::ItemDoesNotFit { index: 0, .. }
+        ));
     }
 
     #[test]

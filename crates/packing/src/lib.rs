@@ -115,11 +115,7 @@ mod tests {
         assert_eq!(Allocator::PackDisks.label(), "pack_disks");
         assert_eq!(Allocator::PackDisksV(4).label(), "pack_disks_4");
         assert_eq!(
-            Allocator::RandomFixed {
-                disks: 96,
-                seed: 0
-            }
-            .label(),
+            Allocator::RandomFixed { disks: 96, seed: 0 }.label(),
             "random_96"
         );
     }

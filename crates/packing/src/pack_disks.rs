@@ -79,9 +79,7 @@ impl<'a> Packer<'a> {
     fn is_complete(&self) -> bool {
         let rho = self.instance.rho();
         let (s, l) = self.totals();
-        !self.builder.current().items.is_empty()
-            && s >= 1.0 - rho - 1e-12
-            && l >= 1.0 - rho - 1e-12
+        !self.builder.current().items.is_empty() && s >= 1.0 - rho - 1e-12 && l >= 1.0 - rho - 1e-12
     }
 
     fn close_disk(&mut self) {
@@ -270,12 +268,7 @@ mod tests {
         // guarantee is weak for large ρ but feasibility and the Theorem 1
         // budget must hold.
         let items: Vec<PackItem> = (0..10)
-            .flat_map(|_| {
-                [
-                    PackItem { s: 0.8, l: 0.2 },
-                    PackItem { s: 0.2, l: 0.8 },
-                ]
-            })
+            .flat_map(|_| [PackItem { s: 0.8, l: 0.2 }, PackItem { s: 0.2, l: 0.8 }])
             .collect();
         let inst = Instance::new(items).unwrap();
         let a = pack_disks(&inst);
@@ -292,12 +285,7 @@ mod tests {
         // (0.18, 0.02) + 50 of (0.02, 0.18) have Σs = Σl = 10 and can fill
         // 10 disks exactly.
         let items: Vec<PackItem> = (0..50)
-            .flat_map(|_| {
-                [
-                    PackItem { s: 0.18, l: 0.02 },
-                    PackItem { s: 0.02, l: 0.18 },
-                ]
-            })
+            .flat_map(|_| [PackItem { s: 0.18, l: 0.02 }, PackItem { s: 0.02, l: 0.18 }])
             .collect();
         let inst = Instance::new(items).unwrap();
         let a = pack_disks(&inst);

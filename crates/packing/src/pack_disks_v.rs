@@ -255,10 +255,7 @@ mod tests {
         let base = pack_disks(&inst).disks_used();
         for v in 2..=8 {
             let used = pack_disks_v(&inst, v).disks_used();
-            assert!(
-                used <= base + 2 * v,
-                "v={v}: {used} disks vs base {base}"
-            );
+            assert!(used <= base + 2 * v, "v={v}: {used} disks vs base {base}");
         }
     }
 
@@ -272,8 +269,7 @@ mod tests {
         a.verify(&inst).unwrap();
         let map = a.item_to_disk(64);
         // first 4 items land on 4 distinct disks
-        let first_four: std::collections::HashSet<usize> =
-            map[0..4].iter().copied().collect();
+        let first_four: std::collections::HashSet<usize> = map[0..4].iter().copied().collect();
         assert_eq!(first_four.len(), 4, "round-robin not spreading: {map:?}");
     }
 

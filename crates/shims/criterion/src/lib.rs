@@ -1,0 +1,225 @@
+//! Minimal `criterion` shim for offline builds.
+//!
+//! Implements the subset of the criterion API this workspace's benches use:
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!` and `criterion_main!`.
+//! Measurement is a plain wall-clock loop — one warm-up iteration, then
+//! `sample_size` timed iterations — reporting mean and minimum per-iteration
+//! time (and derived throughput) on stdout. No statistics, plots or HTML.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as criterion renders it.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs the closure under test and records timings.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+        }
+    }
+
+    /// Time `f` over the configured number of iterations (plus one untimed
+    /// warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 || self.total.is_zero() {
+            println!("{name}: no samples");
+            return;
+        }
+        let mean = self.total / self.iters as u32;
+        let mut line = format!(
+            "{name}\n  time: [mean {} | min {}] over {} iterations",
+            fmt_duration(mean),
+            fmt_duration(self.min),
+            self.iters
+        );
+        if let Some(tp) = throughput {
+            let per_sec = |units: u64| units as f64 / mean.as_secs_f64();
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("\n  thrpt: {:.0} elem/s", per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("\n  thrpt: {:.3} MB/s", per_sec(n) / 1e6));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Timed iterations per benchmark (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Declare per-iteration work for throughput lines.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, id: N, mut f: F) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name), self.throughput);
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{id}", self.name), self.throughput);
+    }
+
+    /// End the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark with default settings.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, id: N, mut f: F) {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        b.report(&id.to_string(), None);
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        let id = BenchmarkId::new("requests", "r4");
+        assert_eq!(id.to_string(), "requests/r4");
+    }
+}

@@ -1,0 +1,15 @@
+//! Minimal serde shim for offline builds.
+//!
+//! Re-exports the no-op derive macros and declares empty marker traits so
+//! `use serde::{Deserialize, Serialize}` resolves in both the macro and the
+//! trait namespace. No serialisation machinery is provided — nothing in the
+//! workspace serialises at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented by the no-op
+/// derive; present so trait-position imports and bounds still parse).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace builds in offline containers with no crates.io access, so
+//! the real serde is unavailable. Nothing in the workspace currently
+//! serialises at runtime — the derives only need to *exist* so annotated
+//! types compile. Each derive expands to an empty token stream (no trait
+//! impl is generated); the `#[serde(...)]` helper attribute is accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

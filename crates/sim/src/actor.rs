@@ -221,9 +221,7 @@ mod tests {
         a.complete_service(done).unwrap();
         let b = a.finish(done).unwrap();
         assert!((b.seconds_in(PowerState::Seek) - 0.0085).abs() < 1e-9);
-        assert!(
-            (b.seconds_in(PowerState::Active) - (1.0 + 0.00416)).abs() < 1e-9
-        );
+        assert!((b.seconds_in(PowerState::Active) - (1.0 + 0.00416)).abs() < 1e-9);
         assert!((b.total_seconds() - done).abs() < 1e-9);
     }
 

@@ -30,6 +30,22 @@ impl ThresholdPolicy {
     }
 }
 
+/// How the engine feeds trace arrivals into its event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ArrivalMode {
+    /// Stream arrivals lazily from the time-sorted trace: the engine keeps a
+    /// cursor into the trace and compares the next arrival against the next
+    /// scheduled event, so the event heap holds O(disks) entries instead of
+    /// O(requests). The default; produces bit-identical reports to
+    /// [`ArrivalMode::Preloaded`].
+    #[default]
+    Streamed,
+    /// Pre-push every request into the event queue before the run (the
+    /// original engine behaviour). Peak memory O(requests); kept for
+    /// regression benchmarks and equivalence tests.
+    Preloaded,
+}
+
 /// LRU cache in front of the dispatcher (§5.1 uses 16 GB).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -59,6 +75,8 @@ pub struct SimConfig {
     pub threshold: ThresholdPolicy,
     /// Optional LRU cache in front of the dispatcher.
     pub cache: Option<CacheConfig>,
+    /// Arrival scheduling strategy (streamed by default).
+    pub arrivals: ArrivalMode,
 }
 
 impl SimConfig {
@@ -69,6 +87,7 @@ impl SimConfig {
             disk: DiskSpec::seagate_st3500630as(),
             threshold: ThresholdPolicy::BreakEven,
             cache: None,
+            arrivals: ArrivalMode::Streamed,
         }
     }
 
@@ -81,6 +100,12 @@ impl SimConfig {
     /// Attach a cache (§5.1's "+LRU" series).
     pub fn with_cache(mut self, cache: CacheConfig) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Select the arrival scheduling strategy.
+    pub fn with_arrival_mode(mut self, arrivals: ArrivalMode) -> Self {
+        self.arrivals = arrivals;
         self
     }
 }
@@ -113,7 +138,10 @@ mod tests {
 
     #[test]
     fn never_policy_is_none() {
-        assert_eq!(ThresholdPolicy::Never.threshold_s(&DiskSpec::default()), None);
+        assert_eq!(
+            ThresholdPolicy::Never.threshold_s(&DiskSpec::default()),
+            None
+        );
     }
 
     #[test]
@@ -126,8 +154,16 @@ mod tests {
     fn builder_combinators() {
         let cfg = SimConfig::paper_default()
             .with_threshold(ThresholdPolicy::Fixed(600.0))
-            .with_cache(CacheConfig::paper_16gb());
+            .with_cache(CacheConfig::paper_16gb())
+            .with_arrival_mode(ArrivalMode::Preloaded);
         assert_eq!(cfg.threshold, ThresholdPolicy::Fixed(600.0));
         assert_eq!(cfg.cache.unwrap().capacity_bytes, 16 * 1_000_000_000);
+        assert_eq!(cfg.arrivals, ArrivalMode::Preloaded);
+    }
+
+    #[test]
+    fn arrivals_default_to_streamed() {
+        assert_eq!(SimConfig::paper_default().arrivals, ArrivalMode::Streamed);
+        assert_eq!(ArrivalMode::default(), ArrivalMode::Streamed);
     }
 }

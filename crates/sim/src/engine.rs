@@ -1,5 +1,6 @@
 //! The simulation engine: ties the trace, the dispatcher (with optional LRU
-//! cache), the per-disk actors and the event queue together.
+//! cache), the per-disk actors, the power policy and the event queue
+//! together.
 //!
 //! ## Semantics (matching §4 of the paper)
 //!
@@ -8,8 +9,10 @@
 //!   bandwidth without touching the disk, misses are admitted to the cache
 //!   *and* forwarded to the disk.
 //! - Disks serve their queue FIFO. Service = seek + rotation + transfer.
-//! - An idle disk arms a spin-down timer (the idleness threshold); arrival
-//!   of work cancels it (by generation check). After the timer fires the
+//! - When a disk becomes idle the configured [`PowerPolicy`] is consulted;
+//!   it may arm a spin-down timer (fixed-threshold policies answer with a
+//!   constant, online policies adapt per idle period). Arrival of work
+//!   cancels the timer (by generation check). After the timer fires the
 //!   disk spins down (10 s) into standby.
 //! - A request reaching a standby disk triggers spin-up (15 s). A request
 //!   reaching a disk *mid-spin-down* waits for the spin-down to complete and
@@ -20,6 +23,19 @@
 //!   drain order).
 //! - Response time = completion − arrival, including queueing and power
 //!   transitions.
+//!
+//! ## Arrival scheduling
+//!
+//! By default ([`ArrivalMode::Streamed`]) the engine never materialises
+//! arrivals in the event heap: it keeps a cursor into the time-sorted trace
+//! and, on every step, compares the next arrival against the next scheduled
+//! event, processing whichever is earlier (arrivals win ties — exactly the
+//! order the original preloading produced, since arrivals were scheduled
+//! before any other event and ties break by insertion sequence). The heap
+//! then holds only `PhaseDone`/`SpinDownTimer` entries — O(disks), not
+//! O(requests) — which is what makes multi-million-request replays cheap.
+//! [`ArrivalMode::Preloaded`] retains the original schedule-everything
+//! behaviour for benchmarks; both modes produce bit-identical reports.
 
 use spindown_disk::state::TransitionError;
 use spindown_packing::Assignment;
@@ -27,9 +43,10 @@ use spindown_workload::{FileCatalog, FileId, Trace};
 
 use crate::actor::{DiskActor, Phase};
 use crate::cache::LruCache;
-use crate::config::SimConfig;
+use crate::config::{ArrivalMode, SimConfig};
 use crate::event::{Event, EventQueue};
 use crate::metrics::{ResponseStats, SimReport};
+use crate::policy::{PowerPolicy, TimeoutPolicy};
 
 /// Simulation failures.
 #[derive(Debug)]
@@ -70,6 +87,21 @@ impl From<TransitionError> for SimError {
     }
 }
 
+/// Per-disk spin-down timer bookkeeping for lazy scheduling: the engine
+/// keeps at most one *live* timer deadline per disk and (almost always) one
+/// heap entry, rescheduling on pop instead of piling a heap entry onto
+/// every idle period. `scheduled` is the sorted list of this disk's event
+/// times currently in the heap — length 1 in steady state; a second entry
+/// appears only when an online policy picks a deadline *earlier* than an
+/// already-scheduled (now stale) one.
+#[derive(Debug, Default, Clone)]
+struct TimerState {
+    /// The active deadline: fire time plus the idle generation it guards.
+    deadline: Option<(f64, u64)>,
+    /// Times of this disk's `SpinDownTimer` events in the heap, ascending.
+    scheduled: Vec<f64>,
+}
+
 /// The discrete-event simulator.
 pub struct Simulator<'a> {
     catalog: &'a FileCatalog,
@@ -77,12 +109,16 @@ pub struct Simulator<'a> {
     cfg: &'a SimConfig,
     file_to_disk: Vec<usize>,
     actors: Vec<DiskActor>,
+    timers: Vec<TimerState>,
     events: EventQueue,
     cache: Option<LruCache>,
     responses: ResponseStats,
-    threshold_s: Option<f64>,
+    policy: Box<dyn PowerPolicy>,
     horizon: f64,
     last_event_time: f64,
+    /// Cursor into the trace (streamed mode; trace.len() when preloaded).
+    next_arrival: usize,
+    peak_events: usize,
 }
 
 impl<'a> Simulator<'a> {
@@ -99,12 +135,35 @@ impl<'a> Simulator<'a> {
     /// Run with an explicit fleet size ≥ the assignment's disk count — the
     /// paper's synthetic experiments keep 100 disks spinning regardless of
     /// how many the allocator loaded (the empty ones just go to standby).
+    /// The spin-down policy is the fixed-threshold family configured in
+    /// `cfg.threshold`; use [`Simulator::run_with_policy`] to plug in any
+    /// other [`PowerPolicy`].
+    ///
+    /// A fleet of exactly zero disks is accepted only for an assignment
+    /// using zero slots (and, transitively, an empty trace): the simulation
+    /// then covers no disks and reports `disks == 0` — it no longer rounds
+    /// the fleet up to one silently.
     pub fn run_with_fleet(
         catalog: &'a FileCatalog,
         trace: &'a Trace,
         assignment: &Assignment,
         cfg: &'a SimConfig,
         fleet: usize,
+    ) -> Result<SimReport, SimError> {
+        let policy = TimeoutPolicy::from_config(cfg.threshold, &cfg.disk);
+        Self::run_with_policy(catalog, trace, assignment, cfg, fleet, Box::new(policy))
+    }
+
+    /// Run with an explicit [`PowerPolicy`]. The policy is consumed: a
+    /// fresh (identically seeded) instance must be built per run, which is
+    /// what makes randomised policies reproducible.
+    pub fn run_with_policy(
+        catalog: &'a FileCatalog,
+        trace: &'a Trace,
+        assignment: &Assignment,
+        cfg: &'a SimConfig,
+        fleet: usize,
+        policy: Box<dyn PowerPolicy>,
     ) -> Result<SimReport, SimError> {
         let required = assignment.disk_slots();
         if fleet < required {
@@ -122,60 +181,114 @@ impl<'a> Simulator<'a> {
                 return Err(SimError::UnmappedFile { file: r.file });
             }
         }
-        let threshold_s = cfg.threshold.threshold_s(&cfg.disk);
         let mut sim = Simulator {
             catalog,
             trace,
             cfg,
             file_to_disk,
-            actors: (0..fleet.max(1))
+            actors: (0..fleet)
                 .map(|_| DiskActor::new(cfg.disk.clone()))
                 .collect(),
+            timers: vec![TimerState::default(); fleet],
             events: EventQueue::new(),
             cache: cfg.cache.as_ref().map(|c| LruCache::new(c.capacity_bytes)),
             responses: ResponseStats::new(),
-            threshold_s,
+            policy,
             horizon: trace.horizon(),
             last_event_time: 0.0,
+            next_arrival: 0,
+            peak_events: 0,
         };
         sim.prime();
         sim.drive()?;
         sim.finish()
     }
 
-    /// Schedule all arrivals and the initial idle timers.
+    /// Schedule the initial idle timers — and, in preloaded mode, every
+    /// arrival up front.
     fn prime(&mut self) {
-        for (i, r) in self.trace.requests().iter().enumerate() {
-            self.events.schedule(r.time, Event::Arrival { req: i });
+        if self.cfg.arrivals == ArrivalMode::Preloaded {
+            for (i, r) in self.trace.requests().iter().enumerate() {
+                self.events.schedule(r.time, Event::Arrival { req: i });
+            }
+            self.next_arrival = self.trace.len();
         }
         for disk in 0..self.actors.len() {
             self.arm_timer(disk, 0.0);
         }
+        self.peak_events = self.peak_events.max(self.events.len());
     }
 
-    /// Arm disk `disk`'s spin-down timer for an idle period starting at `t`,
-    /// unless the policy never spins down or the timer would fire beyond the
-    /// trace horizon.
+    /// Consult the policy for the idle period starting at `t` on `disk` and
+    /// arm its spin-down deadline, unless the policy keeps the disk up or
+    /// the deadline would fall beyond the trace horizon.
     fn arm_timer(&mut self, disk: usize, t: f64) {
-        let Some(th) = self.threshold_s else { return };
-        let fire = t + th;
-        if fire > self.horizon {
+        let decision = self.policy.idle_started(disk, t);
+        let timer = &mut self.timers[disk];
+        let Some(delay) = decision else {
+            timer.deadline = None;
             return;
+        };
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "policy {} returned bad spin-down delay {delay}",
+            self.policy.name()
+        );
+        let fire = t + delay;
+        if fire > self.horizon {
+            timer.deadline = None;
+            return;
+        }
+        timer.deadline = Some((fire, self.actors[disk].idle_generation));
+        self.ensure_timer_event(disk, fire);
+    }
+
+    /// Guarantee a `SpinDownTimer` heap entry popping no later than `fire`
+    /// for `disk`, reusing an already-scheduled (possibly stale) entry when
+    /// one pops early enough — this is what keeps the heap at O(disks).
+    fn ensure_timer_event(&mut self, disk: usize, fire: f64) {
+        let timer = &mut self.timers[disk];
+        if timer.scheduled.first().is_some_and(|&t0| t0 <= fire) {
+            return; // an earlier pop will re-check (and reschedule exactly).
         }
         let generation = self.actors[disk].idle_generation;
         self.events
             .schedule(fire, Event::SpinDownTimer { disk, generation });
+        let timer = &mut self.timers[disk];
+        let at = timer.scheduled.partition_point(|&x| x < fire);
+        timer.scheduled.insert(at, fire);
     }
 
     fn drive(&mut self) -> Result<(), SimError> {
-        while let Some((t, ev)) = self.events.pop() {
+        loop {
+            self.peak_events = self.peak_events.max(self.events.len());
+            // Streamed arrivals: take the trace head whenever it is due no
+            // later than the next scheduled event. Arrivals win ties, which
+            // reproduces the preloaded order (arrivals were scheduled first
+            // and ties break by insertion sequence).
+            let arrival_due = match self.trace.requests().get(self.next_arrival) {
+                Some(r) => match self.events.peek_time() {
+                    Some(te) => r.time <= te,
+                    None => true,
+                },
+                None => false,
+            };
+            if arrival_due {
+                let req = self.next_arrival;
+                self.next_arrival += 1;
+                let t = self.trace.requests()[req].time;
+                self.last_event_time = self.last_event_time.max(t);
+                self.on_arrival(t, req)?;
+                continue;
+            }
+            let Some((t, ev)) = self.events.pop() else {
+                break;
+            };
             self.last_event_time = self.last_event_time.max(t);
             match ev {
                 Event::Arrival { req } => self.on_arrival(t, req)?,
                 Event::PhaseDone { disk } => self.on_phase_done(t, disk)?,
-                Event::SpinDownTimer { disk, generation } => {
-                    self.on_timer(t, disk, generation)?
-                }
+                Event::SpinDownTimer { disk, generation } => self.on_timer(t, disk, generation)?,
             }
         }
         Ok(())
@@ -198,6 +311,7 @@ impl<'a> Simulator<'a> {
             }
         }
         let disk = self.file_to_disk[r.file.index()];
+        self.policy.request_arrived(disk, t);
         self.actors[disk].queue.push_back(req);
         self.kick(t, disk)
     }
@@ -259,15 +373,35 @@ impl<'a> Simulator<'a> {
         Ok(())
     }
 
-    fn on_timer(&mut self, t: f64, disk: usize, generation: u64) -> Result<(), SimError> {
+    fn on_timer(&mut self, t: f64, disk: usize, _generation: u64) -> Result<(), SimError> {
+        // Retire this heap entry (per-disk entries pop in ascending time
+        // order, so it is always the head of the sorted list).
+        let timer = &mut self.timers[disk];
+        debug_assert!(timer.scheduled.first().is_some_and(|&t0| t0 == t));
+        if !timer.scheduled.is_empty() {
+            timer.scheduled.remove(0);
+        }
+        let Some((fire, generation)) = timer.deadline else {
+            return Ok(()); // no live deadline: stale entry.
+        };
         let actor = &mut self.actors[disk];
         if actor.phase() != Phase::Idle
             || actor.idle_generation != generation
             || !actor.queue.is_empty()
         {
-            return Ok(()); // stale timer
+            // The idle period this deadline guarded is over.
+            self.timers[disk].deadline = None;
+            return Ok(());
         }
-        let done = actor.begin_spin_down(t)?;
+        if fire > t {
+            // Popped a stale (early) entry while the live deadline is still
+            // ahead: reschedule exactly at the deadline.
+            self.ensure_timer_event(disk, fire);
+            return Ok(());
+        }
+        self.timers[disk].deadline = None;
+        self.policy.spin_down_started(disk, t);
+        let done = self.actors[disk].begin_spin_down(t)?;
         self.events.schedule(done, Event::PhaseDone { disk });
         Ok(())
     }
@@ -298,6 +432,7 @@ impl<'a> Simulator<'a> {
             cache: self.cache.map(|c| c.stats()),
             disks,
             per_disk_served,
+            peak_event_queue: self.peak_events,
         })
     }
 }
@@ -483,8 +618,7 @@ mod tests {
         let cat = catalog(1, 10 * MB);
         let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(10.0));
         let tr = trace(&[(1.0, 0)], 500.0);
-        let report =
-            Simulator::run_with_fleet(&cat, &tr, &assignment(&[0]), &cfg, 5).unwrap();
+        let report = Simulator::run_with_fleet(&cat, &tr, &assignment(&[0]), &cfg, 5).unwrap();
         assert_eq!(report.disks, 5);
         // all 5 disks eventually spin down (the loaded one after its service)
         assert_eq!(report.spin_downs, 5);
@@ -547,7 +681,10 @@ mod tests {
         assert_eq!(report.active_disks(), 1);
         // disk 0: 3 × (seek + rotation + 1 s transfer) over 100 s ≈ 3%
         let u0 = report.disk_utilisation(0);
-        assert!((u0 - 3.0 * service_time_72mb() / 100.0).abs() < 1e-6, "{u0}");
+        assert!(
+            (u0 - 3.0 * service_time_72mb() / 100.0).abs() < 1e-6,
+            "{u0}"
+        );
         assert_eq!(report.disk_utilisation(1), 0.0);
     }
 
@@ -561,6 +698,199 @@ mod tests {
         let r2 = Simulator::run(&cat, &tr, &a, &cfg).unwrap();
         assert_eq!(r1.energy.total_joules(), r2.energy.total_joules());
         assert_eq!(r1.responses, r2.responses);
+    }
+
+    /// Reports must agree bit-for-bit across arrival modes.
+    fn assert_reports_identical(a: &SimReport, b: &SimReport) {
+        assert_eq!(a.sim_time_s, b.sim_time_s);
+        assert_eq!(a.energy.total_joules(), b.energy.total_joules());
+        assert_eq!(a.energy.total_seconds(), b.energy.total_seconds());
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.spin_downs, b.spin_downs);
+        assert_eq!(a.spin_ups, b.spin_ups);
+        assert_eq!(a.disks, b.disks);
+        assert_eq!(a.per_disk_served, b.per_disk_served);
+        for (x, y) in a.per_disk_energy.iter().zip(&b.per_disk_energy) {
+            assert_eq!(x.total_joules(), y.total_joules());
+        }
+    }
+
+    #[test]
+    fn streamed_and_preloaded_arrivals_are_bit_identical() {
+        let cat = catalog(4, 30 * MB);
+        let tr = Trace::poisson(&cat, 2.0, 500.0, 13);
+        let a = assignment(&[0, 1, 2, 3]);
+        for threshold in [
+            ThresholdPolicy::Never,
+            ThresholdPolicy::BreakEven,
+            ThresholdPolicy::Fixed(5.0),
+            ThresholdPolicy::Fixed(120.0),
+        ] {
+            let streamed = SimConfig::paper_default().with_threshold(threshold);
+            let preloaded = streamed.clone().with_arrival_mode(ArrivalMode::Preloaded);
+            let rs = Simulator::run(&cat, &tr, &a, &streamed).unwrap();
+            let rp = Simulator::run(&cat, &tr, &a, &preloaded).unwrap();
+            assert_reports_identical(&rs, &rp);
+        }
+    }
+
+    #[test]
+    fn streamed_and_preloaded_agree_with_cache_and_ties() {
+        // Simultaneous arrivals (ties) plus a cache exercise the tie-break
+        // rule: arrivals must process before any same-time disk event.
+        let cat = catalog(2, 40 * MB);
+        let tr = trace(&[(0.0, 0), (0.0, 1), (0.0, 0), (30.0, 1), (30.0, 1)], 300.0);
+        let a = assignment(&[0, 1]);
+        let streamed = SimConfig::paper_default()
+            .with_threshold(ThresholdPolicy::Fixed(30.0))
+            .with_cache(CacheConfig {
+                capacity_bytes: 50 * MB,
+                bandwidth_bps: 1.0e9,
+            });
+        let preloaded = streamed.clone().with_arrival_mode(ArrivalMode::Preloaded);
+        let rs = Simulator::run(&cat, &tr, &a, &streamed).unwrap();
+        let rp = Simulator::run(&cat, &tr, &a, &preloaded).unwrap();
+        assert_reports_identical(&rs, &rp);
+        assert_eq!(
+            rs.cache.as_ref().unwrap().hits,
+            rp.cache.as_ref().unwrap().hits
+        );
+    }
+
+    #[test]
+    fn streamed_peak_queue_is_fleet_bound_not_trace_bound() {
+        let cat = catalog(4, MB);
+        let tr = Trace::poisson(&cat, 50.0, 400.0, 3);
+        assert!(tr.len() > 10_000, "want a big trace, got {}", tr.len());
+        let a = assignment(&[0, 1, 2, 3]);
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::BreakEven);
+        let streamed = Simulator::run(&cat, &tr, &a, &cfg).unwrap();
+        // Per disk: at most one PhaseDone plus a handful of pending (stale)
+        // spin-down timers — nowhere near the trace length.
+        assert!(
+            streamed.peak_event_queue <= 8 * streamed.disks,
+            "streamed peak {} for {} disks",
+            streamed.peak_event_queue,
+            streamed.disks
+        );
+        let preloaded = Simulator::run(
+            &cat,
+            &tr,
+            &a,
+            &cfg.clone().with_arrival_mode(ArrivalMode::Preloaded),
+        )
+        .unwrap();
+        assert!(
+            preloaded.peak_event_queue >= tr.len(),
+            "preloaded peak {} < trace {}",
+            preloaded.peak_event_queue,
+            tr.len()
+        );
+        assert_reports_identical(&streamed, &preloaded);
+    }
+
+    #[test]
+    fn zero_fleet_with_empty_assignment_is_explicit() {
+        let cat = catalog(1, MB);
+        let tr = Trace::new(vec![], 100.0);
+        let cfg = SimConfig::paper_default();
+        let empty = Assignment { disks: vec![] };
+        let report = Simulator::run_with_fleet(&cat, &tr, &empty, &cfg, 0).unwrap();
+        assert_eq!(report.disks, 0);
+        assert_eq!(report.energy.total_joules(), 0.0);
+        assert_eq!(report.energy.total_seconds(), 0.0);
+        assert_eq!(report.sim_time_s, 100.0);
+        // `run` derives the fleet from the assignment: zero slots → zero
+        // disks, not a silent single-actor fleet.
+        let via_run = Simulator::run(&cat, &tr, &empty, &cfg).unwrap();
+        assert_eq!(via_run.disks, 0);
+    }
+
+    #[test]
+    fn zero_fleet_with_loaded_assignment_is_an_error() {
+        let cat = catalog(1, MB);
+        let tr = Trace::new(vec![], 100.0);
+        let cfg = SimConfig::paper_default();
+        let a = assignment(&[0]);
+        let err = Simulator::run_with_fleet(&cat, &tr, &a, &cfg, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::FleetTooSmall {
+                required: 1,
+                fleet: 0
+            }
+        ));
+    }
+
+    /// A policy that spins down instantly on every idle start and counts
+    /// the engine's callbacks.
+    struct EagerCounter {
+        idles: u64,
+        arrivals: u64,
+        downs: u64,
+    }
+
+    impl crate::policy::PowerPolicy for EagerCounter {
+        fn name(&self) -> String {
+            "eager_counter".into()
+        }
+        fn idle_started(&mut self, _disk: usize, _t: f64) -> Option<f64> {
+            self.idles += 1;
+            Some(0.0)
+        }
+        fn request_arrived(&mut self, _disk: usize, _t: f64) {
+            self.arrivals += 1;
+        }
+        fn spin_down_started(&mut self, _disk: usize, _t: f64) {
+            self.downs += 1;
+        }
+    }
+
+    #[test]
+    fn custom_policy_drives_spin_downs_through_the_trait() {
+        let cat = catalog(1, 10 * MB);
+        let tr = trace(&[(50.0, 0), (150.0, 0)], 400.0);
+        let cfg = SimConfig::paper_default();
+        let report = Simulator::run_with_policy(
+            &cat,
+            &tr,
+            &assignment(&[0]),
+            &cfg,
+            1,
+            Box::new(EagerCounter {
+                idles: 0,
+                arrivals: 0,
+                downs: 0,
+            }),
+        )
+        .unwrap();
+        // Idle at t=0 → immediate spin-down; both requests find standby,
+        // pay the spin-up, and each post-service idle spins down again.
+        assert_eq!(report.spin_downs, 3);
+        assert_eq!(report.spin_ups, 2);
+        assert_eq!(report.responses.len(), 2);
+        let mut resp = report.responses.clone();
+        // First response: 15 s spin-up + service.
+        assert!(resp.quantile(0.0) > 15.0);
+    }
+
+    #[test]
+    fn run_with_policy_timeout_matches_run_with_fleet() {
+        let cat = catalog(3, 20 * MB);
+        let tr = Trace::poisson(&cat, 1.0, 400.0, 21);
+        let a = assignment(&[0, 1, 2]);
+        let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(40.0));
+        let via_cfg = Simulator::run_with_fleet(&cat, &tr, &a, &cfg, 3).unwrap();
+        let via_policy = Simulator::run_with_policy(
+            &cat,
+            &tr,
+            &a,
+            &cfg,
+            3,
+            Box::new(crate::policy::TimeoutPolicy::fixed(40.0)),
+        )
+        .unwrap();
+        assert_reports_identical(&via_cfg, &via_policy);
     }
 
     #[test]

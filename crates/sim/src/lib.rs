@@ -17,10 +17,41 @@
 //! Modules:
 //! - [`event`] — the time-ordered event queue.
 //! - [`cache`] — the 16 GB LRU front of §5.1.
-//! - [`config`] — [`config::SimConfig`] and the idleness-threshold policy.
+//! - [`config`] — [`config::SimConfig`], the idleness-threshold
+//!   configuration and the arrival scheduling mode.
+//! - [`policy`] — the pluggable [`policy::PowerPolicy`] trait and the
+//!   fixed-timeout implementation; online policies plug in from
+//!   `spindown-analysis`.
 //! - [`actor`] — per-disk actor bridging queueing and the state machine.
 //! - [`metrics`] — response-time statistics and the simulation report.
-//! - [`engine`] — the [`engine::Simulator`] main loop.
+//! - [`engine`] — the [`engine::Simulator`] main loop (streamed arrivals by
+//!   default: O(disks) peak event-queue size).
+//!
+//! ## Power policies
+//!
+//! The engine consults a [`policy::PowerPolicy`] every time a disk becomes
+//! idle; the policy answers with a spin-down delay (or `None` to stay up)
+//! and observes request arrivals, so it can adapt online. The paper's
+//! fixed-threshold family is [`policy::TimeoutPolicy`]; pass any custom
+//! implementation through [`engine::Simulator::run_with_policy`]:
+//!
+//! ```
+//! use spindown_packing::{Assignment, DiskBin};
+//! use spindown_sim::config::SimConfig;
+//! use spindown_sim::engine::Simulator;
+//! use spindown_sim::policy::TimeoutPolicy;
+//! use spindown_workload::{FileCatalog, Trace};
+//!
+//! let catalog = FileCatalog::from_parts(vec![1_000_000], vec![1.0]);
+//! let trace = Trace::poisson(&catalog, 0.05, 400.0, 7);
+//! let assignment = Assignment { disks: vec![DiskBin { items: vec![0], total_s: 0.0, total_l: 0.0 }] };
+//! let cfg = SimConfig::paper_default();
+//! let report = Simulator::run_with_policy(
+//!     &catalog, &trace, &assignment, &cfg, 1,
+//!     Box::new(TimeoutPolicy::fixed(30.0)),
+//! ).unwrap();
+//! assert_eq!(report.responses.len(), trace.len());
+//! ```
 //!
 //! ## Example
 //!
@@ -47,8 +78,10 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod metrics;
+pub mod policy;
 
 pub use cache::LruCache;
-pub use config::{CacheConfig, SimConfig, ThresholdPolicy};
+pub use config::{ArrivalMode, CacheConfig, SimConfig, ThresholdPolicy};
 pub use engine::{SimError, Simulator};
 pub use metrics::{ResponseStats, SimReport};
+pub use policy::{PowerPolicy, TimeoutPolicy};

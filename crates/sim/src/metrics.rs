@@ -24,7 +24,10 @@ impl ResponseStats {
     /// # Panics
     /// If the sample is negative or not finite.
     pub fn record(&mut self, seconds: f64) {
-        assert!(seconds.is_finite() && seconds >= 0.0, "bad sample {seconds}");
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "bad sample {seconds}"
+        );
         self.samples.push(seconds);
         self.sorted = false;
     }
@@ -63,8 +66,7 @@ impl ResponseStats {
             self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         self.samples[rank - 1]
     }
 
@@ -111,6 +113,9 @@ pub struct SimReport {
     pub disks: usize,
     /// Requests served per disk, in disk order (excludes cache hits).
     pub per_disk_served: Vec<u64>,
+    /// Largest number of events simultaneously pending in the event heap —
+    /// O(disks) under streamed arrivals, O(requests) when preloaded.
+    pub peak_event_queue: usize,
 }
 
 impl SimReport {

@@ -1,0 +1,160 @@
+//! Pluggable spin-down power policies.
+//!
+//! The engine consults a [`PowerPolicy`] at the three moments that matter to
+//! dynamic power management:
+//!
+//! - **idle start** — a disk just became idle (service completed with an
+//!   empty queue, spin-up completed with an empty queue, or simulation
+//!   start). The policy answers *how long to wait before spinning down*,
+//!   or `None` to stay up for this idle period. `Some(0.0)` spins down
+//!   immediately.
+//! - **request arrival** — a request was dispatched to the disk (in any
+//!   phase). Adaptive policies use this to observe the realised idle-gap
+//!   length; the engine itself cancels pending timers by generation.
+//! - **spin-down start** — the armed timer fired and the disk begins its
+//!   spin-down transition.
+//!
+//! The closed `ThresholdPolicy` enum of the original engine survives as
+//! [`TimeoutPolicy`], the stateless fixed-timeout implementation; richer
+//! online policies (randomised ski-rental, adaptive idle prediction) live in
+//! `spindown-analysis::online` and plug in through the same trait.
+//!
+//! ## Contract
+//!
+//! Policies are consulted once per idle-period start, per disk. The engine
+//! guarantees `idle_started` is called even when the resulting timer could
+//! not fire before the trace horizon (the policy still observes the idle
+//! period; the engine just refuses to schedule past-horizon transitions).
+//! A policy must be deterministic given its construction parameters — the
+//! simulator's reproducibility guarantee extends to randomised policies
+//! only through their seeds.
+
+use spindown_disk::DiskSpec;
+
+use crate::config::ThresholdPolicy;
+
+/// An online spin-down decision procedure, consulted per disk.
+pub trait PowerPolicy: Send {
+    /// Human-readable identifier used in figures and reports.
+    fn name(&self) -> String;
+
+    /// Disk `disk` became idle at time `t`. Return the idle delay after
+    /// which it should spin down (`Some(0.0)` = immediately), or `None` to
+    /// keep it spinning for this idle period.
+    fn idle_started(&mut self, disk: usize, t: f64) -> Option<f64>;
+
+    /// A request was dispatched to disk `disk` at time `t` (any phase;
+    /// cache hits never reach the disk and are not reported).
+    fn request_arrived(&mut self, _disk: usize, _t: f64) {}
+
+    /// Disk `disk` starts spinning down at time `t` (its timer fired).
+    fn spin_down_started(&mut self, _disk: usize, _t: f64) {}
+}
+
+/// The paper's fixed-idleness-threshold policy family (§4–5): wait a
+/// constant time, then spin down — or never spin down at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeoutPolicy {
+    threshold_s: Option<f64>,
+}
+
+impl TimeoutPolicy {
+    /// A policy waiting `threshold_s` seconds (`None` = never spin down).
+    ///
+    /// # Panics
+    /// If the threshold is negative or not finite.
+    pub fn new(threshold_s: Option<f64>) -> Self {
+        if let Some(s) = threshold_s {
+            assert!(s.is_finite() && s >= 0.0, "bad threshold {s}");
+        }
+        TimeoutPolicy { threshold_s }
+    }
+
+    /// Fixed threshold in seconds.
+    pub fn fixed(threshold_s: f64) -> Self {
+        Self::new(Some(threshold_s))
+    }
+
+    /// The drive's break-even threshold (the paper's default).
+    pub fn break_even(spec: &DiskSpec) -> Self {
+        Self::new(ThresholdPolicy::BreakEven.threshold_s(spec))
+    }
+
+    /// Never spin down (the §5.1 normalisation baseline).
+    pub fn never() -> Self {
+        Self::new(None)
+    }
+
+    /// Port a [`ThresholdPolicy`] configuration onto the trait.
+    pub fn from_config(policy: ThresholdPolicy, spec: &DiskSpec) -> Self {
+        Self::new(policy.threshold_s(spec))
+    }
+
+    /// The configured threshold (`None` = never).
+    pub fn threshold_s(&self) -> Option<f64> {
+        self.threshold_s
+    }
+}
+
+impl PowerPolicy for TimeoutPolicy {
+    fn name(&self) -> String {
+        match self.threshold_s {
+            Some(s) => format!("timeout({s:.1}s)"),
+            None => "never".to_owned(),
+        }
+    }
+
+    fn idle_started(&mut self, _disk: usize, _t: f64) -> Option<f64> {
+        self.threshold_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_policy_returns_constant_threshold() {
+        let mut p = TimeoutPolicy::fixed(42.0);
+        assert_eq!(p.idle_started(0, 0.0), Some(42.0));
+        assert_eq!(p.idle_started(3, 999.0), Some(42.0));
+        assert_eq!(p.threshold_s(), Some(42.0));
+        assert!(p.name().contains("42.0"));
+    }
+
+    #[test]
+    fn never_policy_returns_none() {
+        let mut p = TimeoutPolicy::never();
+        assert_eq!(p.idle_started(0, 10.0), None);
+        assert_eq!(p.name(), "never");
+    }
+
+    #[test]
+    fn break_even_matches_threshold_policy() {
+        let spec = DiskSpec::seagate_st3500630as();
+        let mut p = TimeoutPolicy::break_even(&spec);
+        let expect = ThresholdPolicy::BreakEven.threshold_s(&spec);
+        assert_eq!(p.idle_started(0, 0.0), expect);
+    }
+
+    #[test]
+    fn from_config_ports_every_variant() {
+        let spec = DiskSpec::seagate_st3500630as();
+        assert_eq!(
+            TimeoutPolicy::from_config(ThresholdPolicy::Fixed(7.0), &spec).threshold_s(),
+            Some(7.0)
+        );
+        assert_eq!(
+            TimeoutPolicy::from_config(ThresholdPolicy::Never, &spec).threshold_s(),
+            None
+        );
+        let be = TimeoutPolicy::from_config(ThresholdPolicy::BreakEven, &spec);
+        assert!((be.threshold_s().unwrap() - 53.3).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad threshold")]
+    fn negative_threshold_rejected() {
+        let _ = TimeoutPolicy::fixed(-1.0);
+    }
+}

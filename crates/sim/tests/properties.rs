@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use spindown_disk::mechanics::ServiceTimer;
 use spindown_disk::{DiskSpec, PowerState};
 use spindown_packing::{Assignment, DiskBin};
-use spindown_sim::config::{SimConfig, ThresholdPolicy};
+use spindown_sim::config::{ArrivalMode, SimConfig, ThresholdPolicy};
 use spindown_sim::engine::Simulator;
 use spindown_workload::trace::Request;
 use spindown_workload::{FileCatalog, FileId, Trace};
@@ -21,8 +21,12 @@ struct MiniWorkload {
 
 fn mini_workload() -> impl Strategy<Value = MiniWorkload> {
     let files = prop::collection::vec(1_000_000u64..2_000_000_000, 1..12);
-    (files, 1usize..6, prop::collection::vec((0.0f64..500.0, any::<u8>()), 0..60)).prop_map(
-        |(sizes, disks, raw_reqs)| {
+    (
+        files,
+        1usize..6,
+        prop::collection::vec((0.0f64..500.0, any::<u8>()), 0..60),
+    )
+        .prop_map(|(sizes, disks, raw_reqs)| {
             let n = sizes.len();
             let pop = vec![1.0 / n as f64; n];
             let catalog = FileCatalog::from_parts(sizes, pop);
@@ -46,8 +50,7 @@ fn mini_workload() -> impl Strategy<Value = MiniWorkload> {
                 trace,
                 assignment,
             }
-        },
-    )
+        })
 }
 
 fn threshold_strategy() -> impl Strategy<Value = ThresholdPolicy> {
@@ -148,6 +151,38 @@ proptest! {
         prop_assert_eq!(a.energy.total_joules(), b.energy.total_joules());
         prop_assert_eq!(a.responses, b.responses);
         prop_assert_eq!(a.spin_downs, b.spin_downs);
+    }
+
+    #[test]
+    fn streamed_arrivals_match_preloaded_bit_for_bit(
+        w in mini_workload(), th in threshold_strategy()
+    ) {
+        let streamed = SimConfig::paper_default().with_threshold(th);
+        let preloaded = streamed.clone().with_arrival_mode(ArrivalMode::Preloaded);
+        let a = Simulator::run(&w.catalog, &w.trace, &w.assignment, &streamed).unwrap();
+        let b = Simulator::run(&w.catalog, &w.trace, &w.assignment, &preloaded).unwrap();
+        prop_assert_eq!(a.energy.total_joules(), b.energy.total_joules());
+        prop_assert_eq!(a.energy.total_seconds(), b.energy.total_seconds());
+        prop_assert_eq!(a.responses, b.responses);
+        prop_assert_eq!(a.spin_downs, b.spin_downs);
+        prop_assert_eq!(a.spin_ups, b.spin_ups);
+        prop_assert_eq!(a.per_disk_served, b.per_disk_served);
+        prop_assert_eq!(a.sim_time_s, b.sim_time_s);
+    }
+
+    #[test]
+    fn streamed_peak_event_queue_is_fleet_bound(
+        w in mini_workload(), th in threshold_strategy()
+    ) {
+        let cfg = SimConfig::paper_default().with_threshold(th);
+        let report = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        // At most one service-completion and one live timer per disk (plus
+        // transiently retired entries) — never the trace length.
+        prop_assert!(
+            report.peak_event_queue <= 3 * report.disks + 1,
+            "peak {} for {} disks and {} requests",
+            report.peak_event_queue, report.disks, w.trace.len()
+        );
     }
 
     #[test]

@@ -41,11 +41,7 @@ impl RankSizeModel {
         } else {
             (max_bytes as f64 / min_bytes as f64).ln() / (n as f64).ln()
         };
-        RankSizeModel {
-            max_bytes,
-            beta,
-            n,
-        }
+        RankSizeModel { max_bytes, beta, n }
     }
 
     /// The paper's Table 1 model: 40 000 files, 188 MB – 20 GB.
@@ -92,11 +88,7 @@ pub fn calibrate_beta_for_total(
     );
     let mut lo = 0.0_f64; // total = n * max (largest possible)
     let mut hi = 8.0_f64; // total ≈ max (fastest practical decay)
-    let model_with = |beta: f64| RankSizeModel {
-        max_bytes,
-        beta,
-        n,
-    };
+    let model_with = |beta: f64| RankSizeModel { max_bytes, beta, n };
     // Ensure the target is bracketed; with beta=0 total = n·max ≥ target.
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);

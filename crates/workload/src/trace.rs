@@ -113,12 +113,7 @@ impl Trace {
     /// Bursty trace (§3.2): bursts arrive Poisson; each burst requests a run
     /// of files with *adjacent sizes* ("a batch of files of similar sizes
     /// all at once"). The run's anchor file is drawn by popularity.
-    pub fn batched(
-        catalog: &FileCatalog,
-        cfg: &BatchConfig,
-        horizon: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn batched(catalog: &FileCatalog, cfg: &BatchConfig, horizon: f64, seed: u64) -> Self {
         assert!(!catalog.is_empty(), "cannot generate against empty catalog");
         let bursts = generate_bursts(cfg, horizon, seed);
         let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(2));
@@ -201,7 +196,10 @@ impl Trace {
     /// # Panics
     /// If the window is empty or not within the horizon.
     pub fn window(&self, t0: f64, t1: f64) -> Trace {
-        assert!(t0 >= 0.0 && t1 > t0 && t1 <= self.horizon + 1e-9, "bad window");
+        assert!(
+            t0 >= 0.0 && t1 > t0 && t1 <= self.horizon + 1e-9,
+            "bad window"
+        );
         let requests = self
             .requests
             .iter()
@@ -368,7 +366,12 @@ mod tests {
         let t = Trace::poisson(&c, 50.0, 2000.0, 1);
         let counts = t.per_file_counts(c.len());
         // file 0 (most popular) should beat file 99 (least popular) clearly
-        assert!(counts[0] > counts[99] * 2, "{} vs {}", counts[0], counts[99]);
+        assert!(
+            counts[0] > counts[99] * 2,
+            "{} vs {}",
+            counts[0],
+            counts[99]
+        );
     }
 
     #[test]
@@ -415,10 +418,7 @@ mod tests {
                     reqs[i..j].iter().map(|r| rank_of[r.file.index()]).collect();
                 ranks.sort_unstable();
                 for w in ranks.windows(2) {
-                    assert!(
-                        w[1] - w[0] <= 1,
-                        "burst ranks not adjacent: {ranks:?}"
-                    );
+                    assert!(w[1] - w[0] <= 1, "burst ranks not adjacent: {ranks:?}");
                 }
             }
             i = j;

@@ -31,6 +31,28 @@
 //! let plan = planner.plan(&catalog, 2.0).expect("plan");
 //! assert!(plan.disks_used() >= 1);
 //! ```
+//!
+//! ## Choosing a spin-down policy
+//!
+//! The simulator consults a pluggable [`sim::policy::PowerPolicy`] at every
+//! idle-period start. Select one through the planner ([`core::PolicyChoice`]
+//! covers the paper's fixed thresholds plus the online randomised
+//! ski-rental and adaptive-predictor policies), or implement the trait and
+//! pass it to [`sim::engine::Simulator::run_with_policy`] directly:
+//!
+//! ```
+//! use spindown::core::{Planner, PlannerConfig, PolicyChoice};
+//! use spindown::workload::{FileCatalog, Trace};
+//!
+//! let catalog = FileCatalog::paper_table1(300, 1);
+//! let trace = Trace::poisson(&catalog, 0.5, 300.0, 9);
+//! let mut cfg = PlannerConfig::default();
+//! cfg.policy = Some(PolicyChoice::Adaptive { alpha: 0.5 });
+//! let planner = Planner::new(cfg);
+//! let plan = planner.plan(&catalog, 0.5).expect("plan");
+//! let report = planner.evaluate(&plan, &catalog, &trace).expect("simulates");
+//! assert_eq!(report.responses.len(), trace.len());
+//! ```
 
 pub use spindown_analysis as analysis;
 pub use spindown_core as core;

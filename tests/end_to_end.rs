@@ -88,7 +88,10 @@ fn break_even_threshold_minimises_energy() {
     let at_never = energy_at(ThresholdPolicy::Never);
     let at_long = energy_at(ThresholdPolicy::Fixed(1_800.0));
     assert!(at_be < at_never, "break-even must beat never spinning down");
-    assert!(at_be < at_long, "break-even must beat a 30-minute threshold");
+    assert!(
+        at_be < at_long,
+        "break-even must beat a 30-minute threshold"
+    );
 }
 
 /// Figure 5's headline on the synthetic NERSC trace: Pack_Disks' saving is
@@ -111,18 +114,23 @@ fn fig5_shape_pack_flat_random_decays() {
     let random = Planner::new(rnd_cfg).plan(&workload.catalog, rate).unwrap();
 
     let saving = |assignment: &spindown::packing::Assignment, hours: f64| {
-        let sim =
-            SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(hours * 3600.0));
+        let sim = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(hours * 3600.0));
         let never = SimConfig::paper_default().with_threshold(ThresholdPolicy::Never);
-        let e = Simulator::run_with_fleet(&workload.catalog, &workload.trace, assignment, &sim, fleet)
-            .unwrap()
-            .energy
-            .total_joules();
-        let e0 =
-            Simulator::run_with_fleet(&workload.catalog, &workload.trace, assignment, &never, fleet)
+        let e =
+            Simulator::run_with_fleet(&workload.catalog, &workload.trace, assignment, &sim, fleet)
                 .unwrap()
                 .energy
                 .total_joules();
+        let e0 = Simulator::run_with_fleet(
+            &workload.catalog,
+            &workload.trace,
+            assignment,
+            &never,
+            fleet,
+        )
+        .unwrap()
+        .energy
+        .total_joules();
         1.0 - e / e0
     };
 
@@ -157,7 +165,8 @@ fn cache_hit_ratio_is_low_on_nersc_mix() {
     let sim = SimConfig::paper_default()
         .with_threshold(ThresholdPolicy::Fixed(1800.0))
         .with_cache(CacheConfig::paper_16gb());
-    let report = Simulator::run(&workload.catalog, &workload.trace, &plan.assignment, &sim).unwrap();
+    let report =
+        Simulator::run(&workload.catalog, &workload.trace, &plan.assignment, &sim).unwrap();
     let hit = report.cache.unwrap().hit_ratio();
     assert!(
         hit > 0.0 && hit < 0.25,
