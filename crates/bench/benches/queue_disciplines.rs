@@ -1,0 +1,101 @@
+//! Queue disciplines head-to-head on a mixed-size Zipf workload: engine
+//! throughput per discipline on a steady Poisson replay, plus a bursty
+//! spin-up-heavy replay where elevator batching amortises positioning.
+//! Response-time tails per discipline are printed alongside so `cargo
+//! bench` records the latency story with the timing story; results are
+//! tracked in BENCHMARKS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spindown_packing::{Assignment, DiskBin};
+use spindown_sim::config::{SimConfig, ThresholdPolicy};
+use spindown_sim::discipline::DisciplineChoice;
+use spindown_sim::engine::Simulator;
+use spindown_workload::arrivals::BatchConfig;
+use spindown_workload::{FileCatalog, Trace};
+use std::hint::black_box;
+
+const FILES: usize = 256;
+const DISKS: usize = 8;
+
+/// Zipf-popular catalog with the paper's size/popularity correlation —
+/// a heavy mix of small and multi-hundred-MB files — round-robined over
+/// the fleet.
+fn fixture() -> (FileCatalog, Assignment) {
+    let catalog = FileCatalog::paper_table1(FILES, 7);
+    let mut bins: Vec<DiskBin> = (0..DISKS).map(|_| DiskBin::default()).collect();
+    for file in 0..FILES {
+        bins[file % DISKS].items.push(file);
+    }
+    (catalog, Assignment { disks: bins })
+}
+
+fn disciplines() -> Vec<DisciplineChoice> {
+    DisciplineChoice::all()
+}
+
+fn bench(c: &mut Criterion) {
+    let (catalog, assignment) = fixture();
+    // Steady mixed-size load at ~0.75 utilization (mean service ≈ 7.5 s
+    // over 8 disks): queues form behind the large files without tipping
+    // into overload, which would drown the discipline effect.
+    let steady = Trace::poisson(&catalog, 0.8, 5_000.0, 424_242);
+    // Bursty spin-up-heavy load: disks sleep out the inter-burst gaps.
+    let bursty = Trace::batched(
+        &catalog,
+        &BatchConfig {
+            burst_rate: 1.0 / 120.0,
+            min_batch: 4,
+            max_batch: 10,
+            intra_batch_gap_s: 0.5,
+        },
+        20_000.0,
+        777,
+    );
+
+    for (workload, trace, threshold) in [
+        ("steady_zipf", &steady, ThresholdPolicy::BreakEven),
+        ("spin_up_bursts", &bursty, ThresholdPolicy::Fixed(20.0)),
+    ] {
+        let mut group = c.benchmark_group(format!("queue_disciplines/{workload}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        for discipline in disciplines() {
+            let cfg = SimConfig::paper_default()
+                .with_threshold(threshold)
+                .with_discipline(discipline);
+            group.bench_with_input(
+                BenchmarkId::new("replay", discipline.label()),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let report =
+                            Simulator::run(&catalog, trace, &assignment, black_box(cfg)).unwrap();
+                        black_box(report.responses.len())
+                    })
+                },
+            );
+        }
+        group.finish();
+
+        // One-shot latency report: the discipline story is a tail story.
+        for discipline in disciplines() {
+            let cfg = SimConfig::paper_default()
+                .with_threshold(threshold)
+                .with_discipline(discipline);
+            let report = Simulator::run(&catalog, trace, &assignment, &cfg).unwrap();
+            let mut resp = report.responses.clone();
+            println!(
+                "queue_disciplines/{workload}/latency/{}: mean {:.3} s, p95 {:.3} s, p99 {:.3} s \
+                 ({} requests)",
+                discipline.label(),
+                report.responses.mean(),
+                resp.p95(),
+                resp.p99(),
+                trace.len()
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -32,4 +32,8 @@ pub use comparison::{compare, Comparison};
 pub use planner::{Plan, PlanError, Planner, PlannerConfig, ServiceModel};
 pub use policy::PolicyChoice;
 pub use reorg::{plan_reorg, MigrationPlan};
+// Queue disciplines select *how* each disk orders its pending requests,
+// exactly as `PolicyChoice` selects *when* it sleeps; re-exported so
+// planner/sweep callers configure both from one place.
+pub use spindown_sim::discipline::DisciplineChoice;
 pub use writes::{WriteFit, WritePlacer};

@@ -179,6 +179,12 @@ impl Planner {
         })
     }
 
+    /// The queue discipline every simulated disk runs (configured through
+    /// `sim.discipline`, FIFO by default).
+    pub fn discipline(&self) -> spindown_sim::discipline::DisciplineChoice {
+        self.cfg.sim.discipline
+    }
+
     /// The effective spin-down policy choice: the explicit `policy` field,
     /// or the fixed-threshold family configured in `sim.threshold`.
     pub fn policy_choice(&self) -> PolicyChoice {
@@ -305,6 +311,29 @@ mod tests {
         assert_eq!(a.energy.total_joules(), b.energy.total_joules());
         assert_eq!(a.responses, b.responses);
         assert_eq!(ski.policy_choice().label(), "ski_rental");
+    }
+
+    #[test]
+    fn discipline_flows_through_the_planner_into_simulation() {
+        use spindown_sim::discipline::DisciplineChoice;
+        let cat = catalog();
+        let trace = Trace::poisson(&cat, 0.5, 400.0, 9);
+        let mut cfg = PlannerConfig::default();
+        cfg.sim = cfg.sim.with_threshold(ThresholdPolicy::Never);
+        let fifo = Planner::new(cfg.clone());
+        assert_eq!(fifo.discipline(), DisciplineChoice::Fifo);
+        let plan = fifo.plan(&cat, 0.5).unwrap();
+        let r_fifo = fifo.evaluate(&plan, &cat, &trace).unwrap();
+
+        cfg.sim = cfg.sim.with_discipline(DisciplineChoice::sjf());
+        let sjf = Planner::new(cfg);
+        assert_eq!(sjf.discipline(), DisciplineChoice::sjf());
+        let a = sjf.evaluate(&plan, &cat, &trace).unwrap();
+        let b = sjf.evaluate(&plan, &cat, &trace).unwrap();
+        // Same requests served either way, deterministically.
+        assert_eq!(a.responses.len(), r_fifo.responses.len());
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.energy.total_joules(), b.energy.total_joules());
     }
 
     #[test]

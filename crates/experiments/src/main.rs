@@ -1,29 +1,34 @@
 //! `experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--out DIR] CMD...
+//! experiments [--quick] [--out DIR] [--discipline D] CMD...
 //!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds all }
 //! ```
 //!
 //! Prints each artefact as an aligned table and writes `DIR/<id>.csv`
 //! (default `results/`). `--quick` runs proportionally shrunken instances.
+//! `--discipline` selects the queue discipline (`fifo`, `sjf`,
+//! `sjf:SECONDS`, `elevator`) the shootout's allocator and policy rows run
+//! under; its discipline rows always compare the whole family.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use spindown_core::DisciplineChoice;
 use spindown_experiments::output::{render_table, write_csv};
 use spindown_experiments::{
     bounds_exp, fig23, fig4, fig56, sensitivity, shootout, tables, vsweep, Figure, Scale,
 };
 
 fn usage() -> &'static str {
-    "usage: experiments [--quick] [--out DIR] CMD...\n\
+    "usage: experiments [--quick] [--out DIR] [--discipline fifo|sjf|sjf:SECONDS|elevator] CMD...\n\
      CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout all"
 }
 
 fn main() -> ExitCode {
     let mut scale = Scale::Paper;
     let mut out_dir = PathBuf::from("results");
+    let mut discipline = DisciplineChoice::Fifo;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,6 +38,16 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
                     eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--discipline" => match args.next().as_deref().and_then(DisciplineChoice::parse) {
+                Some(d) => discipline = d,
+                None => {
+                    eprintln!(
+                        "--discipline needs fifo|sjf|sjf:SECONDS|elevator\n{}",
+                        usage()
+                    );
                     return ExitCode::FAILURE;
                 }
             },
@@ -102,7 +117,7 @@ fn main() -> ExitCode {
             "vsweep" => vsweep::vsweep(scale),
             "bounds" => bounds_exp::bounds(scale),
             "sensitivity" => sensitivity::sensitivity(scale),
-            "shootout" => shootout::shootout(scale),
+            "shootout" => shootout::shootout_with(scale, discipline),
             other => {
                 eprintln!("unknown command {other:?}\n{}", usage());
                 return ExitCode::FAILURE;

@@ -1,18 +1,21 @@
-//! Allocator *and* policy shootout (extension): every allocation policy in
-//! the workspace head-to-head on the Table 1 workload — packing quality
-//! (disks used), energy relative to random placement, response times —
-//! followed by every spin-down policy head-to-head on the Pack_Disks
-//! allocation: the paper's fixed-threshold curves against the online
-//! policies (randomised ski-rental, adaptive idle prediction) that the
-//! `PowerPolicy` trait opens up. This generalises the paper's two-way
-//! Pack_Disks-vs-random comparison into the design-space study its §6
-//! hints at.
+//! Allocator, policy *and* queue-discipline shootout (extension): every
+//! allocation policy in the workspace head-to-head on the Table 1 workload
+//! — packing quality (disks used), energy relative to random placement,
+//! mean and p95 response times — followed by every spin-down policy
+//! head-to-head on the Pack_Disks allocation (the paper's fixed-threshold
+//! curves against the online policies the `PowerPolicy` trait opens up),
+//! followed by every queue discipline on a spin-up-heavy bursty replay of
+//! the same allocation, where elevator batching amortises positioning
+//! across requests that piled up during a spin-up. This generalises the
+//! paper's two-way Pack_Disks-vs-random comparison into the design-space
+//! study its §6 hints at.
 
-use spindown_core::{Plan, Planner, PlannerConfig, PolicyChoice};
+use spindown_core::{DisciplineChoice, Plan, Planner, PlannerConfig, PolicyChoice};
 use spindown_packing::Allocator;
+use spindown_workload::arrivals::BatchConfig;
 use spindown_workload::{FileCatalog, Trace};
 
-use crate::sweep::{parallel_map, policy_cache_grid, run_sweep};
+use crate::sweep::{parallel_map, policy_cache_grid, policy_discipline_grid, run_sweep};
 use crate::{grid_seed, Figure, Scale};
 
 /// The allocator competitors, with stable row indices. CHP (identical
@@ -48,8 +51,35 @@ pub fn policy_competitors() -> Vec<PolicyChoice> {
     ]
 }
 
-/// Run the shootout at R = 4, L = 0.7.
+/// The queue-discipline competitors for the third part of the shootout.
+pub fn discipline_competitors() -> Vec<DisciplineChoice> {
+    DisciplineChoice::all()
+}
+
+/// The spin-up-heavy burst workload the discipline rows replay: sparse
+/// bursts (disks sleep out the gaps under the aggressive threshold) of
+/// several near-simultaneous requests each, so most service happens right
+/// after a wake with a queue that piled up during the spin-up.
+fn spin_up_heavy_trace(catalog: &FileCatalog, scale: Scale) -> Trace {
+    let cfg = BatchConfig {
+        burst_rate: 1.0 / 150.0,
+        min_batch: 4,
+        max_batch: 8,
+        intra_batch_gap_s: 0.5,
+    };
+    Trace::batched(catalog, &cfg, scale.sim_time(), grid_seed(91, 0, 0))
+}
+
+/// Run the shootout at R = 4, L = 0.7 with FIFO queues (the paper's
+/// service model) for the allocator and policy rows.
 pub fn shootout(scale: Scale) -> Figure {
+    shootout_with(scale, DisciplineChoice::Fifo)
+}
+
+/// Run the shootout with an explicit base queue discipline for the
+/// allocator and policy rows (`--discipline` in the CLI); the discipline
+/// rows always compare the whole discipline family.
+pub fn shootout_with(scale: Scale, base: DisciplineChoice) -> Figure {
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
     let rate = 4.0;
     let fleet = scale.fleet();
@@ -60,6 +90,7 @@ pub fn shootout(scale: Scale) -> Figure {
     let alloc_results: Vec<(usize, f64, f64, f64, Plan)> = parallel_map(&allocators, |_, alloc| {
         let mut cfg = PlannerConfig::default();
         cfg.allocator = *alloc;
+        cfg.sim = cfg.sim.with_discipline(base);
         let planner = Planner::new(cfg);
         let plan = planner.plan(&catalog, rate).expect("plan feasible");
         let report = planner
@@ -77,16 +108,45 @@ pub fn shootout(scale: Scale) -> Figure {
     let random_energy = alloc_results.last().expect("random is last").1;
 
     // Part 2: spin-down policies on the Pack_Disks allocation (row 0),
-    // fanned as one (policy × cache) sweep grid.
+    // fanned as one (policy × discipline) sweep grid at the base
+    // discipline.
     let pack_plan = &alloc_results[0].4;
     let policies = policy_competitors();
-    let grid = policy_cache_grid(&policies, &[None]);
+    let grid = policy_discipline_grid(&policies, &[base]);
     let disk = PlannerConfig::default().disk;
     let policy_reports = run_sweep(&catalog, &trace, &pack_plan.assignment, &disk, fleet, &grid);
 
+    // Part 3: queue disciplines on a spin-up-heavy bursty replay of the
+    // Pack_Disks allocation, under the break-even spin-down policy. The
+    // energy reference is random placement on the *same* bursty trace, so
+    // the saving column keeps one meaning per trace.
+    let bursty = spin_up_heavy_trace(&catalog, scale);
+    let disciplines = discipline_competitors();
+    let discipline_grid = policy_discipline_grid(&[PolicyChoice::break_even()], &disciplines);
+    let discipline_reports = run_sweep(
+        &catalog,
+        &bursty,
+        &pack_plan.assignment,
+        &disk,
+        fleet,
+        &discipline_grid,
+    );
+    let random_plan = &alloc_results.last().expect("random is last").4;
+    let bursty_random_energy = run_sweep(
+        &catalog,
+        &bursty,
+        &random_plan.assignment,
+        &disk,
+        fleet,
+        &policy_cache_grid(&[PolicyChoice::break_even()], &[None]),
+    )[0]
+    .energy
+    .total_joules();
+
     let mut fig = Figure::new(
         "shootout",
-        "Allocator and policy shootout at R = 4, L = 0.7 (saving is vs random placement)",
+        "Allocator, policy and queue-discipline shootout at R = 4, L = 0.7 \
+         (saving is vs random placement on the row's trace)",
         vec![
             "row".into(),
             "disks_used".into(),
@@ -97,8 +157,9 @@ pub fn shootout(scale: Scale) -> Figure {
     );
     for (idx, alloc) in allocators.iter().enumerate() {
         fig.notes.push(format!(
-            "row {idx} = alloc {} (break_even policy)",
-            alloc.label()
+            "row {idx} = alloc {} (break_even policy, {} discipline)",
+            alloc.label(),
+            base.label()
         ));
     }
     for (j, spec) in grid.iter().enumerate() {
@@ -106,6 +167,13 @@ pub fn shootout(scale: Scale) -> Figure {
             "row {} = policy {} (Pack_Disks allocation)",
             allocators.len() + j,
             spec.label()
+        ));
+    }
+    for (j, spec) in discipline_grid.iter().enumerate() {
+        fig.notes.push(format!(
+            "row {} = discipline {} (Pack_Disks allocation, break_even, spin-up-heavy bursts)",
+            allocators.len() + grid.len() + j,
+            spec.discipline.label()
         ));
     }
     for (idx, (disks, energy, resp, p95, _)) in alloc_results.iter().enumerate() {
@@ -125,7 +193,17 @@ pub fn shootout(scale: Scale) -> Figure {
             pack_disks_used as f64,
             1.0 - report.energy.total_joules() / random_energy,
             report.responses.mean(),
-            resp.quantile(0.95),
+            resp.p95(),
+        ]);
+    }
+    for (j, report) in discipline_reports.iter().enumerate() {
+        let mut resp = report.responses.clone();
+        fig.push_row(vec![
+            (allocators.len() + grid.len() + j) as f64,
+            pack_disks_used as f64,
+            1.0 - report.energy.total_joules() / bursty_random_energy,
+            report.responses.mean(),
+            resp.p95(),
         ]);
     }
     fig
@@ -140,7 +218,8 @@ mod tests {
         let fig = shootout(Scale::Quick);
         let n_alloc = competitors(Scale::Quick, 100).len();
         let n_policy = policy_competitors().len();
-        assert_eq!(fig.rows.len(), n_alloc + n_policy);
+        let n_disc = discipline_competitors().len();
+        assert_eq!(fig.rows.len(), n_alloc + n_policy + n_disc);
         let savings = fig.series("saving_vs_rnd").unwrap();
         let disks = fig.series("disks_used").unwrap();
         // Pack_Disks (row 0) saves clearly against random (last alloc row).
@@ -188,6 +267,50 @@ mod tests {
         let adaptive = savings[n_alloc + 3];
         assert!(ski > 0.1, "ski_rental saving {ski}");
         assert!(adaptive > 0.1, "adaptive saving {adaptive}");
+    }
+
+    #[test]
+    fn discipline_rows_show_elevator_no_worse_than_fifo_on_spin_up_bursts() {
+        let fig = shootout(Scale::Quick);
+        let n_alloc = competitors(Scale::Quick, 100).len();
+        let n_policy = policy_competitors().len();
+        let disciplines = discipline_competitors();
+        assert_eq!(disciplines[0], DisciplineChoice::Fifo);
+        assert_eq!(disciplines[2], DisciplineChoice::ElevatorBatch);
+        for d in &disciplines {
+            assert!(
+                fig.notes
+                    .iter()
+                    .any(|n| n.contains("discipline") && n.contains(d.label().as_str())),
+                "missing discipline note for {}",
+                d.label()
+            );
+        }
+        let first = n_alloc + n_policy;
+        let means = fig.series("resp_s").unwrap();
+        let p95s = fig.series("resp_p95_s").unwrap();
+        let (fifo, elevator) = (first, first + 2);
+        // Spin-up batching amortises positioning on a pile-up-heavy trace:
+        // mean response must not regress vs FIFO (acceptance criterion).
+        assert!(
+            means[elevator] <= means[fifo] + 1e-9,
+            "elevator mean {} vs fifo {}",
+            means[elevator],
+            means[fifo]
+        );
+        for row in first..first + disciplines.len() {
+            assert!(p95s[row].is_finite() && p95s[row] >= means[row] * 0.5);
+        }
+    }
+
+    #[test]
+    fn shootout_with_sjf_base_labels_the_policy_rows() {
+        let fig = shootout_with(Scale::Quick, DisciplineChoice::sjf());
+        assert!(
+            fig.notes.iter().any(|n| n.contains("break_even+sjf_a30s")),
+            "policy rows should carry the base discipline label"
+        );
+        assert!(fig.notes.iter().any(|n| n.contains("sjf_a30s discipline")));
     }
 
     #[test]

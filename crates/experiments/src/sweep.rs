@@ -7,17 +7,18 @@
 //! - [`parallel_map`] — the generic primitive every experiment uses: an
 //!   order-preserving parallel map over a slice, work-stealing via an
 //!   atomic cursor.
-//! - [`SweepSpec`]/[`run_sweep`]/[`policy_cache_grid`] — the
-//!   (policy × threshold × cache) grid runner: each grid point names a
-//!   [`PolicyChoice`] (fixed thresholds are policies too) and an optional
-//!   cache, and is simulated against a shared workload/assignment on its
-//!   own thread. Determinism holds because every simulation is seeded by
-//!   its grid point, never by thread scheduling.
+//! - [`SweepSpec`]/[`run_sweep`]/[`policy_cache_grid`]/
+//!   [`policy_discipline_grid`] — the (policy × discipline × cache) grid
+//!   runner: each grid point names a [`PolicyChoice`] (fixed thresholds are
+//!   policies too), a queue [`DisciplineChoice`] and an optional cache, and
+//!   is simulated against a shared workload/assignment on its own thread.
+//!   Determinism holds because every simulation is seeded by its grid
+//!   point, never by thread scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use spindown_core::PolicyChoice;
+use spindown_core::{DisciplineChoice, PolicyChoice};
 use spindown_disk::DiskSpec;
 use spindown_packing::Assignment;
 use spindown_sim::config::{CacheConfig, SimConfig};
@@ -69,34 +70,65 @@ where
         .collect()
 }
 
-/// One point of a (policy × cache) sweep grid.
+/// One point of a (policy × discipline × cache) sweep grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepSpec {
     /// The spin-down policy to run (fixed thresholds included).
     pub policy: PolicyChoice,
+    /// The per-disk queue discipline.
+    pub discipline: DisciplineChoice,
     /// Optional LRU cache in front of the dispatcher.
     pub cache: Option<CacheConfig>,
 }
 
 impl SweepSpec {
-    /// Label like `break_even` or `fixed_1800s+lru`.
+    /// Label like `break_even`, `fixed_1800s+lru` or `break_even+sjf_a30s`
+    /// (the discipline is only spelled out when it is not FIFO).
     pub fn label(&self) -> String {
-        match self.cache {
-            Some(_) => format!("{}+lru", self.policy.label()),
-            None => self.policy.label(),
+        let mut label = self.policy.label();
+        if self.discipline != DisciplineChoice::Fifo {
+            label = format!("{label}+{}", self.discipline.label());
         }
+        if self.cache.is_some() {
+            label = format!("{label}+lru");
+        }
+        label
     }
 }
 
-/// The full cross product of policies and cache options, in row-major
-/// (policy-outer) order.
+/// The cross product of policies and cache options (FIFO discipline), in
+/// row-major (policy-outer) order.
 pub fn policy_cache_grid(
     policies: &[PolicyChoice],
     caches: &[Option<CacheConfig>],
 ) -> Vec<SweepSpec> {
     policies
         .iter()
-        .flat_map(|&policy| caches.iter().map(move |&cache| SweepSpec { policy, cache }))
+        .flat_map(|&policy| {
+            caches.iter().map(move |&cache| SweepSpec {
+                policy,
+                discipline: DisciplineChoice::Fifo,
+                cache,
+            })
+        })
+        .collect()
+}
+
+/// The cross product of policies and queue disciplines (no cache), in
+/// row-major (policy-outer) order — the discipline shootout grid.
+pub fn policy_discipline_grid(
+    policies: &[PolicyChoice],
+    disciplines: &[DisciplineChoice],
+) -> Vec<SweepSpec> {
+    policies
+        .iter()
+        .flat_map(|&policy| {
+            disciplines.iter().map(move |&discipline| SweepSpec {
+                policy,
+                discipline,
+                cache: None,
+            })
+        })
         .collect()
 }
 
@@ -116,6 +148,7 @@ pub fn run_sweep(
             ..SimConfig::paper_default()
         };
         cfg.cache = spec.cache;
+        cfg.discipline = spec.discipline;
         Simulator::run_with_policy(
             catalog,
             trace,
@@ -162,6 +195,19 @@ mod tests {
         assert_eq!(grid[1].label(), "break_even+lru");
         assert_eq!(grid[2].label(), "never");
         assert_eq!(grid[3].label(), "never+lru");
+    }
+
+    #[test]
+    fn discipline_grid_is_policy_outer_with_labelled_points() {
+        let policies = [PolicyChoice::break_even(), PolicyChoice::never()];
+        let disciplines = DisciplineChoice::all();
+        let grid = policy_discipline_grid(&policies, &disciplines);
+        assert_eq!(grid.len(), 6);
+        assert_eq!(grid[0].label(), "break_even");
+        assert_eq!(grid[1].label(), "break_even+sjf_a30s");
+        assert_eq!(grid[2].label(), "break_even+elevator");
+        assert_eq!(grid[3].label(), "never");
+        assert!(grid.iter().all(|s| s.cache.is_none()));
     }
 
     #[test]

@@ -1,12 +1,12 @@
-//! Per-disk simulation actor: a FIFO request queue plus the validated power
-//! state machine and service timing from `spindown-disk`.
-
-use std::collections::VecDeque;
+//! Per-disk simulation actor: a discipline-ordered request queue plus the
+//! validated power state machine and service timing from `spindown-disk`.
 
 use spindown_disk::energy::EnergyBreakdown;
 use spindown_disk::mechanics::ServiceTimer;
 use spindown_disk::state::{DiskStateMachine, TransitionError};
 use spindown_disk::{DiskSpec, PowerState};
+
+use crate::discipline::{DisciplineChoice, Popped, RequestQueue, ELEVATOR_SEEK_FACTOR};
 
 /// What the disk is doing, from the queueing perspective. Mirrors (and is
 /// asserted against) the state machine's power state.
@@ -30,8 +30,8 @@ pub struct DiskActor {
     machine: DiskStateMachine,
     timer: ServiceTimer,
     phase: Phase,
-    /// FIFO of pending request indices (into the trace).
-    pub queue: VecDeque<usize>,
+    /// Pending requests, ordered by the configured queue discipline.
+    queue: RequestQueue,
     /// The request currently in service.
     pub current: Option<usize>,
     /// Incremented every time the disk *becomes* idle; stale spin-down
@@ -41,14 +41,19 @@ pub struct DiskActor {
 }
 
 impl DiskActor {
-    /// New actor, idle at time 0.
+    /// New actor, idle at time 0, serving its queue FIFO.
     pub fn new(spec: DiskSpec) -> Self {
+        Self::with_discipline(spec, DisciplineChoice::Fifo)
+    }
+
+    /// New actor, idle at time 0, with an explicit queue discipline.
+    pub fn with_discipline(spec: DiskSpec, discipline: DisciplineChoice) -> Self {
         let timer = ServiceTimer::new(&spec);
         DiskActor {
             machine: DiskStateMachine::new(spec, 0.0),
             timer,
             phase: Phase::Idle,
-            queue: VecDeque::new(),
+            queue: RequestQueue::new(discipline),
             current: None,
             idle_generation: 0,
             served: 0,
@@ -75,16 +80,57 @@ impl DiskActor {
         self.machine.spin_ups()
     }
 
+    /// The pending-request queue (push via [`DiskActor::enqueue`]).
+    pub fn queue(&self) -> &RequestQueue {
+        &self.queue
+    }
+
+    /// Number of pending (not in-flight) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no request is pending in the queue.
+    pub fn queue_is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Add a pending request: trace index, size, arrival time and
+    /// platter-position proxy (file index).
+    pub fn enqueue(&mut self, req: usize, bytes: u64, arrival_s: f64, pos: u64) {
+        self.queue.push(req, bytes, arrival_s, pos);
+    }
+
+    /// Pop the next request per the discipline and begin serving it at `t`;
+    /// returns its completion time, or `None` when nothing is pending. Must
+    /// be idle when the queue is non-empty.
+    pub fn serve_next(&mut self, t: f64) -> Result<Option<f64>, TransitionError> {
+        let Some(Popped { entry, amortised }) = self.queue.pop(t) else {
+            return Ok(None);
+        };
+        Ok(Some(self.start_service(
+            t,
+            entry.req,
+            entry.bytes,
+            amortised,
+        )?))
+    }
+
     /// Begin serving request `req` for `bytes` bytes at time `t`; returns
-    /// the completion time. Must be idle.
+    /// the completion time. Must be idle. `amortised` requests ride an
+    /// elevator batch and pay [`ELEVATOR_SEEK_FACTOR`] of the average seek.
     pub fn start_service(
         &mut self,
         t: f64,
         req: usize,
         bytes: u64,
+        amortised: bool,
     ) -> Result<f64, TransitionError> {
         assert_eq!(self.phase, Phase::Idle, "start_service requires Idle");
-        let b = self.timer.breakdown(bytes);
+        let mut b = self.timer.breakdown(bytes);
+        if amortised {
+            b.seek_s *= ELEVATOR_SEEK_FACTOR;
+        }
         self.machine.transition(t, PowerState::Seek)?;
         // Rotation is charged at active power together with the transfer.
         self.machine.transition(t + b.seek_s, PowerState::Active)?;
@@ -127,12 +173,15 @@ impl DiskActor {
         Ok(done)
     }
 
-    /// Spin-up completed at `t`; the disk is idle again.
+    /// Spin-up completed at `t`; the disk is idle again. Everything that
+    /// accumulated while the disk was asleep or waking is frozen into one
+    /// elevator batch (a no-op for other disciplines).
     pub fn complete_spin_up(&mut self, t: f64) -> Result<(), TransitionError> {
         assert_eq!(self.phase, Phase::SpinningUp);
         self.machine.transition(t, PowerState::Idle)?;
         self.phase = Phase::Idle;
         self.idle_generation += 1;
+        self.queue.freeze_wake_batch();
         Ok(())
     }
 
@@ -159,7 +208,7 @@ mod tests {
     #[test]
     fn service_lifecycle() {
         let mut a = actor();
-        let done = a.start_service(10.0, 0, 72 * MB).unwrap();
+        let done = a.start_service(10.0, 0, 72 * MB, false).unwrap();
         // 72 MB at 72 MB/s = 1 s + positioning
         assert!((done - (10.0 + 1.0 + 0.0085 + 0.00416)).abs() < 1e-9);
         assert_eq!(a.phase(), Phase::Busy);
@@ -188,7 +237,7 @@ mod tests {
     fn idle_generation_bumps_on_each_idle_entry() {
         let mut a = actor();
         assert_eq!(a.idle_generation, 0);
-        let done = a.start_service(0.0, 7, MB).unwrap();
+        let done = a.start_service(0.0, 7, MB, false).unwrap();
         a.complete_service(done).unwrap();
         assert_eq!(a.idle_generation, 1);
         let d = a.begin_spin_down(100.0).unwrap();
@@ -202,22 +251,22 @@ mod tests {
     #[should_panic(expected = "start_service requires Idle")]
     fn cannot_serve_while_busy() {
         let mut a = actor();
-        a.start_service(0.0, 0, MB).unwrap();
-        let _ = a.start_service(0.1, 1, MB);
+        a.start_service(0.0, 0, MB, false).unwrap();
+        let _ = a.start_service(0.1, 1, MB, false);
     }
 
     #[test]
     #[should_panic(expected = "spin-down requires Idle")]
     fn cannot_spin_down_while_busy() {
         let mut a = actor();
-        a.start_service(0.0, 0, MB).unwrap();
+        a.start_service(0.0, 0, MB, false).unwrap();
         let _ = a.begin_spin_down(0.1);
     }
 
     #[test]
     fn energy_accounts_for_each_phase() {
         let mut a = actor();
-        let done = a.start_service(0.0, 0, 72 * MB).unwrap();
+        let done = a.start_service(0.0, 0, 72 * MB, false).unwrap();
         a.complete_service(done).unwrap();
         let b = a.finish(done).unwrap();
         assert!((b.seconds_in(PowerState::Seek) - 0.0085).abs() < 1e-9);
@@ -225,12 +274,85 @@ mod tests {
         assert!((b.total_seconds() - done).abs() < 1e-9);
     }
 
+    /// Drive the actor's real service path (enqueue → serve_next →
+    /// complete_service) and return the dispatch order.
+    fn dispatch_order(a: &mut DiskActor, mut t: f64) -> Vec<usize> {
+        let mut order = Vec::new();
+        while let Some(done) = a.serve_next(t).unwrap() {
+            order.push(a.complete_service(done).unwrap());
+            t = done;
+        }
+        order
+    }
+
     #[test]
-    fn queue_is_plain_fifo() {
+    fn fifo_dispatches_in_arrival_order_through_the_service_path() {
         let mut a = actor();
-        a.queue.push_back(3);
-        a.queue.push_back(4);
-        assert_eq!(a.queue.pop_front(), Some(3));
-        assert_eq!(a.queue.pop_front(), Some(4));
+        a.enqueue(3, 500 * MB, 0.0, 0);
+        a.enqueue(4, MB, 0.1, 1);
+        a.enqueue(5, 50 * MB, 0.2, 2);
+        assert_eq!(dispatch_order(&mut a, 1.0), vec![3, 4, 5]);
+        assert_eq!(a.served(), 3);
+    }
+
+    #[test]
+    fn sjf_dispatches_smallest_first_through_the_service_path() {
+        let spec = DiskSpec::seagate_st3500630as();
+        let mut a = DiskActor::with_discipline(
+            spec,
+            DisciplineChoice::ShortestJobFirst {
+                aging_bound_s: 1000.0,
+            },
+        );
+        a.enqueue(0, 500 * MB, 0.0, 0);
+        a.enqueue(1, MB, 0.1, 1);
+        a.enqueue(2, 50 * MB, 0.2, 2);
+        assert_eq!(dispatch_order(&mut a, 1.0), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sjf_aging_bound_dispatches_an_overdue_large_request_first() {
+        let spec = DiskSpec::seagate_st3500630as();
+        let mut a = DiskActor::with_discipline(
+            spec,
+            DisciplineChoice::ShortestJobFirst {
+                aging_bound_s: 30.0,
+            },
+        );
+        a.enqueue(0, 500 * MB, 0.0, 0);
+        a.enqueue(1, MB, 35.0, 1);
+        // At t = 40 the big request has waited 40 s ≥ the 30 s bound.
+        assert_eq!(dispatch_order(&mut a, 40.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn elevator_wake_batch_dispatches_by_position_with_amortised_seek() {
+        let spec = DiskSpec::seagate_st3500630as();
+        let mut a = DiskActor::with_discipline(spec, DisciplineChoice::ElevatorBatch);
+        let d = a.begin_spin_down(0.0).unwrap();
+        a.complete_spin_down(d).unwrap();
+        // Three requests pile up against the sleeping disk, positions out
+        // of order.
+        a.enqueue(0, 72 * MB, 20.0, 9);
+        a.enqueue(1, 72 * MB, 21.0, 2);
+        a.enqueue(2, 72 * MB, 22.0, 5);
+        let up = a.begin_spin_up(20.0).unwrap();
+        a.complete_spin_up(up).unwrap();
+        // First batch member (lowest position) pays the full seek…
+        let done1 = a.serve_next(up).unwrap().unwrap();
+        assert_eq!(a.complete_service(done1).unwrap(), 1);
+        assert!((done1 - up - (1.0 + 0.0085 + 0.00416)).abs() < 1e-9);
+        // …followers pay the amortised seek.
+        let done2 = a.serve_next(done1).unwrap().unwrap();
+        assert_eq!(a.complete_service(done2).unwrap(), 2);
+        assert!((done2 - done1 - (1.0 + 0.1 * 0.0085 + 0.00416)).abs() < 1e-9);
+        let done3 = a.serve_next(done2).unwrap().unwrap();
+        assert_eq!(a.complete_service(done3).unwrap(), 0);
+        assert!((done3 - done2 - (1.0 + 0.1 * 0.0085 + 0.00416)).abs() < 1e-9);
+        // Post-batch arrivals are back to full-seek FIFO.
+        a.enqueue(3, 72 * MB, done3, 7);
+        let done4 = a.serve_next(done3).unwrap().unwrap();
+        assert_eq!(a.complete_service(done4).unwrap(), 3);
+        assert!((done4 - done3 - (1.0 + 0.0085 + 0.00416)).abs() < 1e-9);
     }
 }

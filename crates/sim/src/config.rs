@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use spindown_disk::{break_even_threshold, DiskSpec};
 
+use crate::discipline::DisciplineChoice;
+
 /// When (if ever) an idle disk spins down.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ThresholdPolicy {
@@ -77,6 +79,13 @@ pub struct SimConfig {
     pub cache: Option<CacheConfig>,
     /// Arrival scheduling strategy (streamed by default).
     pub arrivals: ArrivalMode,
+    /// Per-disk queue discipline (FIFO by default — the paper's §4 model).
+    pub discipline: DisciplineChoice,
+    /// Record a per-request completion log `(req, disk, completion time)`
+    /// in the report. Off by default: the log is O(requests) memory, which
+    /// the streamed engine otherwise avoids; tests switch it on to check
+    /// conservation and ordering invariants.
+    pub completion_log: bool,
 }
 
 impl SimConfig {
@@ -88,6 +97,8 @@ impl SimConfig {
             threshold: ThresholdPolicy::BreakEven,
             cache: None,
             arrivals: ArrivalMode::Streamed,
+            discipline: DisciplineChoice::Fifo,
+            completion_log: false,
         }
     }
 
@@ -106,6 +117,18 @@ impl SimConfig {
     /// Select the arrival scheduling strategy.
     pub fn with_arrival_mode(mut self, arrivals: ArrivalMode) -> Self {
         self.arrivals = arrivals;
+        self
+    }
+
+    /// Select the per-disk queue discipline.
+    pub fn with_discipline(mut self, discipline: DisciplineChoice) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Record per-request completions in the report (O(requests) memory).
+    pub fn with_completion_log(mut self) -> Self {
+        self.completion_log = true;
         self
     }
 }
@@ -165,5 +188,17 @@ mod tests {
     fn arrivals_default_to_streamed() {
         assert_eq!(SimConfig::paper_default().arrivals, ArrivalMode::Streamed);
         assert_eq!(ArrivalMode::default(), ArrivalMode::Streamed);
+    }
+
+    #[test]
+    fn discipline_defaults_to_fifo_and_builds() {
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.discipline, DisciplineChoice::Fifo);
+        assert!(!cfg.completion_log);
+        let cfg = cfg
+            .with_discipline(DisciplineChoice::sjf())
+            .with_completion_log();
+        assert_eq!(cfg.discipline, DisciplineChoice::sjf());
+        assert!(cfg.completion_log);
     }
 }

@@ -1,0 +1,341 @@
+//! Pluggable per-disk queue disciplines.
+//!
+//! The engine pops the next request to serve at exactly two points — service
+//! completion and spin-up completion — and both go through
+//! [`RequestQueue::pop`], so the discipline is a pure reordering layer: it
+//! decides *which* pending request is served next (and whether its head
+//! positioning is amortised), never whether a request is served at all.
+//! Conservation (every request served exactly once) therefore holds for
+//! every discipline by construction, and is property-tested in
+//! `crates/sim/tests/disciplines.rs`.
+//!
+//! - [`DisciplineChoice::Fifo`] — serve in arrival order. Bit-identical to
+//!   the pre-discipline engine (golden-traced in `tests/golden_trace.rs`).
+//! - [`DisciplineChoice::ShortestJobFirst`] — serve the smallest pending
+//!   request, unless the oldest one has waited beyond the aging bound, in
+//!   which case the oldest is served first. The bound caps starvation:
+//!   a request's extra wait over FIFO never exceeds the bound by more than
+//!   one in-flight service.
+//! - [`DisciplineChoice::ElevatorBatch`] — FIFO in steady state, but
+//!   requests that piled up while the disk was in `Standby`/`SpinningUp`
+//!   are frozen at wake into one elevator pass (ascending platter position,
+//!   proxied by file index): the batch is served back-to-back and every
+//!   batch member after the first pays only [`ELEVATOR_SEEK_FACTOR`] of the
+//!   average seek, amortising head positioning across the pass.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the average seek paid by requests served inside an elevator
+/// batch after the first: consecutive stops of one sweep are near-sequential
+/// (track-to-track-ish), not average-distance seeks.
+pub const ELEVATOR_SEEK_FACTOR: f64 = 0.1;
+
+/// Which queue discipline each disk runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum DisciplineChoice {
+    /// Strict arrival order — the paper's §4 service model and the default.
+    #[default]
+    Fifo,
+    /// Size-aware: smallest pending request first, with an aging bound.
+    ShortestJobFirst {
+        /// Once the oldest pending request has waited this many seconds it
+        /// is served next regardless of size, so large requests cannot
+        /// starve behind a stream of small ones.
+        aging_bound_s: f64,
+    },
+    /// FIFO plus spin-up batching: requests accumulated while the disk was
+    /// asleep or waking drain as one positioning-amortised elevator pass.
+    ElevatorBatch,
+}
+
+impl DisciplineChoice {
+    /// Shortest-job-first with the default 30 s aging bound.
+    pub fn sjf() -> Self {
+        DisciplineChoice::ShortestJobFirst {
+            aging_bound_s: 30.0,
+        }
+    }
+
+    /// Every discipline family, one representative each — the grid tests
+    /// and sweeps iterate this.
+    pub fn all() -> Vec<DisciplineChoice> {
+        vec![
+            DisciplineChoice::Fifo,
+            DisciplineChoice::sjf(),
+            DisciplineChoice::ElevatorBatch,
+        ]
+    }
+
+    /// Short stable label for figures and CSV notes.
+    pub fn label(&self) -> String {
+        match *self {
+            DisciplineChoice::Fifo => "fifo".into(),
+            DisciplineChoice::ShortestJobFirst { aging_bound_s } => {
+                format!("sjf_a{aging_bound_s:.0}s")
+            }
+            DisciplineChoice::ElevatorBatch => "elevator".into(),
+        }
+    }
+
+    /// Parse a CLI spelling: `fifo`, `sjf` (default bound), `sjf:SECONDS`,
+    /// `elevator`.
+    pub fn parse(s: &str) -> Option<DisciplineChoice> {
+        match s {
+            "fifo" => Some(DisciplineChoice::Fifo),
+            "sjf" => Some(DisciplineChoice::sjf()),
+            "elevator" => Some(DisciplineChoice::ElevatorBatch),
+            _ => {
+                let rest = s.strip_prefix("sjf:")?;
+                let bound: f64 = rest.parse().ok()?;
+                (bound.is_finite() && bound >= 0.0).then_some(DisciplineChoice::ShortestJobFirst {
+                    aging_bound_s: bound,
+                })
+            }
+        }
+    }
+}
+
+/// One pending request as the queue sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueEntry {
+    /// Index into the trace.
+    pub req: usize,
+    /// File size — the SJF key.
+    pub bytes: u64,
+    /// Arrival time at this queue, seconds (drives SJF aging).
+    pub arrival_s: f64,
+    /// Platter-position proxy (file index) — the elevator sort key.
+    pub pos: u64,
+    /// Push sequence number; the FIFO key and the deterministic tie-break
+    /// everywhere else.
+    seq: u64,
+}
+
+/// A popped request plus how it should be served.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Popped {
+    /// The request to serve.
+    pub entry: QueueEntry,
+    /// True when this request rides an elevator batch behind another one
+    /// and pays the amortised seek.
+    pub amortised: bool,
+}
+
+/// The per-disk pending-request queue, reordered by a [`DisciplineChoice`].
+///
+/// Entries are pushed in arrival order and the queue preserves the relative
+/// order of whatever it has not yet popped, so index 0 is always the oldest
+/// pending request (the aging probe) regardless of discipline.
+#[derive(Debug)]
+pub struct RequestQueue {
+    discipline: DisciplineChoice,
+    entries: VecDeque<QueueEntry>,
+    next_seq: u64,
+    /// Entries at the front still belonging to the current wake batch.
+    batch_remaining: usize,
+    /// True until the first member of the current wake batch is popped.
+    batch_first_pending: bool,
+}
+
+impl RequestQueue {
+    /// Empty queue running `discipline`.
+    pub fn new(discipline: DisciplineChoice) -> Self {
+        RequestQueue {
+            discipline,
+            entries: VecDeque::new(),
+            next_seq: 0,
+            batch_remaining: 0,
+            batch_first_pending: false,
+        }
+    }
+
+    /// The discipline this queue runs.
+    pub fn discipline(&self) -> DisciplineChoice {
+        self.discipline
+    }
+
+    /// Pending-request count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate the pending entries in their current internal order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+
+    /// Append a request (requests always enter in arrival order).
+    pub fn push(&mut self, req: usize, bytes: u64, arrival_s: f64, pos: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push_back(QueueEntry {
+            req,
+            bytes,
+            arrival_s,
+            pos,
+            seq,
+        });
+    }
+
+    /// Freeze everything currently pending into one elevator batch, sorted
+    /// by ascending position (ties by arrival). Called by the actor when a
+    /// spin-up completes; a no-op for other disciplines or batches of ≤ 1.
+    pub fn freeze_wake_batch(&mut self) {
+        if self.discipline != DisciplineChoice::ElevatorBatch || self.entries.len() <= 1 {
+            return;
+        }
+        debug_assert_eq!(self.batch_remaining, 0, "wake with a batch in flight");
+        self.entries
+            .make_contiguous()
+            .sort_by_key(|e| (e.pos, e.seq));
+        self.batch_remaining = self.entries.len();
+        self.batch_first_pending = true;
+    }
+
+    /// Pop the next request to serve at time `now` under the discipline.
+    pub fn pop(&mut self, now: f64) -> Option<Popped> {
+        if self.batch_remaining > 0 {
+            let entry = self.entries.pop_front().expect("batch implies entries");
+            let amortised = !self.batch_first_pending;
+            self.batch_first_pending = false;
+            self.batch_remaining -= 1;
+            return Some(Popped { entry, amortised });
+        }
+        let entry = match self.discipline {
+            DisciplineChoice::Fifo | DisciplineChoice::ElevatorBatch => self.entries.pop_front()?,
+            DisciplineChoice::ShortestJobFirst { aging_bound_s } => {
+                let oldest = self.entries.front()?;
+                if now - oldest.arrival_s >= aging_bound_s {
+                    self.entries.pop_front()?
+                } else {
+                    let (idx, _) = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| (e.bytes, e.seq))
+                        .expect("non-empty");
+                    self.entries.remove(idx).expect("index in range")
+                }
+            }
+        };
+        Some(Popped {
+            entry,
+            amortised: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut RequestQueue, now: f64) -> Vec<(usize, bool)> {
+        let mut order = Vec::new();
+        while let Some(p) = q.pop(now) {
+            order.push((p.entry.req, p.amortised));
+        }
+        order
+    }
+
+    #[test]
+    fn fifo_pops_in_push_order() {
+        let mut q = RequestQueue::new(DisciplineChoice::Fifo);
+        q.push(3, 500, 0.0, 9);
+        q.push(4, 1, 0.1, 2);
+        assert_eq!(drain(&mut q, 1.0), vec![(3, false), (4, false)]);
+    }
+
+    #[test]
+    fn sjf_pops_smallest_first_with_stable_ties() {
+        let mut q = RequestQueue::new(DisciplineChoice::ShortestJobFirst {
+            aging_bound_s: 60.0,
+        });
+        q.push(0, 300, 0.0, 0);
+        q.push(1, 10, 0.0, 1);
+        q.push(2, 10, 0.0, 2);
+        q.push(3, 70, 0.0, 3);
+        assert_eq!(
+            drain(&mut q, 1.0),
+            vec![(1, false), (2, false), (3, false), (0, false)]
+        );
+    }
+
+    #[test]
+    fn sjf_aging_bound_promotes_the_oldest() {
+        let mut q = RequestQueue::new(DisciplineChoice::ShortestJobFirst {
+            aging_bound_s: 30.0,
+        });
+        q.push(0, 1_000_000, 0.0, 0);
+        q.push(1, 1, 40.0, 1);
+        // The big request has waited 40 s ≥ 30 s: it goes first.
+        assert_eq!(q.pop(40.0).unwrap().entry.req, 0);
+        assert_eq!(q.pop(40.0).unwrap().entry.req, 1);
+    }
+
+    #[test]
+    fn elevator_freezes_wake_batch_by_position() {
+        let mut q = RequestQueue::new(DisciplineChoice::ElevatorBatch);
+        q.push(0, 10, 0.0, 7);
+        q.push(1, 10, 0.5, 2);
+        q.push(2, 10, 1.0, 5);
+        q.freeze_wake_batch();
+        // Sorted by position; only the first pays the full seek.
+        assert_eq!(drain(&mut q, 2.0), vec![(1, false), (2, true), (0, true)]);
+    }
+
+    #[test]
+    fn elevator_is_fifo_outside_batches() {
+        let mut q = RequestQueue::new(DisciplineChoice::ElevatorBatch);
+        q.push(0, 10, 0.0, 9);
+        q.push(1, 10, 0.0, 1);
+        assert_eq!(drain(&mut q, 0.0), vec![(0, false), (1, false)]);
+    }
+
+    #[test]
+    fn freeze_is_noop_for_fifo_and_singletons() {
+        let mut q = RequestQueue::new(DisciplineChoice::Fifo);
+        q.push(0, 10, 0.0, 3);
+        q.push(1, 10, 0.0, 1);
+        q.freeze_wake_batch();
+        assert_eq!(drain(&mut q, 0.0), vec![(0, false), (1, false)]);
+        let mut q = RequestQueue::new(DisciplineChoice::ElevatorBatch);
+        q.push(0, 10, 0.0, 3);
+        q.freeze_wake_batch();
+        assert_eq!(drain(&mut q, 0.0), vec![(0, false)]);
+    }
+
+    #[test]
+    fn labels_and_parsing_round_trip() {
+        assert_eq!(DisciplineChoice::Fifo.label(), "fifo");
+        assert_eq!(DisciplineChoice::sjf().label(), "sjf_a30s");
+        assert_eq!(DisciplineChoice::ElevatorBatch.label(), "elevator");
+        assert_eq!(
+            DisciplineChoice::parse("fifo"),
+            Some(DisciplineChoice::Fifo)
+        );
+        assert_eq!(
+            DisciplineChoice::parse("sjf"),
+            Some(DisciplineChoice::sjf())
+        );
+        assert_eq!(
+            DisciplineChoice::parse("sjf:12.5"),
+            Some(DisciplineChoice::ShortestJobFirst {
+                aging_bound_s: 12.5
+            })
+        );
+        assert_eq!(
+            DisciplineChoice::parse("elevator"),
+            Some(DisciplineChoice::ElevatorBatch)
+        );
+        assert_eq!(DisciplineChoice::parse("lifo"), None);
+        assert_eq!(DisciplineChoice::parse("sjf:-1"), None);
+        assert_eq!(DisciplineChoice::default(), DisciplineChoice::Fifo);
+    }
+}

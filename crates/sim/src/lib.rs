@@ -22,6 +22,10 @@
 //! - [`policy`] — the pluggable [`policy::PowerPolicy`] trait and the
 //!   fixed-timeout implementation; online policies plug in from
 //!   `spindown-analysis`.
+//! - [`discipline`] — pluggable per-disk queue disciplines
+//!   ([`discipline::DisciplineChoice`]): FIFO, shortest-job-first with an
+//!   aging bound, and elevator batching of requests that pile up during a
+//!   spin-up.
 //! - [`actor`] — per-disk actor bridging queueing and the state machine.
 //! - [`metrics`] — response-time statistics and the simulation report.
 //! - [`engine`] — the [`engine::Simulator`] main loop (streamed arrivals by
@@ -75,6 +79,7 @@
 pub mod actor;
 pub mod cache;
 pub mod config;
+pub mod discipline;
 pub mod engine;
 pub mod event;
 pub mod metrics;
@@ -82,6 +87,7 @@ pub mod policy;
 
 pub use cache::LruCache;
 pub use config::{ArrivalMode, CacheConfig, SimConfig, ThresholdPolicy};
+pub use discipline::DisciplineChoice;
 pub use engine::{SimError, Simulator};
 pub use metrics::{ResponseStats, SimReport};
 pub use policy::{PowerPolicy, TimeoutPolicy};

@@ -75,6 +75,16 @@ impl ResponseStats {
         self.quantile(0.5)
     }
 
+    /// 95th percentile — the tail metric the queue-discipline work targets.
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
     /// Fraction of samples at or below `bound` seconds (1.0 when empty —
     /// an empty workload vacuously meets any deadline).
     pub fn fraction_within(&self, bound: f64) -> f64 {
@@ -92,6 +102,18 @@ impl ResponseStats {
     }
 }
 
+/// One served request, for the optional completion log
+/// (`SimConfig::with_completion_log`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Index into the trace.
+    pub req: usize,
+    /// Disk that served it.
+    pub disk: usize,
+    /// Completion time, seconds.
+    pub time_s: f64,
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -103,6 +125,13 @@ pub struct SimReport {
     pub per_disk_energy: Vec<EnergyBreakdown>,
     /// Response-time samples for requests served by disks *and* the cache.
     pub responses: ResponseStats,
+    /// Response-time samples per disk, in disk order (cache hits excluded —
+    /// they never reach a disk).
+    pub per_disk_responses: Vec<ResponseStats>,
+    /// Per-request completion log, when `SimConfig::completion_log` is on.
+    /// Appended in completion order, so per-disk subsequences are the
+    /// disk's service order.
+    pub completions: Option<Vec<Completion>>,
     /// Total completed spin-down transitions across the fleet.
     pub spin_downs: u64,
     /// Total completed spin-up transitions across the fleet.
@@ -181,6 +210,17 @@ mod tests {
         assert_eq!(r.quantile(1.0), 5.0);
         assert_eq!(r.max(), 5.0);
         assert!((r.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p95_p99_are_nearest_rank_tail_quantiles() {
+        let mut r = ResponseStats::new();
+        for v in 1..=100 {
+            r.record(v as f64);
+        }
+        assert_eq!(r.p95(), 95.0);
+        assert_eq!(r.p99(), 99.0);
+        assert_eq!(r.quantile(1.0), 100.0);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Heavyweight smoke tests for the `--ignored` CI lane
+//! (`cargo test -q -- --ignored`): a million-request streamed replay per
+//! queue discipline, checking the invariants that matter at scale —
+//! conservation, fleet-bound event heap, energy–time accounting — without
+//! slowing the default tier-1 run.
+
+use spindown::packing::{Assignment, DiskBin};
+use spindown::sim::config::{SimConfig, ThresholdPolicy};
+use spindown::sim::discipline::DisciplineChoice;
+use spindown::sim::engine::Simulator;
+use spindown::workload::{FileCatalog, Trace};
+
+const FILES: usize = 64;
+const DISKS: usize = 8;
+
+/// 64 equally popular 8 MB files round-robined over 8 disks; 250 req/s for
+/// 4000 s ≈ one million requests (the `arrival_scheduling` bench fixture).
+fn fixture() -> (FileCatalog, Trace, Assignment) {
+    let catalog = FileCatalog::from_parts(vec![8_000_000; FILES], vec![1.0 / FILES as f64; FILES]);
+    let trace = Trace::poisson(&catalog, 250.0, 4_000.0, 1_000_003);
+    let mut bins: Vec<DiskBin> = (0..DISKS).map(|_| DiskBin::default()).collect();
+    for file in 0..FILES {
+        bins[file % DISKS].items.push(file);
+    }
+    (catalog, trace, Assignment { disks: bins })
+}
+
+#[test]
+#[ignore = "smoke lane: cargo test -- --ignored"]
+fn one_million_request_streamed_replay_conserves_under_every_discipline() {
+    let (catalog, trace, assignment) = fixture();
+    assert!(
+        trace.len() > 900_000,
+        "want ~1M requests, got {}",
+        trace.len()
+    );
+    let mut fifo_energy = None;
+    for discipline in DisciplineChoice::all() {
+        let cfg = SimConfig::paper_default()
+            .with_threshold(ThresholdPolicy::BreakEven)
+            .with_discipline(discipline);
+        let report = Simulator::run(&catalog, &trace, &assignment, &cfg).expect("replay");
+        // Conservation at scale: every request answered exactly once.
+        assert_eq!(
+            report.responses.len(),
+            trace.len(),
+            "{} dropped requests",
+            discipline.label()
+        );
+        let served: u64 = report.per_disk_served.iter().sum();
+        assert_eq!(served, trace.len() as u64);
+        // The streamed engine keeps the heap fleet-bound even at 1M
+        // requests, whatever the discipline does to the queue.
+        assert!(
+            report.peak_event_queue <= 4 * report.disks + 4,
+            "{}: peak {} for {} disks",
+            discipline.label(),
+            report.peak_event_queue,
+            report.disks
+        );
+        // Energy–time accounting never leaks.
+        let covered = report.energy.total_seconds();
+        let expected = report.sim_time_s * report.disks as f64;
+        assert!(
+            (covered - expected).abs() < 1e-6 * expected,
+            "{}: covered {covered}s vs {expected}s",
+            discipline.label()
+        );
+        // At 250 req/s the fleet never sleeps: reordering the queue
+        // cannot change the energy integral.
+        let energy = report.energy.total_joules();
+        match fifo_energy {
+            None => fifo_energy = Some(energy),
+            Some(e) => assert!(
+                (energy - e).abs() < 1e-6 * e,
+                "{}: energy {energy} vs fifo {e}",
+                discipline.label()
+            ),
+        }
+    }
+}
