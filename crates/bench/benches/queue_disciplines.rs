@@ -11,7 +11,8 @@ use spindown_sim::config::{SimConfig, ThresholdPolicy};
 use spindown_sim::discipline::DisciplineChoice;
 use spindown_sim::engine::Simulator;
 use spindown_workload::arrivals::BatchConfig;
-use spindown_workload::{FileCatalog, Trace};
+use spindown_workload::trace::Request;
+use spindown_workload::{FileCatalog, FileId, Trace};
 use std::hint::black_box;
 
 const FILES: usize = 256;
@@ -83,19 +84,72 @@ fn bench(c: &mut Criterion) {
                 .with_threshold(threshold)
                 .with_discipline(discipline);
             let report = Simulator::run(&catalog, trace, &assignment, &cfg).unwrap();
-            let mut resp = report.responses.clone();
+            let quantiles = report.response_quantiles(&[0.95, 0.99]);
             println!(
                 "queue_disciplines/{workload}/latency/{}: mean {:.3} s, p95 {:.3} s, p99 {:.3} s \
                  ({} requests)",
                 discipline.label(),
                 report.responses.mean(),
-                resp.p95(),
-                resp.p99(),
+                quantiles[0],
+                quantiles[1],
                 trace.len()
             );
         }
     }
 }
 
-criterion_group!(benches, bench);
+/// The deep-queue scenario the O(log n) SJF queue exists for: one disk,
+/// 30 000 simultaneous arrivals, so the pending queue is tens of thousands
+/// deep while it drains. The linear min-scan implementation did
+/// O(depth) work *per pop* here (O(n²) per drain, with an O(n) `remove`
+/// shifting the deque each time); the indexed heap pops in O(log n). The
+/// huge aging bound keeps every pop on the size-ordered path — with the
+/// default 30 s bound a pile-up this deep ages out into FIFO-order pops,
+/// which both implementations serve in O(1).
+fn bench_deep_queue(c: &mut Criterion) {
+    const DEPTH: usize = 30_000;
+    let catalog = FileCatalog::paper_table1(256, 7);
+    let assignment = Assignment {
+        disks: vec![DiskBin {
+            items: (0..256).collect(),
+            total_s: 0.0,
+            total_l: 0.0,
+        }],
+    };
+    let requests = (0..DEPTH)
+        .map(|i| Request {
+            time: 0.0,
+            file: FileId((i % 256) as u32),
+        })
+        .collect();
+    let pileup = Trace::new(requests, 1.0);
+
+    let mut group = c.benchmark_group("queue_disciplines/deep_pileup");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(DEPTH as u64));
+    for discipline in [
+        DisciplineChoice::Fifo,
+        DisciplineChoice::ShortestJobFirst {
+            aging_bound_s: 1.0e9,
+        },
+    ] {
+        let cfg = SimConfig::paper_default()
+            .with_threshold(ThresholdPolicy::Never)
+            .with_discipline(discipline);
+        group.bench_with_input(
+            BenchmarkId::new("drain_30k", discipline.label()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let report =
+                        Simulator::run(&catalog, &pileup, &assignment, black_box(cfg)).unwrap();
+                    black_box(report.responses.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_deep_queue);
 criterion_main!(benches);

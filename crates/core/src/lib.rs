@@ -36,4 +36,9 @@ pub use reorg::{plan_reorg, MigrationPlan};
 // exactly as `PolicyChoice` selects *when* it sleeps; re-exported so
 // planner/sweep callers configure both from one place.
 pub use spindown_sim::discipline::DisciplineChoice;
+// The metrics mode picks *how much memory* evaluating a plan costs (exact
+// samples vs a constant-memory streaming histogram), the same way the
+// discipline picks how each disk orders work; re-exported so sweep/planner
+// callers configure everything from one place.
+pub use spindown_sim::metrics::MetricsMode;
 pub use writes::{WriteFit, WritePlacer};

@@ -35,13 +35,11 @@ pub fn fig4(scale: Scale) -> Figure {
         let report = planner
             .evaluate_with_fleet(&plan, &catalog, &trace, fleet)
             .expect("simulation succeeds");
-        let mut responses = report.responses.clone();
-        let p95 = responses.quantile(0.95);
         vec![
             load,
             report.mean_power_w(),
             report.responses.mean(),
-            p95,
+            report.response_p95(),
             plan.disks_used() as f64,
             analytic_response(&planner, &catalog, plan.disks_used(), load),
         ]

@@ -22,12 +22,14 @@
 //! | `bounds`   | Theorem 1 empirical check | [`bounds_exp`] |
 //! | `sensitivity` | drive-class extension study | [`sensitivity`] |
 //! | `shootout` | allocator design-space study | [`shootout`] |
+//! | `replay`   | streamed trace replay (`--trace-file` / synthetic) | [`replay`] |
 
 pub mod bounds_exp;
 pub mod fig23;
 pub mod fig4;
 pub mod fig56;
 pub mod output;
+pub mod replay;
 pub mod sensitivity;
 pub mod shootout;
 pub mod sweep;

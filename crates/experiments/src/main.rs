@@ -1,8 +1,9 @@
 //! `experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--out DIR] [--discipline D] CMD...
-//!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds all }
+//! experiments [--quick] [--out DIR] [--discipline D]
+//!             [--trace-file FILE] [--horizon S] [--requests N] CMD...
+//!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds all replay }
 //! ```
 //!
 //! Prints each artefact as an aligned table and writes `DIR/<id>.csv`
@@ -10,6 +11,15 @@
 //! `--discipline` selects the queue discipline (`fifo`, `sjf`,
 //! `sjf:SECONDS`, `elevator`) the shootout's allocator and policy rows run
 //! under; its discipline rows always compare the whole family.
+//!
+//! `replay` streams a trace through the engine without materialising it:
+//! `--trace-file FILE` reads a `time_s,file_id` CSV line by line
+//! (`--horizon` skips the horizon pre-scan pass and is a *hard bound* —
+//! rows past it abort the replay with a typed error), otherwise
+//! `--requests N` expected arrivals come from a seeded synthetic
+//! generator. Either way the
+//! run aggregates responses in the streaming histogram, so resident memory
+//! is O(disks + buckets) regardless of the request count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,18 +27,22 @@ use std::process::ExitCode;
 use spindown_core::DisciplineChoice;
 use spindown_experiments::output::{render_table, write_csv};
 use spindown_experiments::{
-    bounds_exp, fig23, fig4, fig56, sensitivity, shootout, tables, vsweep, Figure, Scale,
+    bounds_exp, fig23, fig4, fig56, replay, sensitivity, shootout, tables, vsweep, Figure, Scale,
 };
 
 fn usage() -> &'static str {
-    "usage: experiments [--quick] [--out DIR] [--discipline fifo|sjf|sjf:SECONDS|elevator] CMD...\n\
-     CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout all"
+    "usage: experiments [--quick] [--out DIR] [--discipline fifo|sjf|sjf:SECONDS|elevator]\n\
+     \u{20}                  [--trace-file FILE] [--horizon SECONDS] [--requests N] CMD...\n\
+     CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout replay all"
 }
 
 fn main() -> ExitCode {
     let mut scale = Scale::Paper;
     let mut out_dir = PathBuf::from("results");
     let mut discipline = DisciplineChoice::Fifo;
+    let mut trace_file: Option<PathBuf> = None;
+    let mut horizon: Option<f64> = None;
+    let mut requests: u64 = 1_000_000;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,6 +52,30 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
                     eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-file" => match args.next() {
+                Some(path) => trace_file = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace-file needs a path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--horizon" => match args.next().and_then(|h| h.parse::<f64>().ok()) {
+                Some(h) if h.is_finite() && h >= 0.0 => horizon = Some(h),
+                _ => {
+                    eprintln!(
+                        "--horizon needs a non-negative number of seconds\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--requests" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n > 0 => requests = n,
+                _ => {
+                    eprintln!("--requests needs a positive count\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -118,6 +156,13 @@ fn main() -> ExitCode {
             "bounds" => bounds_exp::bounds(scale),
             "sensitivity" => sensitivity::sensitivity(scale),
             "shootout" => shootout::shootout_with(scale, discipline),
+            "replay" => match replay::replay(scale, trace_file.as_deref(), horizon, requests) {
+                Ok(fig) => fig,
+                Err(e) => {
+                    eprintln!("replay failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown command {other:?}\n{}", usage());
                 return ExitCode::FAILURE;

@@ -10,7 +10,7 @@
 //! paper's two-way Pack_Disks-vs-random comparison into the design-space
 //! study its §6 hints at.
 
-use spindown_core::{DisciplineChoice, Plan, Planner, PlannerConfig, PolicyChoice};
+use spindown_core::{DisciplineChoice, MetricsMode, Plan, Planner, PlannerConfig, PolicyChoice};
 use spindown_packing::Allocator;
 use spindown_workload::arrivals::BatchConfig;
 use spindown_workload::{FileCatalog, Trace};
@@ -90,18 +90,22 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice) -> Figure {
     let alloc_results: Vec<(usize, f64, f64, f64, Plan)> = parallel_map(&allocators, |_, alloc| {
         let mut cfg = PlannerConfig::default();
         cfg.allocator = *alloc;
-        cfg.sim = cfg.sim.with_discipline(base);
+        // Stream responses per row: the shootout never needs the samples
+        // back, only summary statistics.
+        cfg.sim = cfg
+            .sim
+            .with_discipline(base)
+            .with_metrics(MetricsMode::Histogram);
         let planner = Planner::new(cfg);
         let plan = planner.plan(&catalog, rate).expect("plan feasible");
         let report = planner
             .evaluate_with_fleet(&plan, &catalog, &trace, fleet)
             .expect("simulates");
-        let mut resp = report.responses.clone();
         (
             plan.disks_used(),
             report.energy.total_joules(),
             report.responses.mean(),
-            resp.quantile(0.95),
+            report.response_p95(),
             plan,
         )
     });
@@ -187,23 +191,21 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice) -> Figure {
     }
     let pack_disks_used = alloc_results[0].0;
     for (j, report) in policy_reports.iter().enumerate() {
-        let mut resp = report.responses.clone();
         fig.push_row(vec![
             (allocators.len() + j) as f64,
             pack_disks_used as f64,
             1.0 - report.energy.total_joules() / random_energy,
             report.responses.mean(),
-            resp.p95(),
+            report.response_p95(),
         ]);
     }
     for (j, report) in discipline_reports.iter().enumerate() {
-        let mut resp = report.responses.clone();
         fig.push_row(vec![
             (allocators.len() + grid.len() + j) as f64,
             pack_disks_used as f64,
             1.0 - report.energy.total_joules() / bursty_random_energy,
             report.responses.mean(),
-            resp.p95(),
+            report.response_p95(),
         ]);
     }
     fig

@@ -13,7 +13,9 @@
 //!   policies too), a queue [`DisciplineChoice`] and an optional cache, and
 //!   is simulated against a shared workload/assignment on its own thread.
 //!   Determinism holds because every simulation is seeded by its grid
-//!   point, never by thread scheduling.
+//!   point, never by thread scheduling. Grid points aggregate responses in
+//!   [`MetricsMode::Histogram`], so a full grid run holds O(buckets) per
+//!   cell instead of one O(requests) response vector per cell.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -23,7 +25,7 @@ use spindown_disk::DiskSpec;
 use spindown_packing::Assignment;
 use spindown_sim::config::{CacheConfig, SimConfig};
 use spindown_sim::engine::Simulator;
-use spindown_sim::metrics::SimReport;
+use spindown_sim::metrics::{MetricsMode, SimReport};
 use spindown_workload::{FileCatalog, Trace};
 
 /// Order-preserving parallel map over `items`, using up to
@@ -79,6 +81,11 @@ pub struct SweepSpec {
     pub discipline: DisciplineChoice,
     /// Optional LRU cache in front of the dispatcher.
     pub cache: Option<CacheConfig>,
+    /// Response aggregation per grid point. The grid constructors pick
+    /// [`MetricsMode::Histogram`] so a full grid holds O(buckets) per cell
+    /// instead of one response vector per cell; means stay exact, quantiles
+    /// carry the documented ≤ 1/256 relative error.
+    pub metrics: MetricsMode,
 }
 
 impl SweepSpec {
@@ -109,6 +116,7 @@ pub fn policy_cache_grid(
                 policy,
                 discipline: DisciplineChoice::Fifo,
                 cache,
+                metrics: MetricsMode::Histogram,
             })
         })
         .collect()
@@ -127,6 +135,7 @@ pub fn policy_discipline_grid(
                 policy,
                 discipline,
                 cache: None,
+                metrics: MetricsMode::Histogram,
             })
         })
         .collect()
@@ -149,6 +158,7 @@ pub fn run_sweep(
         };
         cfg.cache = spec.cache;
         cfg.discipline = spec.discipline;
+        cfg.metrics = spec.metrics;
         Simulator::run_with_policy(
             catalog,
             trace,
@@ -247,6 +257,8 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.energy.total_joules(), y.energy.total_joules());
             assert_eq!(x.responses, y.responses);
+            // Grid cells stream their responses: constant memory per cell.
+            assert_eq!(x.responses.mode(), MetricsMode::Histogram);
         }
         // The never policy is the energy ceiling of the grid.
         let never = &a[3];

@@ -68,12 +68,11 @@ pub fn vsweep(scale: Scale) -> Figure {
         .energy
         .total_joules();
 
-        let mut responses = report.responses.clone();
         vec![
             v as f64,
             report.saving_vs(e_never),
             report.responses.mean(),
-            responses.quantile(0.95),
+            report.response_p95(),
             plan.disks_used() as f64,
         ]
     });

@@ -6,6 +6,11 @@
 //! Measurement is a plain wall-clock loop — one warm-up iteration, then
 //! `sample_size` timed iterations — reporting mean and minimum per-iteration
 //! time (and derived throughput) on stdout. No statistics, plots or HTML.
+//!
+//! Setting `CRITERION_QUICK=1` in the environment caps every benchmark at
+//! one timed iteration (after the warm-up) — the CI smoke lane uses this to
+//! verify the benches run and to diff their output against
+//! `BENCH_BASELINE.json` without paying full measurement time.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -47,10 +52,16 @@ pub struct Bencher {
     min: Duration,
 }
 
+/// True when the `CRITERION_QUICK` smoke mode is active (see the module
+/// docs): every benchmark runs exactly one timed iteration.
+pub fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 impl Bencher {
     fn new(iters: u64) -> Self {
         Bencher {
-            iters,
+            iters: if quick_mode() { 1 } else { iters },
             total: Duration::ZERO,
             min: Duration::MAX,
         }

@@ -34,6 +34,10 @@ pub struct DiskActor {
     queue: RequestQueue,
     /// The request currently in service.
     pub current: Option<usize>,
+    /// Arrival time of the in-flight request, tracked so the engine can
+    /// compute its response time without indexing back into a materialised
+    /// trace (streamed sources have none). Set by [`DiskActor::serve_next`].
+    current_arrival: Option<f64>,
     /// Incremented every time the disk *becomes* idle; stale spin-down
     /// timers carry an older generation and are ignored.
     pub idle_generation: u64,
@@ -55,6 +59,7 @@ impl DiskActor {
             phase: Phase::Idle,
             queue: RequestQueue::new(discipline),
             current: None,
+            current_arrival: None,
             idle_generation: 0,
             served: 0,
         }
@@ -108,12 +113,16 @@ impl DiskActor {
         let Some(Popped { entry, amortised }) = self.queue.pop(t) else {
             return Ok(None);
         };
-        Ok(Some(self.start_service(
-            t,
-            entry.req,
-            entry.bytes,
-            amortised,
-        )?))
+        let done = self.start_service(t, entry.req, entry.bytes, amortised)?;
+        self.current_arrival = Some(entry.arrival_s);
+        Ok(Some(done))
+    }
+
+    /// Arrival time of the in-flight request, when it was dispatched
+    /// through [`DiskActor::serve_next`] (direct [`DiskActor::start_service`]
+    /// callers bypass the queue and carry no arrival).
+    pub fn current_arrival(&self) -> Option<f64> {
+        self.current_arrival
     }
 
     /// Begin serving request `req` for `bytes` bytes at time `t`; returns
@@ -136,6 +145,7 @@ impl DiskActor {
         self.machine.transition(t + b.seek_s, PowerState::Active)?;
         self.phase = Phase::Busy;
         self.current = Some(req);
+        self.current_arrival = None; // serve_next fills it in from the queue
         Ok(t + b.total())
     }
 
@@ -146,6 +156,7 @@ impl DiskActor {
         self.phase = Phase::Idle;
         self.idle_generation += 1;
         self.served += 1;
+        self.current_arrival = None;
         Ok(self.current.take().expect("busy implies current"))
     }
 

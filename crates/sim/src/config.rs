@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use spindown_disk::{break_even_threshold, DiskSpec};
 
 use crate::discipline::DisciplineChoice;
+use crate::metrics::MetricsMode;
 
 /// When (if ever) an idle disk spins down.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,6 +82,15 @@ pub struct SimConfig {
     pub arrivals: ArrivalMode,
     /// Per-disk queue discipline (FIFO by default — the paper's §4 model).
     pub discipline: DisciplineChoice,
+    /// How response-time samples are aggregated: exact (every sample kept,
+    /// bit-meaningful quantiles, O(requests) memory — the default, and what
+    /// the golden-trace fixture runs) or a streaming log-bucketed histogram
+    /// (O(buckets) memory independent of request count, quantiles within
+    /// [`StreamingHistogram::RELATIVE_ERROR_BOUND`]).
+    ///
+    /// [`StreamingHistogram::RELATIVE_ERROR_BOUND`]:
+    /// crate::metrics::StreamingHistogram::RELATIVE_ERROR_BOUND
+    pub metrics: MetricsMode,
     /// Record a per-request completion log `(req, disk, completion time)`
     /// in the report. Off by default: the log is O(requests) memory, which
     /// the streamed engine otherwise avoids; tests switch it on to check
@@ -98,6 +108,7 @@ impl SimConfig {
             cache: None,
             arrivals: ArrivalMode::Streamed,
             discipline: DisciplineChoice::Fifo,
+            metrics: MetricsMode::Exact,
             completion_log: false,
         }
     }
@@ -123,6 +134,14 @@ impl SimConfig {
     /// Select the per-disk queue discipline.
     pub fn with_discipline(mut self, discipline: DisciplineChoice) -> Self {
         self.discipline = discipline;
+        self
+    }
+
+    /// Select the response-time aggregation mode. Histogram mode is what
+    /// lets a sweep grid or a multi-billion-request replay run without one
+    /// response vector per cell; exact mode keeps quantiles bit-meaningful.
+    pub fn with_metrics(mut self, metrics: MetricsMode) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -188,6 +207,14 @@ mod tests {
     fn arrivals_default_to_streamed() {
         assert_eq!(SimConfig::paper_default().arrivals, ArrivalMode::Streamed);
         assert_eq!(ArrivalMode::default(), ArrivalMode::Streamed);
+    }
+
+    #[test]
+    fn metrics_default_to_exact_and_build() {
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.metrics, MetricsMode::Exact);
+        let cfg = cfg.with_metrics(MetricsMode::Histogram);
+        assert_eq!(cfg.metrics, MetricsMode::Histogram);
     }
 
     #[test]

@@ -23,9 +23,36 @@
 //!   batch member after the first pays only [`ELEVATOR_SEEK_FACTOR`] of the
 //!   average seek, amortising head positioning across the pass.
 
-use std::collections::VecDeque;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
+
+/// A multiply-shift hasher for the queue's `u64` sequence numbers: seqs are
+/// unique and dense, so SipHash's DoS resistance buys nothing here while
+/// its latency shows up on every SJF pop (the set is touched once or twice
+/// per pop on the hot path).
+#[derive(Debug, Default)]
+pub struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("seq sets only hash u64 keys");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiplicative hashing: one multiply spreads the dense
+        // low bits across the table's bucket-index bits.
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
 
 /// Fraction of the average seek paid by requests served inside an elevator
 /// batch after the first: consecutive stops of one sweep are near-sequential
@@ -123,15 +150,87 @@ pub struct Popped {
     pub amortised: bool,
 }
 
+/// Orders heap members by the SJF key `(bytes, seq)` — smallest request
+/// first, push order breaking ties — exactly the `min_by_key` the linear
+/// scan used, so the heap pops in the identical sequence.
+#[derive(Debug, Clone, Copy)]
+struct BySize(QueueEntry);
+
+impl PartialEq for BySize {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.bytes, self.0.seq) == (other.0.bytes, other.0.seq)
+    }
+}
+
+impl Eq for BySize {}
+
+impl PartialOrd for BySize {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BySize {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.0.bytes, self.0.seq).cmp(&(other.0.bytes, other.0.seq))
+    }
+}
+
+/// Queue depth at which shortest-job-first switches from the linear
+/// min-scan (whose per-pop cost at this depth is below the heap's constant
+/// bookkeeping) to the indexed binary heap. Once engaged, the heap stays
+/// active until the queue drains empty, so the mode never thrashes.
+const SJF_HEAP_THRESHOLD: usize = 32;
+
 /// The per-disk pending-request queue, reordered by a [`DisciplineChoice`].
 ///
 /// Entries are pushed in arrival order and the queue preserves the relative
-/// order of whatever it has not yet popped, so index 0 is always the oldest
-/// pending request (the aging probe) regardless of discipline.
+/// order of whatever it has not yet popped, so the front of the arrival
+/// deque is always the oldest pending request (the aging probe) regardless
+/// of discipline.
+///
+/// Under shortest-job-first the queue is adaptive. Shallow queues (≤
+/// [`SJF_HEAP_THRESHOLD`]) run the original linear `min_by_key` scan —
+/// cheapest at the depths a healthy disk sees. The first push beyond the
+/// threshold engages *heap mode*: every entry then lives in two structures
+/// — the arrival-order deque (the aging probe) and a binary min-heap keyed
+/// by `(bytes, seq)` — and a pop serves from one structure while lazily
+/// invalidating the copy in the other, making both the size-ordered pop
+/// and the aging escape O(log n) amortised instead of the linear scan +
+/// O(n) `remove(idx)` that made deep pile-ups quadratic. Both modes pop in
+/// the identical `(bytes, seq)` order (property-tested against the linear
+/// reference), so the switch is invisible to the simulation.
+///
+/// Heap-mode lazy deletion exploits two invariants to stay off the hot
+/// path:
+///
+/// - The deque always holds entries in ascending `seq`, and the aging
+///   escape always serves the (purged) deque *front* — so every
+///   aging-served seq is below the current front's seq forever after, and
+///   the heap detects those stale copies with one integer compare, no
+///   bookkeeping on the aging path at all.
+/// - Only heap-served entries need remembering (their deque copy sits
+///   interior until it surfaces at the front), in the `served` seq set —
+///   touched once on serve and once on purge.
+///
+/// Amortised compaction keeps both structures O(pending) even on schedules
+/// where one path dominates (e.g. every pop aging out, which would
+/// otherwise grow the heap by one stale copy per request); heap mode
+/// disengages (and clears all bookkeeping) when the queue drains empty.
 #[derive(Debug)]
 pub struct RequestQueue {
     discipline: DisciplineChoice,
     entries: VecDeque<QueueEntry>,
+    /// SJF heap mode only: min-heap over `(bytes, seq)`. Empty otherwise.
+    size_heap: BinaryHeap<Reverse<BySize>>,
+    /// SJF heap mode only: seqs served through the heap whose deque copy
+    /// is stale and must be skipped when it reaches the front.
+    served: SeqSet,
+    /// True once the queue has grown past [`SJF_HEAP_THRESHOLD`] and the
+    /// heap structures are engaged; reset when the queue drains empty.
+    heap_active: bool,
+    /// Live (pending, unserved) entry count.
+    live: usize,
     next_seq: u64,
     /// Entries at the front still belonging to the current wake batch.
     batch_remaining: usize,
@@ -145,6 +244,10 @@ impl RequestQueue {
         RequestQueue {
             discipline,
             entries: VecDeque::new(),
+            size_heap: BinaryHeap::new(),
+            served: SeqSet::default(),
+            heap_active: false,
+            live: 0,
             next_seq: 0,
             batch_remaining: 0,
             batch_first_pending: false,
@@ -158,30 +261,48 @@ impl RequestQueue {
 
     /// Pending-request count.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Iterate the pending entries in their current internal order.
+    /// Iterate the pending entries in their current internal order (stale
+    /// SJF copies excluded).
     pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
-        self.entries.iter()
+        self.entries
+            .iter()
+            .filter(move |e| !self.served.contains(&e.seq))
     }
 
     /// Append a request (requests always enter in arrival order).
     pub fn push(&mut self, req: usize, bytes: u64, arrival_s: f64, pos: u64) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.push_back(QueueEntry {
+        let entry = QueueEntry {
             req,
             bytes,
             arrival_s,
             pos,
             seq,
-        });
+        };
+        self.entries.push_back(entry);
+        if matches!(self.discipline, DisciplineChoice::ShortestJobFirst { .. }) {
+            if self.heap_active {
+                self.size_heap.push(Reverse(BySize(entry)));
+            } else if self.entries.len() > SJF_HEAP_THRESHOLD {
+                // The queue got deep: engage heap mode, seeding the heap
+                // from the deque (all live — shallow mode keeps no stale
+                // copies). O(n) once per deep episode.
+                self.heap_active = true;
+                let entries = &self.entries;
+                self.size_heap
+                    .extend(entries.iter().map(|&e| Reverse(BySize(e))));
+            }
+        }
+        self.live += 1;
     }
 
     /// Freeze everything currently pending into one elevator batch, sorted
@@ -200,20 +321,27 @@ impl RequestQueue {
     }
 
     /// Pop the next request to serve at time `now` under the discipline.
+    /// O(1) for FIFO/elevator, O(log n) amortised for SJF.
     pub fn pop(&mut self, now: f64) -> Option<Popped> {
         if self.batch_remaining > 0 {
             let entry = self.entries.pop_front().expect("batch implies entries");
             let amortised = !self.batch_first_pending;
             self.batch_first_pending = false;
             self.batch_remaining -= 1;
+            self.live -= 1;
             return Some(Popped { entry, amortised });
         }
         let entry = match self.discipline {
-            DisciplineChoice::Fifo | DisciplineChoice::ElevatorBatch => self.entries.pop_front()?,
-            DisciplineChoice::ShortestJobFirst { aging_bound_s } => {
+            DisciplineChoice::Fifo | DisciplineChoice::ElevatorBatch => {
+                let entry = self.entries.pop_front()?;
+                self.live -= 1;
+                entry
+            }
+            DisciplineChoice::ShortestJobFirst { aging_bound_s } if !self.heap_active => {
+                // Shallow queue: the original linear scan, verbatim.
                 let oldest = self.entries.front()?;
-                if now - oldest.arrival_s >= aging_bound_s {
-                    self.entries.pop_front()?
+                let entry = if now - oldest.arrival_s >= aging_bound_s {
+                    self.entries.pop_front().expect("front probed")
                 } else {
                     let (idx, _) = self
                         .entries
@@ -222,13 +350,99 @@ impl RequestQueue {
                         .min_by_key(|(_, e)| (e.bytes, e.seq))
                         .expect("non-empty");
                     self.entries.remove(idx).expect("index in range")
+                };
+                self.live -= 1;
+                entry
+            }
+            DisciplineChoice::ShortestJobFirst { aging_bound_s } => {
+                // Heap mode. Purge entries already served through the heap
+                // so the deque front is the oldest *pending* request — the
+                // same aging probe the linear scan uses. While the served
+                // set is empty (no heap pops outstanding) this is one
+                // branch.
+                if !self.served.is_empty() {
+                    while let Some(front) = self.entries.front() {
+                        if self.served.remove(&front.seq) {
+                            self.entries.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
                 }
+                let Some(oldest) = self.entries.front() else {
+                    debug_assert_eq!(self.live, 0);
+                    self.deactivate_heap();
+                    return None;
+                };
+                let entry = if now - oldest.arrival_s >= aging_bound_s {
+                    // Aging escape: serve the oldest. No bookkeeping — its
+                    // heap copy is recognised as stale by having a seq
+                    // below whatever the deque front is from now on.
+                    self.entries.pop_front().expect("front probed")
+                } else {
+                    // Size order: pop the heap, skipping stale copies of
+                    // aging-served entries (seq below the live front).
+                    let front_seq = oldest.seq;
+                    loop {
+                        let Reverse(BySize(entry)) =
+                            self.size_heap.pop().expect("live entry implies heap entry");
+                        if entry.seq < front_seq {
+                            continue; // aging-served long ago
+                        }
+                        self.served.insert(entry.seq);
+                        break entry;
+                    }
+                };
+                self.live -= 1;
+                if self.live == 0 {
+                    // Deep episode over: drop every stale copy at once and
+                    // fall back to the shallow scan.
+                    self.deactivate_heap();
+                } else if self.served.len() > self.live + 64
+                    || self.size_heap.len() > 2 * self.live + 64
+                {
+                    // Lazy deletion leaves one stale copy per served entry
+                    // (heap-served → deque + served set; aging-served →
+                    // heap); compact once either stale population outgrows
+                    // the live one so everything stays O(pending), not
+                    // O(popped).
+                    self.compact();
+                }
+                entry
             }
         };
         Some(Popped {
             entry,
             amortised: false,
         })
+    }
+
+    /// Rebuild both SJF structures from the live entries and forget the
+    /// stale copies. O(pending); amortised O(1) per pop because a pop adds
+    /// at most one stale copy and compaction only fires once a stale count
+    /// exceeds the live count. Pop order is unaffected: the heap's order is
+    /// the total order on `(bytes, seq)`, not its internal shape.
+    fn compact(&mut self) {
+        let served = &self.served;
+        self.entries.retain(|e| !served.contains(&e.seq));
+        self.served.clear();
+        // Rebuild in place: clear + extend reuse both buffers, so steady
+        // compaction churn costs no allocations.
+        self.size_heap.clear();
+        let entries = &self.entries;
+        self.size_heap
+            .extend(entries.iter().map(|&e| Reverse(BySize(e))));
+    }
+
+    /// Leave heap mode: the queue drained empty, so whatever remains in
+    /// the deque/heap/set is stale bookkeeping — drop it all and return to
+    /// the shallow linear scan.
+    fn deactivate_heap(&mut self) {
+        debug_assert_eq!(self.live, 0);
+        self.heap_active = false;
+        self.entries.clear();
+        self.size_heap.clear();
+        self.served.clear();
     }
 }
 
@@ -277,6 +491,87 @@ mod tests {
         // The big request has waited 40 s ≥ 30 s: it goes first.
         assert_eq!(q.pop(40.0).unwrap().entry.req, 0);
         assert_eq!(q.pop(40.0).unwrap().entry.req, 1);
+    }
+
+    #[test]
+    fn sjf_interleaves_aging_escapes_with_size_order() {
+        let mut q = RequestQueue::new(DisciplineChoice::ShortestJobFirst {
+            aging_bound_s: 10.0,
+        });
+        q.push(0, 900, 0.0, 0); // big, oldest
+        q.push(1, 10, 1.0, 1);
+        q.push(2, 500, 2.0, 2);
+        q.push(3, 20, 3.0, 3);
+        // t = 5: nothing overdue → smallest (req 1) first.
+        assert_eq!(q.pop(5.0).unwrap().entry.req, 1);
+        assert_eq!(q.len(), 3);
+        // t = 11: req 0 has waited 11 s ≥ 10 s → aging escape.
+        assert_eq!(q.pop(11.0).unwrap().entry.req, 0);
+        // Oldest pending is now req 2 at 9 s < bound → size order (req 3).
+        assert_eq!(q.pop(11.0).unwrap().entry.req, 3);
+        assert_eq!(q.pop(20.0).unwrap().entry.req, 2);
+        assert!(q.pop(20.0).is_none());
+        assert!(q.is_empty());
+    }
+
+    /// Every pop via the aging escape leaves a stale heap copy; the
+    /// compaction must keep the structures bounded by the pending count
+    /// even when *all* pops age out (the worst case for lazy deletion).
+    /// The queue is held above the heap-mode threshold throughout so the
+    /// lazy-deletion machinery (not the shallow scan) is what's tested.
+    #[test]
+    fn sjf_structures_stay_bounded_under_pure_aging_pops() {
+        let mut q = RequestQueue::new(DisciplineChoice::ShortestJobFirst { aging_bound_s: 0.0 });
+        // Pre-fill past the threshold with huge sizes so the backlog never
+        // wins the size order, then push/pop in lockstep: every pop ages
+        // out the oldest entry.
+        for i in 0..SJF_HEAP_THRESHOLD + 8 {
+            q.push(i, u64::MAX - i as u64, 0.0, 0);
+        }
+        assert!(q.heap_active, "pre-fill crosses the heap threshold");
+        let depth = q.len();
+        for i in 0..10_000usize {
+            // Strictly decreasing sizes: each stale copy sinks below every
+            // later live entry, which defeats naive top-of-heap purging.
+            q.push(1_000_000 + i, 1_000_000 - i as u64, i as f64, 0);
+            let popped = q.pop(i as f64 + 1.0).unwrap();
+            assert_eq!(q.len(), depth, "lockstep push/pop holds depth");
+            assert!(popped.entry.req < 1_000_000 || popped.entry.req <= 1_000_000 + i);
+            assert!(
+                q.size_heap.len() <= 8 * depth
+                    && q.entries.len() <= 8 * depth
+                    && q.served.len() <= 8 * depth,
+                "stale copies accumulate: heap {}, deque {}, served {}",
+                q.size_heap.len(),
+                q.entries.len(),
+                q.served.len()
+            );
+        }
+    }
+
+    /// Deep queues engage heap mode past the threshold and return to the
+    /// shallow scan once drained, with size order preserved throughout.
+    #[test]
+    fn sjf_heap_mode_engages_and_disengages_around_the_threshold() {
+        let mut q = RequestQueue::new(DisciplineChoice::ShortestJobFirst {
+            aging_bound_s: 1.0e9,
+        });
+        let n = SJF_HEAP_THRESHOLD * 2;
+        for i in 0..n {
+            q.push(i, (n - i) as u64, 0.0, 0);
+            assert_eq!(q.heap_active, i + 1 > SJF_HEAP_THRESHOLD, "push {i}");
+        }
+        // Pure size order: entries were pushed with descending sizes, so
+        // pops come back in reverse push order.
+        for expect in (0..n).rev() {
+            assert_eq!(q.pop(1.0).unwrap().entry.req, expect);
+        }
+        assert!(q.is_empty());
+        assert!(!q.heap_active, "drain leaves heap mode");
+        assert!(q.size_heap.is_empty() && q.served.is_empty() && q.entries.is_empty());
+        // The queue keeps working (shallow again) after the episode.
+        q.push(99, 1, 0.0, 0);
+        assert_eq!(q.pop(0.5).unwrap().entry.req, 99);
     }
 
     #[test]

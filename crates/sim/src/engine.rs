@@ -41,10 +41,20 @@
 //! O(requests) — which is what makes multi-million-request replays cheap.
 //! [`ArrivalMode::Preloaded`] retains the original schedule-everything
 //! behaviour for benchmarks; both modes produce bit-identical reports.
+//!
+//! The arrival cursor itself is a [`TraceSource`]: handing the engine a
+//! `&Trace` reads through an in-memory cursor, while
+//! [`Simulator::run_from_source`] accepts any source — a buffered CSV
+//! reader or a seeded synthetic generator — so a multi-billion-request
+//! replay holds O(disks) simulation state (plus O(buckets) for histogram
+//! metrics) instead of the trace itself. Response times come from the
+//! arrival stamp each queue entry carries, never from indexing back into a
+//! materialised request list.
 
 use spindown_disk::state::TransitionError;
 use spindown_packing::Assignment;
-use spindown_workload::{FileCatalog, FileId, Trace};
+use spindown_workload::trace::TraceIoError;
+use spindown_workload::{FileCatalog, FileId, InMemorySource, Request, Trace, TraceSource};
 
 use crate::actor::{DiskActor, Phase};
 use crate::cache::LruCache;
@@ -70,6 +80,9 @@ pub enum SimError {
     },
     /// Internal state-machine violation (a bug — should never surface).
     Transition(TransitionError),
+    /// The streaming trace source failed mid-replay (I/O error, malformed
+    /// or out-of-order row).
+    Source(TraceIoError),
 }
 
 impl std::fmt::Display for SimError {
@@ -80,6 +93,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "fleet of {fleet} disks < {required} required")
             }
             SimError::Transition(e) => write!(f, "disk state machine error: {e}"),
+            SimError::Source(e) => write!(f, "trace source failed: {e}"),
         }
     }
 }
@@ -89,6 +103,12 @@ impl std::error::Error for SimError {}
 impl From<TransitionError> for SimError {
     fn from(e: TransitionError) -> Self {
         SimError::Transition(e)
+    }
+}
+
+impl From<TraceIoError> for SimError {
+    fn from(e: TraceIoError) -> Self {
+        SimError::Source(e)
     }
 }
 
@@ -107,10 +127,17 @@ struct TimerState {
     scheduled: Vec<f64>,
 }
 
-/// The discrete-event simulator.
-pub struct Simulator<'a> {
+/// The discrete-event simulator, generic over the arrival feed so the
+/// in-memory hot path stays monomorphised (no per-arrival dynamic
+/// dispatch) while CSV readers and synthetic generators plug in through
+/// [`Simulator::run_from_source`].
+pub struct Simulator<'a, S: TraceSource> {
     catalog: &'a FileCatalog,
-    trace: &'a Trace,
+    /// The streamed arrival cursor.
+    source: S,
+    /// The materialised trace, when there is one — required by (and only
+    /// by) [`ArrivalMode::Preloaded`], whose `Arrival` events index into it.
+    trace: Option<&'a Trace>,
     cfg: &'a SimConfig,
     file_to_disk: Vec<usize>,
     actors: Vec<DiskActor>,
@@ -123,12 +150,13 @@ pub struct Simulator<'a> {
     policy: Box<dyn PowerPolicy>,
     horizon: f64,
     last_event_time: f64,
-    /// Cursor into the trace (streamed mode; trace.len() when preloaded).
-    next_arrival: usize,
+    /// Requests consumed from the source so far — the arrival index.
+    arrived: usize,
     peak_events: usize,
+    peak_disk_queue: usize,
 }
 
-impl<'a> Simulator<'a> {
+impl<'a> Simulator<'a, InMemorySource<'a>> {
     /// Run a simulation over exactly the disks the assignment uses.
     pub fn run(
         catalog: &'a FileCatalog,
@@ -172,12 +200,9 @@ impl<'a> Simulator<'a> {
         fleet: usize,
         policy: Box<dyn PowerPolicy>,
     ) -> Result<SimReport, SimError> {
-        let required = assignment.disk_slots();
-        if fleet < required {
-            return Err(SimError::FleetTooSmall { required, fleet });
-        }
+        // Validate up front that every requested file is mapped — the
+        // materialised trace makes this checkable before any simulation.
         let file_to_disk = assignment.item_to_disk(catalog.len());
-        // Validate that every *requested* file is mapped.
         for r in trace.requests() {
             if file_to_disk
                 .get(r.file.index())
@@ -188,8 +213,93 @@ impl<'a> Simulator<'a> {
                 return Err(SimError::UnmappedFile { file: r.file });
             }
         }
+        Simulator::run_impl(
+            catalog,
+            InMemorySource::new(trace),
+            Some(trace),
+            file_to_disk,
+            assignment,
+            cfg,
+            fleet,
+            policy,
+        )
+    }
+}
+
+impl<'a, S: TraceSource> Simulator<'a, S> {
+    /// Run with arrivals streamed from any [`TraceSource`] — a CSV file
+    /// reader, a seeded synthetic generator, or an in-memory cursor. The
+    /// spin-down policy is the fixed-threshold family configured in
+    /// `cfg.threshold`.
+    ///
+    /// Unlike [`Simulator::run`], unmapped files surface when their request
+    /// arrives (the stream cannot be pre-validated without materialising
+    /// it). With [`ArrivalMode::Preloaded`] the source *is* materialised
+    /// first — preloading is O(requests) memory by definition.
+    pub fn run_from_source(
+        catalog: &'a FileCatalog,
+        source: S,
+        assignment: &Assignment,
+        cfg: &'a SimConfig,
+        fleet: usize,
+    ) -> Result<SimReport, SimError> {
+        let policy = TimeoutPolicy::from_config(cfg.threshold, &cfg.disk);
+        Self::run_from_source_with_policy(catalog, source, assignment, cfg, fleet, Box::new(policy))
+    }
+
+    /// [`Simulator::run_from_source`] with an explicit [`PowerPolicy`].
+    pub fn run_from_source_with_policy(
+        catalog: &'a FileCatalog,
+        mut source: S,
+        assignment: &Assignment,
+        cfg: &'a SimConfig,
+        fleet: usize,
+        policy: Box<dyn PowerPolicy>,
+    ) -> Result<SimReport, SimError> {
+        if cfg.arrivals == ArrivalMode::Preloaded {
+            // Preloading schedules every arrival up front, which requires
+            // the materialised request list anyway: drain the source once
+            // and run the in-memory engine over it.
+            let horizon = source.horizon();
+            let mut requests = Vec::new();
+            while let Some(r) = source.next_request()? {
+                requests.push(r);
+            }
+            let trace = Trace::new(requests, horizon);
+            return Simulator::run_with_policy(catalog, &trace, assignment, cfg, fleet, policy);
+        }
+        let file_to_disk = assignment.item_to_disk(catalog.len());
+        Self::run_impl(
+            catalog,
+            source,
+            None,
+            file_to_disk,
+            assignment,
+            cfg,
+            fleet,
+            policy,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_impl(
+        catalog: &'a FileCatalog,
+        source: S,
+        trace: Option<&'a Trace>,
+        file_to_disk: Vec<usize>,
+        assignment: &Assignment,
+        cfg: &'a SimConfig,
+        fleet: usize,
+        policy: Box<dyn PowerPolicy>,
+    ) -> Result<SimReport, SimError> {
+        let required = assignment.disk_slots();
+        if fleet < required {
+            return Err(SimError::FleetTooSmall { required, fleet });
+        }
+        let horizon = source.horizon();
         let mut sim = Simulator {
             catalog,
+            source,
             trace,
             cfg,
             file_to_disk,
@@ -199,14 +309,15 @@ impl<'a> Simulator<'a> {
             timers: vec![TimerState::default(); fleet],
             events: EventQueue::new(),
             cache: cfg.cache.as_ref().map(|c| LruCache::new(c.capacity_bytes)),
-            responses: ResponseStats::new(),
-            per_disk_responses: vec![ResponseStats::new(); fleet],
+            responses: ResponseStats::with_mode(cfg.metrics),
+            per_disk_responses: vec![ResponseStats::with_mode(cfg.metrics); fleet],
             completions: cfg.completion_log.then(Vec::new),
             policy,
-            horizon: trace.horizon(),
+            horizon,
             last_event_time: 0.0,
-            next_arrival: 0,
+            arrived: 0,
             peak_events: 0,
+            peak_disk_queue: 0,
         };
         sim.prime();
         sim.drive()?;
@@ -217,10 +328,13 @@ impl<'a> Simulator<'a> {
     /// arrival up front.
     fn prime(&mut self) {
         if self.cfg.arrivals == ArrivalMode::Preloaded {
-            for (i, r) in self.trace.requests().iter().enumerate() {
+            let trace = self
+                .trace
+                .expect("preloaded mode implies a materialised trace");
+            for (i, r) in trace.requests().iter().enumerate() {
                 self.events.schedule(r.time, Event::Arrival { req: i });
             }
-            self.next_arrival = self.trace.len();
+            self.arrived = trace.len();
         }
         for disk in 0..self.actors.len() {
             self.arm_timer(disk, 0.0);
@@ -269,25 +383,27 @@ impl<'a> Simulator<'a> {
     }
 
     fn drive(&mut self) -> Result<(), SimError> {
+        let streamed = self.cfg.arrivals == ArrivalMode::Streamed;
         loop {
             self.peak_events = self.peak_events.max(self.events.len());
-            // Streamed arrivals: take the trace head whenever it is due no
+            // Streamed arrivals: take the source head whenever it is due no
             // later than the next scheduled event. Arrivals win ties, which
             // reproduces the preloaded order (arrivals were scheduled first
             // and ties break by insertion sequence).
-            let arrival_due = match self.trace.requests().get(self.next_arrival) {
-                Some(r) => match self.events.peek_time() {
-                    Some(te) => r.time <= te,
-                    None => true,
-                },
-                None => false,
-            };
+            let arrival_due = streamed
+                && match self.source.peek_time()? {
+                    Some(ta) => match self.events.peek_time() {
+                        Some(te) => ta <= te,
+                        None => true,
+                    },
+                    None => false,
+                };
             if arrival_due {
-                let req = self.next_arrival;
-                self.next_arrival += 1;
-                let t = self.trace.requests()[req].time;
-                self.last_event_time = self.last_event_time.max(t);
-                self.on_arrival(t, req)?;
+                let r = self.source.next_request()?.expect("peeked arrival");
+                let req = self.arrived;
+                self.arrived += 1;
+                self.last_event_time = self.last_event_time.max(r.time);
+                self.on_arrival(r.time, req, r)?;
                 continue;
             }
             let Some((t, ev)) = self.events.pop() else {
@@ -295,7 +411,13 @@ impl<'a> Simulator<'a> {
             };
             self.last_event_time = self.last_event_time.max(t);
             match ev {
-                Event::Arrival { req } => self.on_arrival(t, req)?,
+                Event::Arrival { req } => {
+                    let r = self
+                        .trace
+                        .expect("preloaded arrivals imply a materialised trace")
+                        .requests()[req];
+                    self.on_arrival(t, req, r)?
+                }
                 Event::PhaseDone { disk } => self.on_phase_done(t, disk)?,
                 Event::SpinDownTimer { disk, generation } => self.on_timer(t, disk, generation)?,
             }
@@ -303,8 +425,14 @@ impl<'a> Simulator<'a> {
         Ok(())
     }
 
-    fn on_arrival(&mut self, t: f64, req: usize) -> Result<(), SimError> {
-        let r = self.trace.requests()[req];
+    fn on_arrival(&mut self, t: f64, req: usize, r: Request) -> Result<(), SimError> {
+        // Streamed sources cannot be pre-validated; check the mapping here
+        // (a no-op failure-wise for materialised traces, which were
+        // validated up front).
+        let disk = match self.file_to_disk.get(r.file.index()).copied() {
+            Some(d) if d != usize::MAX => d,
+            _ => return Err(SimError::UnmappedFile { file: r.file }),
+        };
         let size = self.catalog.file(r.file).size_bytes;
         if let Some(cache) = self.cache.as_mut() {
             if cache.access(r.file, size) {
@@ -319,9 +447,9 @@ impl<'a> Simulator<'a> {
                 return Ok(());
             }
         }
-        let disk = self.file_to_disk[r.file.index()];
         self.policy.request_arrived(disk, t);
         self.actors[disk].enqueue(req, size, t, r.file.index() as u64);
+        self.peak_disk_queue = self.peak_disk_queue.max(self.actors[disk].queue_len());
         self.kick(t, disk)
     }
 
@@ -348,8 +476,10 @@ impl<'a> Simulator<'a> {
     fn on_phase_done(&mut self, t: f64, disk: usize) -> Result<(), SimError> {
         match self.actors[disk].phase() {
             Phase::Busy => {
+                let arrival = self.actors[disk]
+                    .current_arrival()
+                    .expect("engine dispatch always goes through serve_next");
                 let req = self.actors[disk].complete_service(t)?;
-                let arrival = self.trace.requests()[req].time;
                 self.responses.record(t - arrival);
                 self.per_disk_responses[disk].record(t - arrival);
                 if let Some(log) = self.completions.as_mut() {
@@ -449,6 +579,7 @@ impl<'a> Simulator<'a> {
             disks,
             per_disk_served,
             peak_event_queue: self.peak_events,
+            peak_disk_queue: self.peak_disk_queue,
         })
     }
 }
@@ -501,8 +632,7 @@ mod tests {
         let cfg = SimConfig::paper_default();
         let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
         assert_eq!(report.responses.len(), 1);
-        let mut resp = report.responses.clone();
-        assert!((resp.quantile(1.0) - service_time_72mb()).abs() < 1e-9);
+        assert!((report.response_quantile(1.0) - service_time_72mb()).abs() < 1e-9);
     }
 
     #[test]
@@ -510,13 +640,11 @@ mod tests {
         let cat = catalog(1, 72 * MB);
         let tr = trace(&[(0.0, 0), (0.0, 0)], 100.0);
         let cfg = SimConfig::paper_default();
-        let mut report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg)
-            .unwrap()
-            .responses;
-        assert_eq!(report.len(), 2);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        assert_eq!(report.responses.len(), 2);
         let s = service_time_72mb();
-        assert!((report.quantile(0.0) - s).abs() < 1e-9);
-        assert!((report.quantile(1.0) - 2.0 * s).abs() < 1e-9);
+        assert!((report.response_quantile(0.0) - s).abs() < 1e-9);
+        assert!((report.response_quantile(1.0) - 2.0 * s).abs() < 1e-9);
     }
 
     #[test]
@@ -531,11 +659,10 @@ mod tests {
         // (threshold 10 s, horizon 200 s leaves room for the second).
         assert_eq!(report.spin_downs, 2);
         assert_eq!(report.spin_ups, 1);
-        let mut resp = report.responses.clone();
         assert!(
-            (resp.quantile(1.0) - (15.0 + service_time_72mb())).abs() < 1e-9,
+            (report.response_quantile(1.0) - (15.0 + service_time_72mb())).abs() < 1e-9,
             "response {}",
-            resp.quantile(1.0)
+            report.response_quantile(1.0)
         );
     }
 
@@ -546,12 +673,11 @@ mod tests {
         // Spin-down runs 10→20; request at t=12 waits 8 s + 15 s + service.
         let tr = trace(&[(12.0, 0)], 200.0);
         let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
-        let mut resp = report.responses.clone();
         let expected = 8.0 + 15.0 + service_time_72mb();
         assert!(
-            (resp.quantile(1.0) - expected).abs() < 1e-9,
+            (report.response_quantile(1.0) - expected).abs() < 1e-9,
             "response {} vs {expected}",
-            resp.quantile(1.0)
+            report.response_quantile(1.0)
         );
     }
 
@@ -622,9 +748,11 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         // one slow (disk) + one fast (cache) response
-        let mut resp = report.responses.clone();
-        assert!(resp.quantile(0.0) < 0.2); // 100 MB at 1 GB/s
-        assert!(resp.quantile(1.0) > 1.0);
+        let [lo, hi] = report.response_quantiles(&[0.0, 1.0])[..] else {
+            unreachable!("two quantiles requested")
+        };
+        assert!(lo < 0.2); // 100 MB at 1 GB/s
+        assert!(hi > 1.0);
         // disk served exactly one request
         assert_eq!(report.responses.len(), 2);
     }
@@ -886,9 +1014,8 @@ mod tests {
         assert_eq!(report.spin_downs, 3);
         assert_eq!(report.spin_ups, 2);
         assert_eq!(report.responses.len(), 2);
-        let mut resp = report.responses.clone();
         // First response: 15 s spin-up + service.
-        assert!(resp.quantile(0.0) > 15.0);
+        assert!(report.response_quantile(0.0) > 15.0);
     }
 
     #[test]
@@ -977,11 +1104,9 @@ mod tests {
         let cat = catalog(1, 72 * MB);
         let cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(5.0));
         let tr = trace(&[(100.0, 0), (100.0, 0)], 300.0);
-        let mut resp = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg)
-            .unwrap()
-            .responses;
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
         let s = service_time_72mb();
-        assert!((resp.quantile(0.0) - (15.0 + s)).abs() < 1e-9);
-        assert!((resp.quantile(1.0) - (15.0 + 2.0 * s)).abs() < 1e-9);
+        assert!((report.response_quantile(0.0) - (15.0 + s)).abs() < 1e-9);
+        assert!((report.response_quantile(1.0) - (15.0 + 2.0 * s)).abs() < 1e-9);
     }
 }

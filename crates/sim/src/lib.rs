@@ -89,5 +89,5 @@ pub use cache::LruCache;
 pub use config::{ArrivalMode, CacheConfig, SimConfig, ThresholdPolicy};
 pub use discipline::DisciplineChoice;
 pub use engine::{SimError, Simulator};
-pub use metrics::{ResponseStats, SimReport};
+pub use metrics::{MetricsMode, ResponseStats, SimReport, StreamingHistogram};
 pub use policy::{PowerPolicy, TimeoutPolicy};

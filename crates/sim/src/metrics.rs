@@ -1,4 +1,30 @@
 //! Response-time statistics and the simulation report.
+//!
+//! Two aggregation modes ([`MetricsMode`]):
+//!
+//! - [`MetricsMode::Exact`] — every sample is kept in a vector; quantiles
+//!   are nearest-rank over the sorted samples, bit-meaningful. Memory is
+//!   O(requests), which is why the golden-trace fixture and the invariant
+//!   tests run in this mode. The default.
+//! - [`MetricsMode::Histogram`] — samples stream into a log-bucketed
+//!   [`StreamingHistogram`] (HDR-style): O(1) record, O(buckets) memory
+//!   independent of request count, quantiles within a documented relative
+//!   error bound ([`StreamingHistogram::RELATIVE_ERROR_BOUND`], 1/256 ≈
+//!   0.4 %). Mean, max, min and count stay exact (tracked as scalars).
+//!   This is what lets a sweep grid or a multi-billion-request replay run
+//!   without holding one response vector per cell.
+//!
+//! ## NaN-safety and the empty-recorder path
+//!
+//! These edge cases are handled once, here, for both modes:
+//!
+//! - [`ResponseStats::record`] rejects non-finite and negative samples with
+//!   a panic, so no NaN can ever enter a collector — the `total_cmp` sort
+//!   in exact mode is a deterministic total order over what remains.
+//! - An empty collector reports `mean() == 0`, `max() == 0`,
+//!   `quantile(q) == 0` for every `q`, and `fraction_within(b) == 1`
+//!   (an empty workload vacuously meets any deadline).
+//! - [`ResponseStats::quantile`] panics for `q` outside `[0, 1]`.
 
 use serde::{Deserialize, Serialize};
 use spindown_disk::energy::EnergyBreakdown;
@@ -6,68 +32,387 @@ use spindown_disk::PowerState;
 
 use crate::cache::CacheStats;
 
-/// Collects response times and summarises them.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct ResponseStats {
-    samples: Vec<f64>,
-    sorted: bool,
+/// How response-time samples are aggregated (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MetricsMode {
+    /// Keep every sample; nearest-rank quantiles are bit-meaningful.
+    /// O(requests) memory. The default (the paper's evaluation mode).
+    #[default]
+    Exact,
+    /// Stream samples into a log-bucketed histogram; quantiles carry a
+    /// bounded relative error, memory is O(buckets) independent of the
+    /// request count.
+    Histogram,
 }
 
-impl ResponseStats {
-    /// Empty collector.
+/// Number of mantissa bits per octave: 2^7 = 128 linear sub-buckets, so a
+/// bucket spans at most `lo/128` and the midpoint representative is within
+/// `1/256` of any sample in the bucket.
+const SUB_BITS: u32 = 7;
+const SUB: usize = 1 << SUB_BITS;
+/// Smallest resolvable exponent: samples at or below 2⁻³⁰ s (≈ 0.93 ns —
+/// far below any physical service time) collapse into the zero bucket.
+const MIN_EXP: i32 = -30;
+/// Largest resolvable exponent: 2⁴⁰ s ≈ 35 000 years caps the top octave.
+const MAX_EXP: i32 = 40;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+/// Zero bucket + full octave range.
+const MAX_BUCKETS: usize = 1 + OCTAVES * SUB;
+
+/// A log-bucketed streaming histogram of non-negative `f64` samples
+/// (HDR-histogram style): base-2 octaves split into 128 linear sub-buckets
+/// each, giving a guaranteed relative quantile error of at most
+/// [`Self::RELATIVE_ERROR_BOUND`] while recording in O(1) and holding
+/// O(buckets) memory regardless of how many samples stream through.
+///
+/// Count, sum (hence mean), min and max are tracked exactly as scalars;
+/// only quantiles and [`Self::fraction_within`] are bucket-approximate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingHistogram {
+    /// Bucket counts, grown on demand up to [`MAX_BUCKETS`].
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingHistogram {
+    /// Guaranteed bound on the relative error of [`Self::quantile`] for
+    /// samples above the ≈1 ns resolution floor: half a sub-bucket width,
+    /// `1/2⁸ = 1/256 ≈ 0.39 %`.
+    pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / (2 * SUB) as f64;
+
+    /// Empty histogram.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record one response time (seconds).
+    /// Bucket index for a finite non-negative sample.
+    fn bucket_index(v: f64) -> usize {
+        if v <= 2f64.powi(MIN_EXP) {
+            return 0; // zero bucket: 0 and sub-nanosecond dust
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp > MAX_EXP {
+            return MAX_BUCKETS - 1;
+        }
+        // v > 2^MIN_EXP and v is normal here, so exp ∈ [MIN_EXP, MAX_EXP].
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        1 + (exp - MIN_EXP) as usize * SUB + sub
+    }
+
+    /// Midpoint representative of bucket `i` (0 for the zero bucket).
+    fn bucket_mid(i: usize) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        let octave = (i - 1) / SUB;
+        let sub = (i - 1) % SUB;
+        let base = 2f64.powi(MIN_EXP + octave as i32);
+        let width = base / SUB as f64;
+        base + sub as f64 * width + width / 2.0
+    }
+
+    /// Record one sample in O(1).
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite() && v >= 0.0, "bad sample {v}");
+        let idx = Self::bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Samples recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Allocated bucket count — the O(buckets) memory term (≤
+    /// [`Self::max_buckets`]).
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Hard cap on the bucket array length, independent of sample count.
+    pub const fn max_buckets() -> usize {
+        MAX_BUCKETS
+    }
+
+    /// Nearest-rank `q`-quantile, approximated by the midpoint of the
+    /// bucket holding the rank-th smallest sample and clamped into the
+    /// exactly-tracked `[min, max]`. The result is within
+    /// [`Self::RELATIVE_ERROR_BOUND`] (relative) of the exact nearest-rank
+    /// quantile for samples above the resolution floor. 0 when empty.
     ///
     /// # Panics
-    /// If the sample is negative or not finite.
+    /// If `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max // unreachable for consistent counts; be robust anyway
+    }
+
+    /// Fraction of samples whose bucket representative is ≤ `bound` — the
+    /// CDF evaluated to bucket resolution (exact answers for `bound` below
+    /// the minimum or at/above the maximum; 1.0 when empty).
+    pub fn fraction_within(&self, bound: f64) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        if bound >= self.max {
+            return 1.0;
+        }
+        if bound < self.min {
+            return 0.0;
+        }
+        let mut ok = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 && Self::bucket_mid(i) <= bound {
+                ok += c;
+            }
+        }
+        ok as f64 / self.count as f64
+    }
+
+    /// Merge another histogram into this one (bucket-wise; all histograms
+    /// share one static bucket layout).
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+impl PartialEq for StreamingHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        // Bucket vectors may differ by trailing zeros (growth is lazy).
+        let trim = |c: &[u64]| {
+            let end = c.iter().rposition(|&x| x > 0).map_or(0, |p| p + 1);
+            c[..end].to_vec()
+        };
+        self.count == other.count
+            && self.sum == other.sum
+            && (self.count == 0 || (self.min == other.min && self.max == other.max))
+            && trim(&self.counts) == trim(&other.counts)
+    }
+}
+
+/// Collects response times and summarises them, in either metrics mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Agg {
+    /// Every sample, with a cached-sort flag for quantiles.
+    Exact { samples: Vec<f64>, sorted: bool },
+    /// Streaming log-bucketed histogram.
+    Hist(StreamingHistogram),
+}
+
+/// Collects response times and summarises them (see the module docs for
+/// the two modes and the shared edge-case contract).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    agg: Agg,
+}
+
+impl Default for ResponseStats {
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+impl ResponseStats {
+    /// Empty exact-mode collector (back-compatible default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty exact-mode collector.
+    pub fn exact() -> Self {
+        ResponseStats {
+            agg: Agg::Exact {
+                samples: Vec::new(),
+                sorted: false,
+            },
+        }
+    }
+
+    /// Empty histogram-mode collector.
+    pub fn histogram() -> Self {
+        ResponseStats {
+            agg: Agg::Hist(StreamingHistogram::new()),
+        }
+    }
+
+    /// Empty collector in the given mode.
+    pub fn with_mode(mode: MetricsMode) -> Self {
+        match mode {
+            MetricsMode::Exact => Self::exact(),
+            MetricsMode::Histogram => Self::histogram(),
+        }
+    }
+
+    /// The mode this collector aggregates in.
+    pub fn mode(&self) -> MetricsMode {
+        match self.agg {
+            Agg::Exact { .. } => MetricsMode::Exact,
+            Agg::Hist(_) => MetricsMode::Histogram,
+        }
+    }
+
+    /// Relative error bound of [`Self::quantile`]: 0 in exact mode,
+    /// [`StreamingHistogram::RELATIVE_ERROR_BOUND`] in histogram mode.
+    pub fn quantile_error_bound(&self) -> f64 {
+        match self.agg {
+            Agg::Exact { .. } => 0.0,
+            Agg::Hist(_) => StreamingHistogram::RELATIVE_ERROR_BOUND,
+        }
+    }
+
+    /// Record one response time (seconds). O(1) amortised in both modes.
+    ///
+    /// # Panics
+    /// If the sample is negative or not finite — NaN can never enter a
+    /// collector (this is the single NaN gate for every statistic below).
     pub fn record(&mut self, seconds: f64) {
         assert!(
             seconds.is_finite() && seconds >= 0.0,
             "bad sample {seconds}"
         );
-        self.samples.push(seconds);
-        self.sorted = false;
+        match &mut self.agg {
+            Agg::Exact { samples, sorted } => {
+                samples.push(seconds);
+                *sorted = false;
+            }
+            Agg::Hist(h) => h.record(seconds),
+        }
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        match &self.agg {
+            Agg::Exact { samples, .. } => samples.len(),
+            Agg::Hist(h) => h.len() as usize,
+        }
     }
 
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len() == 0
     }
 
-    /// Arithmetic mean (0 when empty).
+    /// Arithmetic mean — exact in both modes (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
+        match &self.agg {
+            Agg::Exact { samples, .. } => {
+                if samples.is_empty() {
+                    0.0
+                } else {
+                    samples.iter().sum::<f64>() / samples.len() as f64
+                }
+            }
+            Agg::Hist(h) => h.mean(),
         }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
     }
 
-    /// Maximum (0 when empty).
+    /// Maximum — exact in both modes (0 when empty).
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(0.0, f64::max)
+        match &self.agg {
+            Agg::Exact { samples, .. } => samples.iter().copied().fold(0.0, f64::max),
+            Agg::Hist(h) => h.max(),
+        }
     }
 
-    /// `q`-quantile with nearest-rank semantics, `q ∈ [0, 1]`
-    /// (0 when empty).
+    /// `q`-quantile with nearest-rank semantics, `q ∈ [0, 1]` (0 when
+    /// empty). Exact mode sorts once and caches until the next `record`;
+    /// histogram mode needs no sort and answers within
+    /// [`Self::quantile_error_bound`].
+    ///
+    /// # Panics
+    /// If `q` is outside `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        if self.samples.is_empty() {
-            return 0.0;
+        match &mut self.agg {
+            Agg::Exact { samples, sorted } => {
+                if samples.is_empty() {
+                    return 0.0;
+                }
+                if !*sorted {
+                    samples.sort_by(|a, b| a.total_cmp(b));
+                    *sorted = true;
+                }
+                let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+                samples[rank - 1]
+            }
+            Agg::Hist(h) => h.quantile(q),
         }
-        if !self.sorted {
-            self.samples.sort_by(|a, b| a.total_cmp(b));
-            self.sorted = true;
-        }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
-        self.samples[rank - 1]
     }
 
     /// Median.
@@ -86,19 +431,41 @@ impl ResponseStats {
     }
 
     /// Fraction of samples at or below `bound` seconds (1.0 when empty —
-    /// an empty workload vacuously meets any deadline).
+    /// an empty workload vacuously meets any deadline). Exact in exact
+    /// mode, bucket-resolution in histogram mode.
     pub fn fraction_within(&self, bound: f64) -> f64 {
-        if self.samples.is_empty() {
-            return 1.0;
+        match &self.agg {
+            Agg::Exact { samples, .. } => {
+                if samples.is_empty() {
+                    return 1.0;
+                }
+                let ok = samples.iter().filter(|&&s| s <= bound).count();
+                ok as f64 / samples.len() as f64
+            }
+            Agg::Hist(h) => h.fraction_within(bound),
         }
-        let ok = self.samples.iter().filter(|&&s| s <= bound).count();
-        ok as f64 / self.samples.len() as f64
     }
 
-    /// Merge another collector into this one.
+    /// Merge another collector into this one. Histogram⇐histogram merges
+    /// bucket-wise; exact⇐exact concatenates; histogram⇐exact re-records
+    /// the samples (lossy, by design). Merging a histogram *into* an exact
+    /// collector is impossible (samples are gone) and panics.
     pub fn merge(&mut self, other: &ResponseStats) {
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        match (&mut self.agg, &other.agg) {
+            (Agg::Exact { samples, sorted }, Agg::Exact { samples: o, .. }) => {
+                samples.extend_from_slice(o);
+                *sorted = false;
+            }
+            (Agg::Hist(h), Agg::Hist(o)) => h.merge(o),
+            (Agg::Hist(h), Agg::Exact { samples, .. }) => {
+                for &s in samples {
+                    h.record(s);
+                }
+            }
+            (Agg::Exact { .. }, Agg::Hist(_)) => {
+                panic!("cannot merge a histogram into an exact collector")
+            }
+        }
     }
 }
 
@@ -123,7 +490,8 @@ pub struct SimReport {
     pub energy: EnergyBreakdown,
     /// Per-disk energy, in disk order.
     pub per_disk_energy: Vec<EnergyBreakdown>,
-    /// Response-time samples for requests served by disks *and* the cache.
+    /// Response-time samples for requests served by disks *and* the cache,
+    /// aggregated per `SimConfig::metrics`.
     pub responses: ResponseStats,
     /// Response-time samples per disk, in disk order (cache hits excluded —
     /// they never reach a disk).
@@ -145,6 +513,12 @@ pub struct SimReport {
     /// Largest number of events simultaneously pending in the event heap —
     /// O(disks) under streamed arrivals, O(requests) when preloaded.
     pub peak_event_queue: usize,
+    /// Largest number of requests simultaneously pending in any one disk's
+    /// queue. Together with `peak_event_queue` and the histogram bucket cap
+    /// this bounds the engine's per-request resident state: a streamed
+    /// replay holds O(disks + buckets + peak backlog), where the backlog is
+    /// a property of the workload's utilisation, not of the request count.
+    pub peak_disk_queue: usize,
 }
 
 impl SimReport {
@@ -155,6 +529,38 @@ impl SimReport {
         } else {
             0.0
         }
+    }
+
+    /// `q`-quantile of the global response distribution without requiring
+    /// a mutable report — the test/reporting accessor that replaces the
+    /// `report.responses.clone()` + sort pattern. Clones the collector
+    /// once (O(n) in exact mode, O(buckets) in histogram mode); batch
+    /// several quantiles through [`Self::response_quantiles`].
+    pub fn response_quantile(&self, q: f64) -> f64 {
+        self.responses.clone().quantile(q)
+    }
+
+    /// Several quantiles of the global response distribution from one
+    /// clone (and, in exact mode, one sort).
+    pub fn response_quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        let mut stats = self.responses.clone();
+        qs.iter().map(|&q| stats.quantile(q)).collect()
+    }
+
+    /// 95th percentile of the global response distribution.
+    pub fn response_p95(&self) -> f64 {
+        self.response_quantile(0.95)
+    }
+
+    /// 99th percentile of the global response distribution.
+    pub fn response_p99(&self) -> f64 {
+        self.response_quantile(0.99)
+    }
+
+    /// `q`-quantile of one disk's response distribution (cache hits
+    /// excluded), without requiring a mutable report.
+    pub fn per_disk_response_quantile(&self, disk: usize, q: f64) -> f64 {
+        self.per_disk_responses[disk].clone().quantile(q)
     }
 
     /// Energy the fleet would have used never leaving the *idle* state —
@@ -223,13 +629,21 @@ mod tests {
         assert_eq!(r.quantile(1.0), 100.0);
     }
 
+    /// The single empty-recorder contract, checked for both modes: zero
+    /// statistics, vacuous deadline, zero quantiles at every rank.
     #[test]
-    fn empty_stats_are_zeroes() {
-        let mut r = ResponseStats::new();
-        assert_eq!(r.mean(), 0.0);
-        assert_eq!(r.median(), 0.0);
-        assert_eq!(r.max(), 0.0);
-        assert_eq!(r.fraction_within(1.0), 1.0);
+    fn empty_stats_are_zeroes_in_both_modes() {
+        for mode in [MetricsMode::Exact, MetricsMode::Histogram] {
+            let mut r = ResponseStats::with_mode(mode);
+            assert!(r.is_empty());
+            assert_eq!(r.len(), 0);
+            assert_eq!(r.mean(), 0.0, "{mode:?}");
+            assert_eq!(r.median(), 0.0, "{mode:?}");
+            assert_eq!(r.max(), 0.0, "{mode:?}");
+            assert_eq!(r.quantile(0.0), 0.0, "{mode:?}");
+            assert_eq!(r.quantile(1.0), 0.0, "{mode:?}");
+            assert_eq!(r.fraction_within(1.0), 1.0, "{mode:?}");
+        }
     }
 
     #[test]
@@ -253,10 +667,31 @@ mod tests {
         assert!((a.mean() - 2.0).abs() < 1e-12);
     }
 
+    /// NaN, infinity and negatives are rejected at the single `record`
+    /// gate, in both modes — nothing downstream ever sees them.
+    #[test]
+    fn bad_samples_rejected_in_both_modes() {
+        for mode in [MetricsMode::Exact, MetricsMode::Histogram] {
+            for bad in [-0.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                let result = std::panic::catch_unwind(move || {
+                    let mut r = ResponseStats::with_mode(mode);
+                    r.record(bad);
+                });
+                assert!(result.is_err(), "{mode:?} accepted {bad}");
+            }
+        }
+    }
+
     #[test]
     #[should_panic(expected = "bad sample")]
     fn negative_sample_rejected() {
         ResponseStats::new().record(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_out_of_range_rejected() {
+        ResponseStats::new().quantile(1.5);
     }
 
     #[test]
@@ -267,5 +702,138 @@ mod tests {
         assert_eq!(r.median(), 1.0);
         r.record(0.5);
         assert_eq!(r.quantile(0.0), 0.5, "sort flag must reset on record");
+    }
+
+    #[test]
+    fn histogram_mode_tracks_exact_scalars() {
+        let mut r = ResponseStats::histogram();
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            r.record(v);
+        }
+        assert_eq!(r.mode(), MetricsMode::Histogram);
+        assert_eq!(r.len(), 5);
+        assert!((r.mean() - 3.0).abs() < 1e-12, "mean is exact");
+        assert_eq!(r.max(), 5.0, "max is exact");
+    }
+
+    #[test]
+    fn histogram_quantiles_within_documented_bound() {
+        let mut h = ResponseStats::histogram();
+        let mut x = ResponseStats::exact();
+        // A decade-spanning deterministic sample set.
+        let mut v = 0.001;
+        while v < 5_000.0 {
+            h.record(v);
+            x.record(v);
+            v *= 1.003;
+        }
+        let bound = h.quantile_error_bound();
+        assert!(bound > 0.0 && bound <= 1.0 / 256.0 + 1e-15);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let approx = h.quantile(q);
+            let exact = x.quantile(q);
+            assert!(
+                (approx - exact).abs() <= bound * exact + 1e-12,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(x.quantile_error_bound(), 0.0);
+    }
+
+    #[test]
+    fn histogram_memory_is_bucket_bound() {
+        let mut h = StreamingHistogram::new();
+        for i in 0..100_000u64 {
+            h.record((i % 977) as f64 * 0.01 + 1e-6);
+        }
+        assert_eq!(h.len(), 100_000);
+        assert!(h.buckets() <= StreamingHistogram::max_buckets());
+        assert!(
+            StreamingHistogram::max_buckets() < 10_000,
+            "bucket cap stays small: {}",
+            StreamingHistogram::max_buckets()
+        );
+    }
+
+    #[test]
+    fn histogram_zero_bucket_and_clamping() {
+        let mut h = StreamingHistogram::new();
+        h.record(0.0);
+        h.record(1e-12); // below the resolution floor → zero bucket
+        h.record(2.0);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.quantile(0.0), 0.0);
+        // quantile(1.0) clamps to the exactly-tracked max.
+        assert!(h.quantile(1.0) <= 2.0 + 1e-12);
+        assert!((h.quantile(1.0) - 2.0).abs() <= 2.0 / 256.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_bulk_recording() {
+        let mut a = ResponseStats::histogram();
+        let mut b = ResponseStats::histogram();
+        let mut all = ResponseStats::histogram();
+        for i in 0..500 {
+            let v = 0.01 * (i as f64 + 1.0);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        // Bucket counts and the exact min/max agree with bulk recording, so
+        // every quantile lands in the same bucket; the running sum may
+        // differ in the last ulps (float addition is order-dependent), so
+        // mean is compared with a tolerance rather than bit-exactly.
+        assert_eq!(a.len(), 500);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+        assert_eq!(a.max(), all.max());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_absorbs_exact_on_merge() {
+        let mut h = ResponseStats::histogram();
+        let mut e = ResponseStats::exact();
+        e.record(1.0);
+        e.record(2.0);
+        h.merge(&e);
+        assert_eq!(h.len(), 2);
+        assert!((h.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge a histogram into an exact collector")]
+    fn exact_cannot_absorb_histogram() {
+        let mut e = ResponseStats::exact();
+        let mut h = ResponseStats::histogram();
+        h.record(1.0);
+        e.merge(&h);
+    }
+
+    #[test]
+    fn histogram_equality_ignores_trailing_bucket_growth() {
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        a.record(1.0);
+        a.record(1000.0); // grows the bucket vector
+        b.record(1.0);
+        b.record(1000.0);
+        assert_eq!(a, b);
+        let mut c = StreamingHistogram::new();
+        c.record(1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mode_default_and_constructors() {
+        assert_eq!(ResponseStats::new().mode(), MetricsMode::Exact);
+        assert_eq!(ResponseStats::default().mode(), MetricsMode::Exact);
+        assert_eq!(ResponseStats::histogram().mode(), MetricsMode::Histogram);
+        assert_eq!(MetricsMode::default(), MetricsMode::Exact);
     }
 }

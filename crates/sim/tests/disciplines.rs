@@ -87,6 +87,57 @@ fn assert_bit_identical(a: &SimReport, b: &SimReport) {
     assert_eq!(a.completions, b.completions);
 }
 
+/// The pre-PR SJF implementation, verbatim: linear `min_by_key` over
+/// `(bytes, seq)` with the aging bound probed at the front of the
+/// arrival-ordered pending list. The heap-backed queue must pop in exactly
+/// this sequence (including every aging escape) on any schedule.
+mod sjf_reference {
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct RefEntry {
+        pub req: usize,
+        pub bytes: u64,
+        pub arrival_s: f64,
+        pub seq: u64,
+    }
+
+    #[derive(Debug, Default)]
+    pub struct LinearSjf {
+        entries: Vec<RefEntry>,
+        next_seq: u64,
+    }
+
+    impl LinearSjf {
+        pub fn push(&mut self, req: usize, bytes: u64, arrival_s: f64) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.entries.push(RefEntry {
+                req,
+                bytes,
+                arrival_s,
+                seq,
+            });
+        }
+
+        pub fn pop(&mut self, now: f64, aging_bound_s: f64) -> Option<RefEntry> {
+            let oldest = self.entries.first()?;
+            if now - oldest.arrival_s >= aging_bound_s {
+                return Some(self.entries.remove(0));
+            }
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.bytes, e.seq))
+                .expect("non-empty");
+            Some(self.entries.remove(idx))
+        }
+
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -220,5 +271,58 @@ proptest! {
         let a = run(&w, &cfg);
         let b = run(&w, &cfg);
         assert_bit_identical(&a, &b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    // The heap-backed SJF queue pops bit-identically to the linear-scan
+    // implementation it replaced: same (bytes, seq) order, same aging
+    // escapes, on randomized interleaved push/pop schedules.
+    #[test]
+    fn heap_backed_sjf_matches_the_linear_scan_reference(
+        // Each step: a request (size, inter-arrival gap) plus how many pops
+        // follow it (0–3), so queues both deepen and drain mid-schedule.
+        steps in prop::collection::vec(
+            (1u64..5_000, 0.0f64..20.0, 0usize..4), 1..120),
+        aging_bound_s in 1.0f64..60.0,
+    ) {
+        use spindown_sim::discipline::{DisciplineChoice, RequestQueue};
+
+        let mut heap_q = RequestQueue::new(DisciplineChoice::ShortestJobFirst { aging_bound_s });
+        let mut linear_q = sjf_reference::LinearSjf::default();
+        let mut now = 0.0;
+        for (req, &(bytes, gap, pops)) in steps.iter().enumerate() {
+            now += gap;
+            heap_q.push(req, bytes, now, req as u64);
+            linear_q.push(req, bytes, now);
+            for _ in 0..pops {
+                let got = heap_q.pop(now);
+                let want = linear_q.pop(now, aging_bound_s);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(g), Some(w)) => {
+                        prop_assert_eq!(g.entry.req, w.req, "pop order diverged at t={}", now);
+                        prop_assert!(!g.amortised, "SJF never amortises seeks");
+                    }
+                    (g, w) => prop_assert!(false, "emptiness diverged: heap {:?} vs linear {:?}", g, w),
+                }
+                prop_assert_eq!(heap_q.len(), linear_q.len());
+            }
+        }
+        // Drain the remainder at a late enough time that aging also fires.
+        loop {
+            now += 7.0;
+            let got = heap_q.pop(now);
+            let want = linear_q.pop(now, aging_bound_s);
+            match (got, want) {
+                (None, None) => break,
+                (Some(g), Some(w)) => prop_assert_eq!(g.entry.req, w.req),
+                (g, w) => prop_assert!(false, "drain diverged: heap {:?} vs linear {:?}", g, w),
+            }
+        }
+        prop_assert!(heap_q.is_empty());
+        prop_assert_eq!(linear_q.len(), 0);
     }
 }

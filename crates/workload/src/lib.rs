@@ -24,6 +24,9 @@
 //! - [`catalog`] — [`catalog::FileCatalog`]: the file population.
 //! - [`arrivals`] — Poisson and batched arrival processes.
 //! - [`trace`] — request traces, generation, serde I/O and statistics.
+//! - [`source`] — streaming request sources ([`source::TraceSource`]):
+//!   in-memory cursor, buffered CSV reader and seeded synthetic generator,
+//!   so replays need not materialise O(requests) memory.
 //! - [`nersc`] — the synthetic NERSC workload.
 //! - [`bins`] — logarithmic size binning (the paper's 80-bin analysis).
 
@@ -32,10 +35,12 @@ pub mod bins;
 pub mod catalog;
 pub mod nersc;
 pub mod sizes;
+pub mod source;
 pub mod trace;
 pub mod zipf;
 
 pub use catalog::{FileCatalog, FileId, FileSpec};
+pub use source::{CsvTraceSource, InMemorySource, SyntheticSource, TraceSource};
 pub use trace::{Request, Trace};
 pub use zipf::ZipfDistribution;
 

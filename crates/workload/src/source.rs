@@ -1,0 +1,388 @@
+//! Streaming request sources: feed arrivals to a consumer one at a time.
+//!
+//! A [`TraceSource`] is the cursor the simulation engine's streamed arrival
+//! loop reads from. Where a [`Trace`] materialises every request up front
+//! (O(requests) memory), a source hands out requests in time order and
+//! holds only O(1) state per implementation — which is what lets a
+//! multi-billion-request replay run with resident memory independent of the
+//! request count.
+//!
+//! Implementations:
+//!
+//! - [`InMemorySource`] — a cursor over an existing [`Trace`]. Identical
+//!   semantics to handing the trace to the engine directly
+//!   (property-tested bit-identical in `crates/sim/tests/trace_source.rs`).
+//! - [`CsvTraceSource`] — a buffered line-at-a-time reader of the CSV
+//!   format [`Trace::write_csv`] produces (`time_s,file_id` rows). Memory
+//!   is one line buffer regardless of file size.
+//! - [`SyntheticSource`] — a seeded Poisson/popularity generator producing
+//!   exactly the request sequence of [`Trace::poisson`] with the same
+//!   arguments, without ever materialising it.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::arrivals::PoissonProcess;
+use crate::catalog::FileCatalog;
+use crate::trace::{popularity_cdf, sample_by_cdf, Request, Trace, TraceIoError};
+
+/// A time-ordered stream of requests plus the horizon of the observation
+/// window. The engine peeks the next arrival time to interleave arrivals
+/// with scheduled events, then consumes the request.
+///
+/// Implementations must yield non-decreasing times, all within
+/// `[0, horizon]`; [`CsvTraceSource`] enforces this on malformed input by
+/// returning [`TraceIoError`]s through the `Result` layer.
+pub trait TraceSource {
+    /// Arrival time of the next request without consuming it (`None` when
+    /// the stream is exhausted).
+    fn peek_time(&mut self) -> Result<Option<f64>, TraceIoError>;
+
+    /// Consume and return the next request.
+    fn next_request(&mut self) -> Result<Option<Request>, TraceIoError>;
+
+    /// Observation-window length, seconds (≥ every request time the stream
+    /// will yield).
+    fn horizon(&self) -> f64;
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    #[inline]
+    fn peek_time(&mut self) -> Result<Option<f64>, TraceIoError> {
+        (**self).peek_time()
+    }
+
+    #[inline]
+    fn next_request(&mut self) -> Result<Option<Request>, TraceIoError> {
+        (**self).next_request()
+    }
+
+    #[inline]
+    fn horizon(&self) -> f64 {
+        (**self).horizon()
+    }
+}
+
+/// A [`TraceSource`] cursor over an in-memory [`Trace`] — the streamed
+/// engine's original arrival feed, now spelled as a source. Holds the
+/// request slice directly and `#[inline]`s its accessors so the engine's
+/// monomorphised arrival loop compiles down to the slice-index-and-compare
+/// it used before the source abstraction existed (this cursor sits on the
+/// hottest path of a replay: one peek per event-loop step).
+#[derive(Debug, Clone)]
+pub struct InMemorySource<'a> {
+    requests: &'a [Request],
+    horizon: f64,
+    next: usize,
+}
+
+impl<'a> InMemorySource<'a> {
+    /// Cursor at the start of `trace`.
+    pub fn new(trace: &'a Trace) -> Self {
+        InMemorySource {
+            requests: trace.requests(),
+            horizon: trace.horizon(),
+            next: 0,
+        }
+    }
+}
+
+impl TraceSource for InMemorySource<'_> {
+    #[inline]
+    fn peek_time(&mut self) -> Result<Option<f64>, TraceIoError> {
+        Ok(self.requests.get(self.next).map(|r| r.time))
+    }
+
+    #[inline]
+    fn next_request(&mut self) -> Result<Option<Request>, TraceIoError> {
+        let r = self.requests.get(self.next).copied();
+        if r.is_some() {
+            self.next += 1;
+        }
+        Ok(r)
+    }
+
+    #[inline]
+    fn horizon(&self) -> f64 {
+        self.horizon
+    }
+}
+
+/// A buffered streaming reader of the `time_s,file_id` CSV format
+/// ([`Trace::write_csv`]): one parsed line of look-ahead, one line buffer —
+/// O(1) memory however long the file is. Validates well-formed rows,
+/// finite non-negative times and non-decreasing order, surfacing problems
+/// as [`TraceIoError`] at the offending row instead of up front.
+///
+/// The horizon differs from [`Trace::read_csv`] by design: a streaming
+/// replay must fix its horizon before the data has been seen, so a row
+/// past the declared horizon is a [`TraceIoError::BeyondHorizon`] error —
+/// `read_csv`, holding the whole file, instead grows the horizon to fit.
+/// Open with `horizon: None` to pre-scan the file for the true last
+/// request time when a hard bound is not known.
+pub struct CsvTraceSource<R> {
+    reader: R,
+    horizon: f64,
+    pending: Option<Request>,
+    last_time: f64,
+    lineno: usize,
+    line: String,
+    done: bool,
+}
+
+impl CsvTraceSource<BufReader<File>> {
+    /// Open `path` for streaming. When `horizon` is `None` the file is
+    /// pre-scanned once (still O(1) memory) to find the last request time;
+    /// pass an explicit horizon to skip that pass.
+    pub fn open<P: AsRef<Path>>(path: P, horizon: Option<f64>) -> Result<Self, TraceIoError> {
+        let horizon = match horizon {
+            Some(h) => h,
+            None => {
+                let mut scan =
+                    CsvTraceSource::from_reader(BufReader::new(File::open(&path)?), f64::MAX);
+                let mut last = 0.0_f64;
+                while let Some(r) = scan.next_request()? {
+                    last = r.time;
+                }
+                last
+            }
+        };
+        Ok(CsvTraceSource::from_reader(
+            BufReader::new(File::open(path)?),
+            horizon,
+        ))
+    }
+}
+
+impl<R: BufRead> CsvTraceSource<R> {
+    /// Stream from any buffered reader with an explicit horizon.
+    pub fn from_reader(reader: R, horizon: f64) -> Self {
+        assert!(horizon >= 0.0, "bad horizon {horizon}");
+        CsvTraceSource {
+            reader,
+            horizon,
+            pending: None,
+            last_time: 0.0,
+            lineno: 0,
+            line: String::new(),
+            done: false,
+        }
+    }
+
+    /// Parse rows until one yields a request (or EOF), buffering it.
+    fn fill(&mut self) -> Result<(), TraceIoError> {
+        while self.pending.is_none() && !self.done {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                self.done = true;
+                return Ok(());
+            }
+            self.lineno += 1;
+            let text = self.line.trim();
+            if text.is_empty() || (self.lineno == 1 && text.starts_with("time")) {
+                continue;
+            }
+            let mut parts = text.split(',');
+            let (Some(t), Some(f)) = (parts.next(), parts.next()) else {
+                return Err(TraceIoError::Malformed(self.lineno, text.to_owned()));
+            };
+            let time: f64 = t
+                .trim()
+                .parse()
+                .map_err(|_| TraceIoError::Malformed(self.lineno, text.to_owned()))?;
+            let id: u32 = f
+                .trim()
+                .parse()
+                .map_err(|_| TraceIoError::Malformed(self.lineno, text.to_owned()))?;
+            if !time.is_finite() || time < 0.0 {
+                return Err(TraceIoError::Malformed(self.lineno, text.to_owned()));
+            }
+            if time > self.horizon {
+                return Err(TraceIoError::BeyondHorizon(self.lineno));
+            }
+            if time < self.last_time {
+                return Err(TraceIoError::OutOfOrder(self.lineno));
+            }
+            self.last_time = time;
+            self.pending = Some(Request {
+                time,
+                file: crate::catalog::FileId(id),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> TraceSource for CsvTraceSource<R> {
+    fn peek_time(&mut self) -> Result<Option<f64>, TraceIoError> {
+        self.fill()?;
+        Ok(self.pending.map(|r| r.time))
+    }
+
+    fn next_request(&mut self) -> Result<Option<Request>, TraceIoError> {
+        self.fill()?;
+        Ok(self.pending.take())
+    }
+
+    fn horizon(&self) -> f64 {
+        self.horizon
+    }
+}
+
+/// A seeded Poisson/popularity request generator. Produces exactly the
+/// request sequence [`Trace::poisson`]`(catalog, rate, horizon, seed)`
+/// materialises (same arrival process, same per-arrival popularity draws,
+/// same seed derivation), but one request at a time — so a 10⁸-request
+/// replay costs O(files) for the popularity table and O(1) beyond it.
+pub struct SyntheticSource {
+    process: PoissonProcess,
+    rng: SmallRng,
+    cdf: Vec<f64>,
+    horizon: f64,
+    pending: Option<Request>,
+    done: bool,
+}
+
+impl SyntheticSource {
+    /// Poisson arrivals at `rate`/s until `horizon`, each targeting a file
+    /// drawn by catalog popularity — [`Trace::poisson`] as a stream.
+    pub fn poisson(catalog: &FileCatalog, rate: f64, horizon: f64, seed: u64) -> Self {
+        assert!(!catalog.is_empty(), "cannot generate against empty catalog");
+        assert!(horizon >= 0.0 && horizon.is_finite(), "bad horizon");
+        SyntheticSource {
+            process: PoissonProcess::new(rate, seed),
+            rng: SmallRng::seed_from_u64(seed.wrapping_add(1)),
+            cdf: popularity_cdf(catalog),
+            horizon,
+            pending: None,
+            done: false,
+        }
+    }
+
+    fn fill(&mut self) {
+        if self.pending.is_none() && !self.done {
+            let time = self.process.next_arrival();
+            if time >= self.horizon {
+                self.done = true;
+            } else {
+                self.pending = Some(Request {
+                    time,
+                    file: sample_by_cdf(&self.cdf, &mut self.rng),
+                });
+            }
+        }
+    }
+}
+
+impl TraceSource for SyntheticSource {
+    fn peek_time(&mut self) -> Result<Option<f64>, TraceIoError> {
+        self.fill();
+        Ok(self.pending.map(|r| r.time))
+    }
+
+    fn next_request(&mut self) -> Result<Option<Request>, TraceIoError> {
+        self.fill();
+        Ok(self.pending.take())
+    }
+
+    fn horizon(&self) -> f64 {
+        self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(src: &mut dyn TraceSource) -> Vec<Request> {
+        let mut out = Vec::new();
+        while let Some(r) = src.next_request().expect("source yields") {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn in_memory_source_replays_the_trace_verbatim() {
+        let catalog = FileCatalog::paper_table1(50, 0);
+        let trace = Trace::poisson(&catalog, 2.0, 200.0, 11);
+        let mut src = InMemorySource::new(&trace);
+        assert_eq!(src.horizon(), trace.horizon());
+        assert_eq!(
+            src.peek_time().unwrap(),
+            trace.requests().first().map(|r| r.time)
+        );
+        assert_eq!(drain(&mut src), trace.requests());
+        assert_eq!(src.peek_time().unwrap(), None);
+        assert_eq!(src.next_request().unwrap(), None);
+    }
+
+    #[test]
+    fn synthetic_source_matches_trace_poisson_bit_for_bit() {
+        let catalog = FileCatalog::paper_table1(100, 0);
+        let (rate, horizon, seed) = (5.0, 500.0, 42);
+        let trace = Trace::poisson(&catalog, rate, horizon, seed);
+        let mut src = SyntheticSource::poisson(&catalog, rate, horizon, seed);
+        let generated = drain(&mut src);
+        assert_eq!(generated.len(), trace.len());
+        assert_eq!(generated, trace.requests());
+    }
+
+    #[test]
+    fn csv_source_round_trips_write_csv() {
+        let catalog = FileCatalog::paper_table1(20, 0);
+        let trace = Trace::poisson(&catalog, 1.0, 100.0, 3);
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).unwrap();
+        let mut src = CsvTraceSource::from_reader(std::io::Cursor::new(&buf), 100.0);
+        let streamed = drain(&mut src);
+        assert_eq!(streamed.len(), trace.len());
+        for (a, b) in streamed.iter().zip(trace.requests()) {
+            assert_eq!(a.file, b.file);
+            assert!((a.time - b.time).abs() < 1e-5, "printed precision");
+        }
+    }
+
+    #[test]
+    fn csv_source_reports_malformed_rows_at_their_line() {
+        let bad = "time_s,file_id\n1.0,3\nnot-a-number,4\n";
+        let mut src = CsvTraceSource::from_reader(std::io::Cursor::new(bad), 10.0);
+        assert_eq!(src.next_request().unwrap().unwrap().file.0, 3);
+        let err = src.next_request().unwrap_err();
+        assert!(matches!(err, TraceIoError::Malformed(3, _)));
+    }
+
+    #[test]
+    fn csv_source_rejects_out_of_order_and_beyond_horizon() {
+        let unordered = "5.0,1\n4.0,2\n";
+        let mut src = CsvTraceSource::from_reader(std::io::Cursor::new(unordered), 10.0);
+        assert!(src.next_request().is_ok());
+        assert!(matches!(
+            src.next_request().unwrap_err(),
+            TraceIoError::OutOfOrder(2)
+        ));
+        let beyond = "5.0,1\n20.0,2\n";
+        let mut src = CsvTraceSource::from_reader(std::io::Cursor::new(beyond), 10.0);
+        assert!(src.next_request().is_ok());
+        assert!(matches!(
+            src.next_request().unwrap_err(),
+            TraceIoError::BeyondHorizon(2)
+        ));
+    }
+
+    #[test]
+    fn peek_is_idempotent_and_agrees_with_next() {
+        let catalog = FileCatalog::paper_table1(10, 0);
+        let mut src = SyntheticSource::poisson(&catalog, 3.0, 50.0, 9);
+        while let Some(t) = src.peek_time().unwrap() {
+            assert_eq!(src.peek_time().unwrap(), Some(t), "peek consumed");
+            let r = src.next_request().unwrap().expect("peeked");
+            assert_eq!(r.time, t);
+        }
+        assert_eq!(src.next_request().unwrap(), None);
+    }
+}

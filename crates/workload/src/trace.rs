@@ -41,6 +41,11 @@ pub enum TraceIoError {
     Malformed(usize, String),
     /// Requests out of order at the given line.
     OutOfOrder(usize),
+    /// A request (at the given line) past the horizon a streaming reader
+    /// was opened with. Streaming replays fix the horizon up front, so —
+    /// unlike [`Trace::read_csv`], which grows the horizon to fit — late
+    /// rows are an error rather than a silent extension.
+    BeyondHorizon(usize),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -52,6 +57,12 @@ impl std::fmt::Display for TraceIoError {
             }
             TraceIoError::OutOfOrder(line) => {
                 write!(f, "trace not time-ordered at line {line}")
+            }
+            TraceIoError::BeyondHorizon(line) => {
+                write!(
+                    f,
+                    "request at line {line} is past the declared streaming horizon"
+                )
             }
         }
     }
@@ -287,7 +298,7 @@ impl Trace {
     }
 }
 
-fn popularity_cdf(catalog: &FileCatalog) -> Vec<f64> {
+pub(crate) fn popularity_cdf(catalog: &FileCatalog) -> Vec<f64> {
     let mut acc = 0.0;
     let mut cdf: Vec<f64> = catalog
         .iter()
@@ -302,7 +313,7 @@ fn popularity_cdf(catalog: &FileCatalog) -> Vec<f64> {
     cdf
 }
 
-fn sample_by_cdf<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> FileId {
+pub(crate) fn sample_by_cdf<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> FileId {
     let u: f64 = rng.random();
     let idx = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
     FileId(idx as u32)

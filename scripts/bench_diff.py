@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Diff criterion(-shim) bench output against the checked-in baseline.
+
+Usage:
+    cargo bench -p spindown_bench 2>&1 | tee bench.txt
+    python3 scripts/bench_diff.py bench.txt              # compare
+    python3 scripts/bench_diff.py bench.txt --update     # rewrite baseline
+
+The in-tree criterion shim prints, per benchmark::
+
+    group/bench/param
+      time: [mean 70.000 ms | min 69.000 ms] over 10 iterations
+      thrpt: 14200000 elem/s
+
+This script extracts the *mean* time per benchmark and compares it against
+``BENCH_BASELINE.json``. The threshold is deliberately generous
+(``--threshold``, default 3.0x) because CI runs the benches in
+``CRITERION_QUICK=1`` mode (one iteration, no statistics) on shared
+runners: the lane exists to catch order-of-magnitude regressions and
+panics, not 5% drifts — BENCHMARKS.md tracks the real trajectory by hand.
+
+Exit codes: 0 ok, 1 regression(s) found, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+NAME_RE = re.compile(r"^(?P<name>[A-Za-z0-9_/.:-]+)$")
+TIME_RE = re.compile(
+    r"^\s+time:\s+\[mean\s+(?P<mean>[0-9.]+)\s+(?P<unit>s|ms|µs|us)\s+\|"
+)
+
+UNIT_S = {"s": 1.0, "ms": 1e-3, "µs": 1e-6, "us": 1e-6}
+
+
+def parse_bench_output(text: str) -> dict[str, float]:
+    """Map benchmark name -> mean seconds."""
+    results: dict[str, float] = {}
+    pending: str | None = None
+    for line in text.splitlines():
+        m = TIME_RE.match(line)
+        if m and pending:
+            results[pending] = float(m.group("mean")) * UNIT_S[m.group("unit")]
+            pending = None
+            continue
+        m = NAME_RE.match(line.strip())
+        # A benchmark id always contains a '/' (group/bench/param); this
+        # keeps cargo noise ("Compiling ...", one-shot prints) out.
+        if m and "/" in m.group("name") and ":" not in m.group("name"):
+            pending = m.group("name")
+    return results
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("output", help="file holding `cargo bench` stdout")
+    ap.add_argument(
+        "baseline",
+        nargs="?",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_BASELINE.json"),
+        help="baseline JSON (default: repo-root BENCH_BASELINE.json)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="fail when current mean exceeds baseline * THRESHOLD (default 3.0)",
+    )
+    ap.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from this output"
+    )
+    args = ap.parse_args()
+
+    try:
+        text = Path(args.output).read_text()
+    except OSError as e:
+        print(f"cannot read bench output: {e}", file=sys.stderr)
+        return 2
+    current = parse_bench_output(text)
+    if not current:
+        print("no benchmark results found in output — parse failure?", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.update:
+        baseline_path.write_text(
+            json.dumps(
+                {name: {"mean_s": round(v, 9)} for name, v in sorted(current.items())},
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline rewritten with {len(current)} benchmarks → {baseline_path}")
+        return 0
+
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except OSError as e:
+        print(f"cannot read baseline: {e} (run with --update to create)", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for name, mean_s in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"  NEW      {name}: {mean_s:.6f} s (not in baseline)")
+            continue
+        ratio = mean_s / base["mean_s"] if base["mean_s"] > 0 else float("inf")
+        marker = "OK" if ratio <= args.threshold else "REGRESSED"
+        print(f"  {marker:9} {name}: {mean_s:.6f} s vs {base['mean_s']:.6f} s ({ratio:.2f}x)")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+    # A baseline benchmark absent from this run means a bench binary died
+    # (or was renamed without refreshing the baseline) — fail either way.
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"  MISSING  {name}: in baseline but not in this run")
+
+    if regressions or missing:
+        if regressions:
+            print(
+                f"\n{len(regressions)} benchmark(s) regressed beyond {args.threshold}x:",
+                file=sys.stderr,
+            )
+            for name, ratio in regressions:
+                print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        if missing:
+            print(
+                f"\n{len(missing)} baseline benchmark(s) missing from this run "
+                "(crashed bench? refresh with --update if intentional)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nall {len(current)} benchmarks within {args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,11 +60,10 @@ fn compute_rows() -> Vec<(f64, f64, f64)> {
     assert_eq!(report.responses.len(), trace.len(), "requests dropped");
     (0..report.disks)
         .map(|d| {
-            let mut resp = report.per_disk_responses[d].clone();
             (
                 report.per_disk_energy[d].total_joules(),
                 report.per_disk_responses[d].mean(),
-                resp.p95(),
+                report.per_disk_response_quantile(d, 0.95),
             )
         })
         .collect()
@@ -128,6 +127,49 @@ fn golden_trace_per_disk_table_matches_the_pre_discipline_engine() {
     );
 }
 
+/// The same fixture replayed through every `TraceSource` front — the
+/// in-memory cursor and the buffered CSV streamer reading the fixture file
+/// directly — must land on the identical per-disk table: the source layer
+/// is a pure arrival feed, never a semantic change.
+#[test]
+fn golden_trace_table_is_trace_source_invariant() {
+    use spindown::sim::engine::Simulator;
+    use spindown::workload::{CsvTraceSource, InMemorySource};
+    let (catalog, assignment, cfg) = fixture();
+    let text = std::fs::read_to_string(EXPECTED).expect("golden expected fixture present");
+    let expected = parse_expected(&text);
+
+    let raw = std::fs::File::open(TRACE).expect("golden trace fixture present");
+    let trace = Trace::read_csv(BufReader::new(raw), Some(600.0)).expect("fixture parses");
+    let in_memory = Simulator::run_from_source(
+        &catalog,
+        InMemorySource::new(&trace),
+        &assignment,
+        &cfg,
+        assignment.disk_slots(),
+    )
+    .expect("in-memory source simulates");
+    let csv_streamed = Simulator::run_from_source(
+        &catalog,
+        CsvTraceSource::open(TRACE, Some(600.0)).expect("fixture opens"),
+        &assignment,
+        &cfg,
+        assignment.disk_slots(),
+    )
+    .expect("csv source simulates");
+
+    for report in [&in_memory, &csv_streamed] {
+        assert_eq!(report.responses.len(), trace.len(), "requests dropped");
+        for (d, exp) in expected.iter().enumerate() {
+            assert!(
+                (report.per_disk_energy[d].total_joules() - exp.0).abs() < TOL * exp.0.max(1.0)
+            );
+            assert!((report.per_disk_responses[d].mean() - exp.1).abs() < TOL);
+            assert!((report.per_disk_response_quantile(d, 0.95) - exp.2).abs() < TOL);
+        }
+    }
+}
+
 /// The same fixture replayed with the preloaded arrival mode and an
 /// explicit FIFO discipline must land on the identical table — the
 /// `--ignored` CI smoke lane runs this alongside the 1M-request replay.
@@ -146,9 +188,8 @@ fn golden_trace_table_is_arrival_mode_and_discipline_invariant() {
         .with_discipline(DisciplineChoice::Fifo);
     let report = Simulator::run(&catalog, &trace, &assignment, &cfg).expect("simulates");
     for (d, exp) in expected.iter().enumerate() {
-        let mut resp = report.per_disk_responses[d].clone();
         assert!((report.per_disk_energy[d].total_joules() - exp.0).abs() < TOL * exp.0.max(1.0));
         assert!((report.per_disk_responses[d].mean() - exp.1).abs() < TOL);
-        assert!((resp.p95() - exp.2).abs() < TOL);
+        assert!((report.per_disk_response_quantile(d, 0.95) - exp.2).abs() < TOL);
     }
 }
