@@ -30,8 +30,11 @@ pub mod ski_rental;
 pub mod stats;
 pub mod tradeoff;
 
-pub use dpm::{competitive_ratio, offline_gap_cost, online_gap_cost};
+pub use dpm::{
+    competitive_ratio, envelope_gap_cost, multi_state_offline_gap_cost, offline_gap_cost,
+    online_gap_cost,
+};
 pub use mg1::{mg1_mean_response, mg1_mean_wait, utilisation_for_response};
-pub use online::{AdaptivePolicy, SkiRentalPolicy};
+pub use online::{AdaptivePolicy, EnvelopeDescentPolicy, LowerEnvelopePolicy, SkiRentalPolicy};
 pub use stats::Welford;
 pub use tradeoff::{knee_index, pareto_front, TradeoffPoint};

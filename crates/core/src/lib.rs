@@ -41,4 +41,9 @@ pub use spindown_sim::discipline::DisciplineChoice;
 // discipline picks how each disk orders work; re-exported so sweep/planner
 // callers configure everything from one place.
 pub use spindown_sim::metrics::MetricsMode;
+// The ladder choice picks *how many power levels* each drive descends
+// through (the paper's two-state machine vs a low-RPM three-state ladder),
+// the sweep grid's fourth dimension; re-exported alongside the policy and
+// discipline choices it composes with.
+pub use spindown_disk::LadderChoice;
 pub use writes::{WriteFit, WritePlacer};

@@ -9,7 +9,9 @@
 //! into a fresh policy instance any number of times.
 
 use serde::{Deserialize, Serialize};
-use spindown_analysis::online::{AdaptivePolicy, SkiRentalPolicy};
+use spindown_analysis::online::{
+    AdaptivePolicy, EnvelopeDescentPolicy, LowerEnvelopePolicy, SkiRentalPolicy,
+};
 use spindown_disk::DiskSpec;
 use spindown_sim::config::ThresholdPolicy;
 use spindown_sim::policy::{PowerPolicy, TimeoutPolicy};
@@ -31,6 +33,17 @@ pub enum PolicyChoice {
         /// Smoothing factor in (0, 1].
         alpha: f64,
     },
+    /// The deterministic multi-state lower-envelope descent: step into
+    /// each ladder level at its cost-line intersection time (2-competitive;
+    /// the break-even timeout on a two-state ladder).
+    EnvelopeDescent,
+    /// The probability-based multi-state lower-envelope policy: per-level
+    /// descent thresholds minimise expected cost over a sliding window of
+    /// observed idle gaps.
+    LowerEnvelope {
+        /// Gaps remembered per disk (≥ 8; 32 is a good default).
+        window: u32,
+    },
 }
 
 impl PolicyChoice {
@@ -49,14 +62,26 @@ impl PolicyChoice {
         PolicyChoice::Threshold(ThresholdPolicy::Never)
     }
 
+    /// The probability-based lower-envelope policy with its default
+    /// 32-gap window.
+    pub fn lower_envelope() -> Self {
+        PolicyChoice::LowerEnvelope { window: 32 }
+    }
+
     /// Build a fresh policy instance for `spec`. Randomised policies come
     /// back identically seeded every time, so repeated runs of the same
-    /// choice are reproducible.
+    /// choice are reproducible. Ladder-aware policies (envelope descent,
+    /// lower envelope) read `spec.power_ladder()`, so hand them the spec
+    /// the simulation will actually run.
     pub fn build(&self, spec: &DiskSpec) -> Box<dyn PowerPolicy> {
         match *self {
             PolicyChoice::Threshold(t) => Box::new(TimeoutPolicy::from_config(t, spec)),
             PolicyChoice::SkiRental { seed } => Box::new(SkiRentalPolicy::for_drive(spec, seed)),
             PolicyChoice::Adaptive { alpha } => Box::new(AdaptivePolicy::for_drive(spec, alpha)),
+            PolicyChoice::EnvelopeDescent => Box::new(EnvelopeDescentPolicy::for_drive(spec)),
+            PolicyChoice::LowerEnvelope { window } => {
+                Box::new(LowerEnvelopePolicy::for_drive(spec, window as usize))
+            }
         }
     }
 
@@ -70,6 +95,8 @@ impl PolicyChoice {
             PolicyChoice::Adaptive { alpha } => {
                 format!("adaptive_a{:02}", (alpha * 100.0).round() as u32)
             }
+            PolicyChoice::EnvelopeDescent => "envelope".into(),
+            PolicyChoice::LowerEnvelope { .. } => "lower_env".into(),
         }
     }
 }
@@ -99,11 +126,13 @@ mod tests {
             PolicyChoice::never(),
             PolicyChoice::SkiRental { seed: 1 },
             PolicyChoice::Adaptive { alpha: 0.5 },
+            PolicyChoice::EnvelopeDescent,
+            PolicyChoice::lower_envelope(),
         ];
         for c in choices {
             let mut p = c.build(&spec);
             // Every policy must answer an idle-start consultation.
-            let d = p.idle_started(0, 0.0);
+            let d = p.settled(0, 0, 0.0);
             match c {
                 PolicyChoice::Threshold(ThresholdPolicy::Never) => assert_eq!(d, None),
                 _ => assert!(d.is_some()),
@@ -111,6 +140,26 @@ mod tests {
             assert!(!p.name().is_empty());
             assert!(!c.label().is_empty());
         }
+    }
+
+    #[test]
+    fn ladder_policies_read_the_spec_ladder() {
+        let spec = DiskSpec::seagate_st3500630as();
+        let three = spec
+            .clone()
+            .with_ladder(Some(spindown_disk::PowerLadder::with_low_rpm(&spec)));
+        // On the three-level ladder the envelope policy steps into level 1
+        // first; on the two-state ladder it goes straight to level 1 (the
+        // deepest) at the aggregate break-even.
+        let mut p2 = PolicyChoice::EnvelopeDescent.build(&spec);
+        let mut p3 = PolicyChoice::EnvelopeDescent.build(&three);
+        let s2 = p2.settled(0, 0, 0.0).unwrap();
+        let s3 = p3.settled(0, 0, 0.0).unwrap();
+        assert_eq!(s2.to_level, 1);
+        assert_eq!(s3.to_level, 1);
+        assert!(s3.rest_s < s2.rest_s, "low-RPM pays off sooner");
+        assert!(p3.settled(0, 1, s3.rest_s).is_some());
+        assert!(p2.settled(0, 1, s2.rest_s).is_none());
     }
 
     #[test]
@@ -123,6 +172,8 @@ mod tests {
             PolicyChoice::Adaptive { alpha: 0.25 }.label(),
             "adaptive_a25"
         );
+        assert_eq!(PolicyChoice::EnvelopeDescent.label(), "envelope");
+        assert_eq!(PolicyChoice::lower_envelope().label(), "lower_env");
     }
 
     #[test]
@@ -132,7 +183,7 @@ mod tests {
         let mut a = c.build(&spec);
         let mut b = c.build(&spec);
         for i in 0..50 {
-            assert_eq!(a.idle_started(0, i as f64), b.idle_started(0, i as f64));
+            assert_eq!(a.settled(0, 0, i as f64), b.settled(0, 0, i as f64));
         }
     }
 

@@ -18,20 +18,76 @@
 //! 53.29 s` — the paper's 53.3 s. That this falls out of the model is the
 //! main cross-check that our power constants are wired correctly.
 
+use crate::ladder::PowerLadder;
 use crate::spec::DiskSpec;
 
 /// Energy overhead (joules) of one spin-down/spin-up cycle, excluding any
-/// time actually spent in standby.
+/// time actually spent in standby. For a drive with an explicit ladder
+/// this is the full descent to (and wake from) the deepest level.
 pub fn transition_energy_overhead(spec: &DiskSpec) -> f64 {
-    spec.spin_down_time_s * spec.spin_down_power_w + spec.spin_up_time_s * spec.spin_up_power_w
+    match &spec.ladder {
+        Some(ladder) => ladder.descent_overhead_j(ladder.deepest()),
+        None => {
+            spec.spin_down_time_s * spec.spin_down_power_w
+                + spec.spin_up_time_s * spec.spin_up_power_w
+        }
+    }
 }
 
 /// The break-even idleness threshold in seconds (see module docs).
 ///
 /// A disk idle for longer than this should have been spun down; the paper
 /// uses this value (53.3 s for Table 2) as the default idleness threshold.
+/// Generalised over the ladder, this is
+/// [`break_even_threshold_between`]`(spec, 0, deepest)` — for the
+/// canonical two-state ladder, exactly the paper's formula.
 pub fn break_even_threshold(spec: &DiskSpec) -> f64 {
-    transition_energy_overhead(spec) / (spec.idle_power_w - spec.standby_power_w)
+    match &spec.ladder {
+        Some(_) => break_even_threshold_between(spec, 0, spec.deepest_level()),
+        None => transition_energy_overhead(spec) / (spec.idle_power_w - spec.standby_power_w),
+    }
+}
+
+/// Extra transition energy (joules) of descending from resident level
+/// `from` down to level `to` and eventually waking from there, over
+/// staying at `from` and waking from `from`: every entry transition on the
+/// way down plus the *difference* in exit costs. For `(0, deepest)` on the
+/// two-state ladder this is [`transition_energy_overhead`].
+pub fn transition_energy_between(spec: &DiskSpec, from: u8, to: u8) -> f64 {
+    assert!(from < to, "descend requires from < to (got {from} → {to})");
+    let ladder = spec.power_ladder();
+    assert!(
+        (to as usize) < ladder.len(),
+        "level {to} beyond the ladder's deepest level {}",
+        ladder.deepest()
+    );
+    ladder.descent_overhead_j(to) - ladder.descent_overhead_j(from)
+}
+
+/// The break-even residency (seconds) that makes descending from level
+/// `from` to level `to` pay off: the extra transition energy divided by
+/// the power saved per second of residency at `to` instead of `from`.
+///
+/// Subsumes [`break_even_threshold`] as the `(0, deepest)` case for the
+/// two-state ladder. Valid (lower-envelope) ladders guarantee this is
+/// strictly increasing in `to` for any fixed `from` — deeper levels take
+/// longer to pay off (property-tested in `tests/properties.rs`).
+pub fn break_even_threshold_between(spec: &DiskSpec, from: u8, to: u8) -> f64 {
+    let ladder = spec.power_ladder();
+    transition_energy_between(spec, from, to)
+        / (ladder.level(from).power_w - ladder.level(to).power_w)
+}
+
+/// The deterministic lower-envelope descent schedule for a drive: for each
+/// saving level `l ≥ 1`, the absolute idle time (seconds since the idle
+/// period began) at which the classical multi-state strategy descends into
+/// `l` — the intersection times of the per-level cost lines
+/// (`T_l = ΔE_l / ΔP_l`, Irani, Shukla & Gupta). Strictly increasing for
+/// any valid ladder; `schedule[l - 1]` is level `l`'s descent time.
+pub fn envelope_descent_times(ladder: &PowerLadder) -> Vec<f64> {
+    (1..ladder.len())
+        .map(|l| ladder.pairwise_break_even_s(l))
+        .collect()
 }
 
 /// Net energy saved (joules; negative = wasted) by spinning down for an idle
@@ -131,6 +187,52 @@ mod tests {
             assert!(g >= last, "gain not monotone at gap={gap}");
             last = g;
         }
+    }
+
+    #[test]
+    fn between_subsumes_the_two_state_threshold() {
+        let s = spec();
+        // Without an explicit ladder the generalised form reproduces the
+        // paper's formula exactly (same arithmetic, same order).
+        assert_eq!(
+            break_even_threshold_between(&s, 0, 1),
+            break_even_threshold(&s)
+        );
+        assert_eq!(transition_energy_between(&s, 0, 1), 453.0);
+    }
+
+    #[test]
+    fn deeper_levels_have_longer_break_evens() {
+        let mut s = spec();
+        s.ladder = Some(crate::ladder::PowerLadder::with_low_rpm(&s));
+        let t01 = break_even_threshold_between(&s, 0, 1);
+        let t02 = break_even_threshold_between(&s, 0, 2);
+        let t12 = break_even_threshold_between(&s, 1, 2);
+        assert!(
+            t01 < t02,
+            "low-RPM must pay off before standby: {t01} vs {t02}"
+        );
+        assert!(t12 > 0.0);
+        // With an explicit ladder the aggregate threshold is the (0,
+        // deepest) case.
+        assert_eq!(break_even_threshold(&s), t02);
+    }
+
+    #[test]
+    fn envelope_times_are_the_pairwise_break_evens() {
+        let mut s = spec();
+        s.ladder = Some(crate::ladder::PowerLadder::with_low_rpm(&s));
+        let lad = s.power_ladder();
+        let times = envelope_descent_times(&lad);
+        assert_eq!(times.len(), 2);
+        assert!(times[0] < times[1], "envelope order: {times:?}");
+        assert_eq!(times[0], lad.pairwise_break_even_s(1));
+        assert_eq!(times[1], lad.pairwise_break_even_s(2));
+        // Two-state ladder: the single envelope time is the paper's 53.3 s.
+        let two = spec().power_ladder();
+        let t = envelope_descent_times(&two);
+        assert_eq!(t.len(), 1);
+        assert!((t[0] - 53.29).abs() < 0.05);
     }
 
     #[test]

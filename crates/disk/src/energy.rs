@@ -6,37 +6,72 @@
 //! the run [`EnergyAccountant::finish`]. Invariants (monotone time, total
 //! duration conservation) are enforced and unit-tested — the power-saving
 //! numbers of Figures 2, 4 and 5 all flow through this module.
+//!
+//! The breakdown is **table-driven over the power-state ladder**: slots are
+//! allocated on demand for whatever states a run actually visits (three
+//! operational slots plus a `(Sleeping, Descending, Waking)` triple per
+//! ladder level), so adding levels to a ladder can never silently drop
+//! energy — per-state totals always sum exactly to the run total, however
+//! deep the ladder ([`EnergyBreakdown::per_state`] iterates every slot).
 
 use serde::{Deserialize, Serialize};
 
-use crate::power::{power_of, PowerState};
+use crate::power::{power_of, states_of, PowerState};
 use crate::spec::DiskSpec;
 
+/// Slot index of a state in the breakdown tables: operational states
+/// first, then one `(Sleeping, Descending, Waking)` triple per level.
+/// For the canonical two-state ladder this is exactly the six slots (and
+/// ordering) of the original fixed-size breakdown.
+fn slot(state: PowerState) -> usize {
+    match state {
+        PowerState::Active => 0,
+        PowerState::Seek => 1,
+        PowerState::Idle => 2,
+        PowerState::Sleeping(l) => 3 * l as usize,
+        PowerState::Descending(l) => 3 * l as usize + 1,
+        PowerState::Waking(l) => 3 * l as usize + 2,
+    }
+}
+
+/// Inverse of [`slot`]: the state a slot index belongs to.
+fn state_of_slot(i: usize) -> PowerState {
+    match i {
+        0 => PowerState::Active,
+        1 => PowerState::Seek,
+        2 => PowerState::Idle,
+        _ => {
+            let l = (i / 3) as u8;
+            match i % 3 {
+                0 => PowerState::Sleeping(l),
+                1 => PowerState::Descending(l),
+                _ => PowerState::Waking(l),
+            }
+        }
+    }
+}
+
 /// Per-state time and energy totals for one disk (or an aggregate).
+///
+/// Grows on demand to cover every ladder level a run visits; states never
+/// visited report zero.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
-    /// Seconds spent in each state, indexed as [`PowerState::ALL`].
-    seconds: [f64; 6],
-    /// Joules consumed in each state, indexed as [`PowerState::ALL`].
-    joules: [f64; 6],
+    /// Seconds spent in each state, indexed by [`slot`].
+    seconds: Vec<f64>,
+    /// Joules consumed in each state, indexed by [`slot`].
+    joules: Vec<f64>,
 }
 
 impl EnergyBreakdown {
-    fn index(state: PowerState) -> usize {
-        PowerState::ALL
-            .iter()
-            .position(|&s| s == state)
-            .expect("state present in ALL")
-    }
-
     /// Seconds spent in `state`.
     pub fn seconds_in(&self, state: PowerState) -> f64 {
-        self.seconds[Self::index(state)]
+        self.seconds.get(slot(state)).copied().unwrap_or(0.0)
     }
 
     /// Joules consumed in `state`.
     pub fn joules_in(&self, state: PowerState) -> f64 {
-        self.joules[Self::index(state)]
+        self.joules.get(slot(state)).copied().unwrap_or(0.0)
     }
 
     /// Total wall-clock seconds covered.
@@ -59,16 +94,55 @@ impl EnergyBreakdown {
         }
     }
 
+    /// Every `(state, seconds, joules)` row this breakdown has a slot for,
+    /// in slot order — the table-driven iteration whose seconds/joules sum
+    /// *exactly* to [`Self::total_seconds`]/[`Self::total_joules`] (both
+    /// are computed by summing the same slots in the same order), however
+    /// many ladder levels are in play.
+    pub fn per_state(&self) -> Vec<(PowerState, f64, f64)> {
+        (0..self.seconds.len())
+            .map(|i| (state_of_slot(i), self.seconds[i], self.joules[i]))
+            .collect()
+    }
+
+    /// The deepest ladder level this breakdown has slots for (0 when only
+    /// operational states were visited).
+    pub fn deepest_level(&self) -> u8 {
+        if self.seconds.len() <= 3 {
+            0
+        } else {
+            ((self.seconds.len() - 1) / 3) as u8
+        }
+    }
+
+    /// Every state of a `levels`-deep ladder with this breakdown's totals,
+    /// including never-visited states (reported as zero) — the full table
+    /// for reports that want one row per ladder state.
+    pub fn per_state_of_ladder(&self, levels: usize) -> Vec<(PowerState, f64, f64)> {
+        states_of(levels)
+            .into_iter()
+            .map(|s| (s, self.seconds_in(s), self.joules_in(s)))
+            .collect()
+    }
+
     /// Merge another breakdown into this one (for fleet-level aggregates).
     pub fn merge(&mut self, other: &EnergyBreakdown) {
-        for i in 0..6 {
-            self.seconds[i] += other.seconds[i];
-            self.joules[i] += other.joules[i];
+        if other.seconds.len() > self.seconds.len() {
+            self.seconds.resize(other.seconds.len(), 0.0);
+            self.joules.resize(other.joules.len(), 0.0);
+        }
+        for (i, (&s, &j)) in other.seconds.iter().zip(&other.joules).enumerate() {
+            self.seconds[i] += s;
+            self.joules[i] += j;
         }
     }
 
     fn add(&mut self, state: PowerState, seconds: f64, joules: f64) {
-        let i = Self::index(state);
+        let i = slot(state);
+        if i >= self.seconds.len() {
+            self.seconds.resize(i + 1, 0.0);
+            self.joules.resize(i + 1, 0.0);
+        }
         self.seconds[i] += seconds;
         self.joules[i] += joules;
     }
@@ -173,6 +247,7 @@ pub fn constant_state_energy(spec: &DiskSpec, state: PowerState, seconds: f64) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ladder::PowerLadder;
 
     fn spec() -> DiskSpec {
         DiskSpec::seagate_st3500630as()
@@ -205,6 +280,51 @@ mod tests {
         // energy = Σ seconds × state power
         let expected = 53.3 * 9.3 + 10.0 * 9.3 + (1000.0 - 63.3) * 0.8 + 15.0 * 24.0 + 5.0 * 13.0;
         assert!((b.total_joules() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ladder_levels_account_separately_and_sum_exactly() {
+        let mut s = spec();
+        s.ladder = Some(PowerLadder::with_low_rpm(&s));
+        let lad = s.ladder.clone().unwrap();
+        let mut acc = EnergyAccountant::new(s, 0.0, PowerState::Idle);
+        // Idle 20 s, enter low-RPM, rest 100 s, enter standby, rest 200 s,
+        // wake from standby.
+        acc.transition(20.0, PowerState::Descending(1)).unwrap();
+        let t1 = 20.0 + lad.level(1).entry_time_s;
+        acc.transition(t1, PowerState::Sleeping(1)).unwrap();
+        acc.transition(t1 + 100.0, PowerState::Descending(2))
+            .unwrap();
+        let t2 = t1 + 100.0 + lad.level(2).entry_time_s;
+        acc.transition(t2, PowerState::Sleeping(2)).unwrap();
+        acc.transition(t2 + 200.0, PowerState::Waking(2)).unwrap();
+        let t3 = t2 + 200.0 + lad.level(2).exit_time_s;
+        acc.transition(t3, PowerState::Idle).unwrap();
+        acc.finish(t3 + 5.0).unwrap();
+        let b = acc.breakdown();
+        assert!((b.seconds_in(PowerState::Sleeping(1)) - 100.0).abs() < 1e-9);
+        assert!((b.seconds_in(PowerState::Sleeping(2)) - 200.0).abs() < 1e-9);
+        assert!((b.joules_in(PowerState::Sleeping(1)) - 100.0 * lad.level(1).power_w).abs() < 1e-9);
+        assert!(
+            (b.joules_in(PowerState::Descending(2)) - lad.level(2).entry_energy_j()).abs() < 1e-9
+        );
+        assert!((b.joules_in(PowerState::Waking(2)) - lad.level(2).exit_energy_j()).abs() < 1e-9);
+        // The table-driven iteration covers every slot: its sums equal the
+        // totals bit-for-bit (same slots, same order — nothing dropped).
+        let rows = b.per_state();
+        let sum_s: f64 = rows.iter().map(|(_, s, _)| s).sum();
+        let sum_j: f64 = rows.iter().map(|(_, _, j)| j).sum();
+        assert_eq!(sum_s, b.total_seconds());
+        assert_eq!(sum_j, b.total_joules());
+        assert_eq!(b.deepest_level(), 2);
+        // The full-ladder table reports zero for never-visited states.
+        let table = b.per_state_of_ladder(3);
+        assert_eq!(table.len(), 3 + 3 * 2);
+        let wake1 = table
+            .iter()
+            .find(|(s, _, _)| *s == PowerState::Waking(1))
+            .unwrap();
+        assert_eq!(wake1.1, 0.0);
     }
 
     #[test]
@@ -247,6 +367,31 @@ mod tests {
     }
 
     #[test]
+    fn merge_grows_to_the_deeper_ladder() {
+        let mut shallow = EnergyAccountant::new(spec(), 0.0, PowerState::Idle);
+        shallow.finish(50.0).unwrap();
+        let mut s3 = spec();
+        s3.ladder = Some(PowerLadder::with_low_rpm(&s3));
+        let mut deep = EnergyAccountant::new(s3, 0.0, PowerState::Sleeping(2));
+        deep.finish(10.0).unwrap();
+        let mut fleet = shallow.into_breakdown();
+        fleet.merge(&deep.into_breakdown());
+        assert!((fleet.seconds_in(PowerState::Idle) - 50.0).abs() < 1e-12);
+        assert!((fleet.seconds_in(PowerState::Sleeping(2)) - 10.0).abs() < 1e-12);
+        assert!((fleet.total_seconds() - 60.0).abs() < 1e-12);
+        // …and the other way round.
+        let mut s3b = spec();
+        s3b.ladder = Some(PowerLadder::with_low_rpm(&s3b));
+        let mut deep2 = EnergyAccountant::new(s3b, 0.0, PowerState::Sleeping(2));
+        deep2.finish(10.0).unwrap();
+        let mut fleet2 = deep2.into_breakdown();
+        let mut shallow2 = EnergyAccountant::new(spec(), 0.0, PowerState::Idle);
+        shallow2.finish(50.0).unwrap();
+        fleet2.merge(&shallow2.into_breakdown());
+        assert_eq!(fleet2.total_seconds(), fleet.total_seconds());
+    }
+
+    #[test]
     fn mean_power_of_idle_is_idle_power() {
         let mut acc = EnergyAccountant::new(spec(), 0.0, PowerState::Idle);
         acc.finish(123.0).unwrap();
@@ -256,6 +401,8 @@ mod tests {
     #[test]
     fn empty_breakdown_mean_power_is_zero() {
         assert_eq!(EnergyBreakdown::default().mean_power_w(), 0.0);
+        assert!(EnergyBreakdown::default().per_state().is_empty());
+        assert_eq!(EnergyBreakdown::default().deepest_level(), 0);
     }
 
     #[test]

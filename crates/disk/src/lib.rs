@@ -12,7 +12,10 @@
 //! - [`DiskSpec`] — the static description of a drive (capacity, transfer
 //!   rate, seek/rotation times, per-state power draws, spin-up/down costs).
 //! - [`PowerState`] / [`power::power_of`] — the power-state taxonomy of
-//!   Figure 1 of the paper.
+//!   Figure 1 of the paper, generalised over the ladder.
+//! - [`PowerLadder`] / [`ladder`] — the validated N-level power-state
+//!   ladder (idle / low-RPM / standby …), with the paper's two-state
+//!   machine as the canonical default.
 //! - [`mechanics`] — request service-time model (seek + rotational latency +
 //!   transfer).
 //! - [`DiskStateMachine`] — a validated state machine that enforces legal
@@ -30,6 +33,7 @@
 
 pub mod breakeven;
 pub mod energy;
+pub mod ladder;
 pub mod mechanics;
 pub mod power;
 pub mod reliability;
@@ -37,8 +41,12 @@ pub mod spec;
 pub mod state;
 pub mod zoned;
 
-pub use breakeven::{break_even_threshold, transition_energy_overhead};
+pub use breakeven::{
+    break_even_threshold, break_even_threshold_between, envelope_descent_times,
+    transition_energy_between, transition_energy_overhead,
+};
 pub use energy::EnergyAccountant;
+pub use ladder::{LadderChoice, LadderError, PowerLadder, PowerLevel};
 pub use mechanics::{RequestKind, ServiceTimer};
 pub use power::PowerState;
 pub use reliability::DutyCycleCounter;

@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::ladder::{LadderError, PowerLadder};
 use crate::GB;
 
 /// Errors produced while validating a [`DiskSpecBuilder`].
@@ -18,6 +19,11 @@ pub enum SpecError {
     /// Standby power must be strictly below idle power, otherwise spinning
     /// down can never save energy and the break-even threshold is undefined.
     StandbyNotBelowIdle,
+    /// An explicit power-state ladder failed its own validation.
+    Ladder(LadderError),
+    /// An explicit ladder's level 0 must draw exactly the spec's idle
+    /// power — the scalar fields and the ladder describe the same drive.
+    LadderIdleMismatch,
 }
 
 impl std::fmt::Display for SpecError {
@@ -31,6 +37,10 @@ impl std::fmt::Display for SpecError {
             }
             SpecError::StandbyNotBelowIdle => {
                 write!(f, "standby power must be strictly below idle power")
+            }
+            SpecError::Ladder(e) => write!(f, "power ladder invalid: {e}"),
+            SpecError::LadderIdleMismatch => {
+                write!(f, "ladder level 0 power must equal idle_power_w")
             }
         }
     }
@@ -70,6 +80,13 @@ pub struct DiskSpec {
     pub spin_up_time_s: f64,
     /// Time to spin down from idle to standby, seconds.
     pub spin_down_time_s: f64,
+    /// Optional explicit power-state ladder. `None` (the default, and what
+    /// every preset ships) means the canonical two-state ladder derived
+    /// from the scalar fields above — bit-identical to the pre-ladder
+    /// engine. Set a deeper ladder (e.g. [`PowerLadder::with_low_rpm`])
+    /// to model multi-level (partial-RPM) spin-downs; level 0 must then
+    /// draw exactly `idle_power_w`.
+    pub ladder: Option<PowerLadder>,
 }
 
 impl DiskSpec {
@@ -93,6 +110,7 @@ impl DiskSpec {
             spin_down_power_w: 9.3,
             spin_up_time_s: 15.0,
             spin_down_time_s: 10.0,
+            ladder: None,
         }
     }
 
@@ -113,6 +131,7 @@ impl DiskSpec {
             spin_down_power_w: 12.0,
             spin_up_time_s: 10.0,
             spin_down_time_s: 8.0,
+            ladder: None,
         }
     }
 
@@ -133,6 +152,7 @@ impl DiskSpec {
             spin_down_power_w: 5.0,
             spin_up_time_s: 20.0,
             spin_down_time_s: 12.0,
+            ladder: None,
         }
     }
 
@@ -144,6 +164,55 @@ impl DiskSpec {
     /// Capacity in bytes as `f64` (convenience for normalised packing).
     pub fn capacity_bytes_f64(&self) -> f64 {
         self.capacity_bytes as f64
+    }
+
+    /// The drive's power-state ladder: the explicit one when set,
+    /// otherwise the canonical two-state ladder derived from the scalar
+    /// fields ([`PowerLadder::two_state`]).
+    pub fn power_ladder(&self) -> PowerLadder {
+        match &self.ladder {
+            Some(ladder) => ladder.clone(),
+            None => PowerLadder::two_state(self),
+        }
+    }
+
+    /// Deepest ladder level index (1 for the canonical two-state ladder).
+    pub fn deepest_level(&self) -> u8 {
+        match &self.ladder {
+            Some(ladder) => ladder.deepest(),
+            None => 1,
+        }
+    }
+
+    /// Entry-transition duration into level `l` (the spin-down time for
+    /// the canonical two-state ladder's level 1), seconds.
+    pub fn level_entry_time_s(&self, l: u8) -> f64 {
+        match &self.ladder {
+            Some(ladder) => ladder.level(l).entry_time_s,
+            None => {
+                debug_assert_eq!(l, 1, "level {l} without an explicit ladder");
+                self.spin_down_time_s
+            }
+        }
+    }
+
+    /// Exit-transition (wake) duration from level `l` back to idle,
+    /// seconds (the spin-up time for the two-state ladder's level 1).
+    pub fn level_exit_time_s(&self, l: u8) -> f64 {
+        match &self.ladder {
+            Some(ladder) => ladder.level(l).exit_time_s,
+            None => {
+                debug_assert_eq!(l, 1, "level {l} without an explicit ladder");
+                self.spin_up_time_s
+            }
+        }
+    }
+
+    /// Replace the ladder (builder-style convenience; `None` restores the
+    /// canonical two-state default).
+    pub fn with_ladder(mut self, ladder: Option<PowerLadder>) -> Self {
+        self.ladder = ladder;
+        self
     }
 
     /// Validate the invariants the rest of the crate relies on.
@@ -179,6 +248,12 @@ impl DiskSpec {
         }
         if self.standby_power_w >= self.idle_power_w {
             return Err(SpecError::StandbyNotBelowIdle);
+        }
+        if let Some(ladder) = &self.ladder {
+            ladder.validate().map_err(SpecError::Ladder)?;
+            if ladder.level(0).power_w != self.idle_power_w {
+                return Err(SpecError::LadderIdleMismatch);
+            }
         }
         Ok(())
     }
@@ -266,6 +341,11 @@ impl DiskSpecBuilder {
         /// Spin-down time, seconds.
         spin_down_time_s: f64
     );
+    builder_setter!(
+        /// Explicit power-state ladder (`None` = canonical two-state,
+        /// derived from the scalar fields).
+        ladder: Option<PowerLadder>
+    );
 
     /// Validate and produce the spec.
     pub fn build(self) -> Result<DiskSpec, SpecError> {
@@ -345,6 +425,37 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, SpecError::NonPositive("capacity_bytes"));
+    }
+
+    #[test]
+    fn explicit_ladder_validates_through_the_builder() {
+        let base = DiskSpec::seagate_st3500630as();
+        let ok = DiskSpecBuilder::new()
+            .ladder(Some(PowerLadder::with_low_rpm(&base)))
+            .build()
+            .unwrap();
+        assert_eq!(ok.deepest_level(), 2);
+        assert_eq!(ok.power_ladder().len(), 3);
+        // Level-0 power must match the scalar idle power: a ladder built
+        // for a different drive (archival, 5 W idle) cannot describe the
+        // Table 2 drive (9.3 W idle).
+        let err = DiskSpecBuilder::new()
+            .ladder(Some(PowerLadder::with_low_rpm(&DiskSpec::archival_5400())))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::LadderIdleMismatch);
+    }
+
+    #[test]
+    fn derived_ladder_helpers_match_the_scalars() {
+        let s = DiskSpec::seagate_st3500630as();
+        assert!(s.ladder.is_none());
+        assert_eq!(s.deepest_level(), 1);
+        assert_eq!(s.level_entry_time_s(1), 10.0);
+        assert_eq!(s.level_exit_time_s(1), 15.0);
+        let lad = s.power_ladder();
+        assert_eq!(lad.len(), 2);
+        assert_eq!(lad.level(1).power_w, s.standby_power_w);
     }
 
     #[test]

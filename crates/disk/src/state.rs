@@ -1,18 +1,26 @@
-//! A validated disk power-state machine.
+//! A validated disk power-state machine over the N-level power ladder.
 //!
-//! [`DiskStateMachine`] enforces the legal transition graph of Figure 1:
+//! [`DiskStateMachine`] enforces the legal transition graph — Figure 1 of
+//! the paper, generalised per-level:
 //!
 //! ```text
-//! Idle ⇄ {Seek, Active}          (instantaneous command handling)
-//! Idle → SpinningDown → Standby  (takes spin_down_time_s)
-//! Standby → SpinningUp → Idle    (takes spin_up_time_s)
+//! Idle ⇄ {Seek, Active}                 (instantaneous command handling)
+//! Idle → Descending(1) → Sleeping(1)    (takes level 1's entry_time_s)
+//! Sleeping(l) → Descending(l+1) → Sleeping(l+1)   (descend one level)
+//! Sleeping(l) → Waking(l) → Idle        (takes level l's exit_time_s)
 //! ```
 //!
-//! plus `Seek → Active` (positioning then transfer). Transitional states can
-//! only be exited after their full duration has elapsed — violating either
-//! rule is a bug in the caller (the simulator) and is reported as a
-//! [`TransitionError`]. Energy is integrated through an embedded
-//! [`EnergyAccountant`].
+//! plus `Seek → Active` (positioning then transfer). Disks wake directly
+//! from any level to Idle but descend one level at a time. Transitional
+//! states can only be exited after their full duration has elapsed —
+//! violating either rule is a bug in the caller (the simulator) and is
+//! reported as a [`TransitionError`]. Energy is integrated through an
+//! embedded [`EnergyAccountant`].
+//!
+//! For the canonical two-state ladder the graph and the public
+//! convenience API ([`DiskStateMachine::begin_spin_down`] /
+//! [`DiskStateMachine::begin_spin_up`]) behave exactly as the original
+//! fixed Idle ⇄ Standby machine.
 
 use crate::energy::{AccountingError, EnergyAccountant, EnergyBreakdown};
 use crate::power::PowerState;
@@ -35,6 +43,14 @@ pub enum TransitionError {
         /// Seconds remaining.
         remaining: f64,
     },
+    /// A level-carrying state referenced a level the drive's ladder does
+    /// not have.
+    LevelOutOfRange {
+        /// The requested state.
+        state: PowerState,
+        /// The ladder's deepest level.
+        deepest: u8,
+    },
     /// Underlying accounting failure (time went backwards etc.).
     Accounting(AccountingError),
 }
@@ -47,6 +63,9 @@ impl std::fmt::Display for TransitionError {
             }
             TransitionError::TransitionNotElapsed { state, remaining } => {
                 write!(f, "{state:?} exited {remaining:.3}s early")
+            }
+            TransitionError::LevelOutOfRange { state, deepest } => {
+                write!(f, "{state:?} beyond the ladder's deepest level {deepest}")
             }
             TransitionError::Accounting(e) => write!(f, "accounting error: {e}"),
         }
@@ -65,6 +84,7 @@ impl From<AccountingError> for TransitionError {
 #[derive(Debug, Clone)]
 pub struct DiskStateMachine {
     spec: DiskSpec,
+    deepest: u8,
     state: PowerState,
     state_entered_at: f64,
     accountant: EnergyAccountant,
@@ -76,9 +96,11 @@ impl DiskStateMachine {
     /// Create a machine at time `start`, initially `Idle` (spun up, the
     /// state disks boot into).
     pub fn new(spec: DiskSpec, start: f64) -> Self {
+        let deepest = spec.deepest_level();
         let accountant = EnergyAccountant::new(spec.clone(), start, PowerState::Idle);
         DiskStateMachine {
             spec,
+            deepest,
             state: PowerState::Idle,
             state_entered_at: start,
             accountant,
@@ -97,12 +119,14 @@ impl DiskStateMachine {
         self.state_entered_at
     }
 
-    /// Number of completed spin-down transitions so far.
+    /// Number of completed descent transitions (entries into any sleeping
+    /// level) so far. For the two-state ladder this is exactly the number
+    /// of completed spin-downs.
     pub fn spin_downs(&self) -> u64 {
         self.spin_downs
     }
 
-    /// Number of completed spin-up transitions so far.
+    /// Number of completed wake transitions so far.
     pub fn spin_ups(&self) -> u64 {
         self.spin_ups
     }
@@ -112,35 +136,55 @@ impl DiskStateMachine {
         &self.spec
     }
 
+    /// The deepest ladder level of this drive.
+    pub fn deepest_level(&self) -> u8 {
+        self.deepest
+    }
+
     /// When the in-flight transitional state (if any) completes.
     pub fn transition_completes_at(&self) -> Option<f64> {
         match self.state {
-            PowerState::SpinningDown => Some(self.state_entered_at + self.spec.spin_down_time_s),
-            PowerState::SpinningUp => Some(self.state_entered_at + self.spec.spin_up_time_s),
+            PowerState::Descending(l) => {
+                Some(self.state_entered_at + self.spec.level_entry_time_s(l))
+            }
+            PowerState::Waking(l) => Some(self.state_entered_at + self.spec.level_exit_time_s(l)),
             _ => None,
         }
     }
 
     fn edge_is_legal(from: PowerState, to: PowerState) -> bool {
         use PowerState::*;
-        matches!(
-            (from, to),
+        match (from, to) {
             (Idle, Seek)
-                | (Idle, Active)
-                | (Idle, SpinningDown)
-                | (Seek, Active)
-                | (Seek, Idle)
-                | (Active, Idle)
-                | (Active, Seek)
-                | (SpinningDown, Standby)
-                | (Standby, SpinningUp)
-                | (SpinningUp, Idle)
-        )
+            | (Idle, Active)
+            | (Seek, Active)
+            | (Seek, Idle)
+            | (Active, Idle)
+            | (Active, Seek) => true,
+            // Descend one level at a time; the first descent starts at
+            // Idle (level 0).
+            (Idle, Descending(1)) => true,
+            (Sleeping(l), Descending(m)) => m == l + 1,
+            (Descending(l), Sleeping(m)) => l == m,
+            // Wake directly from any level back to Idle.
+            (Sleeping(l), Waking(m)) => l == m,
+            (Waking(_), Idle) => true,
+            _ => false,
+        }
     }
 
-    /// Move to `next` at time `now`, validating the edge and transitional
-    /// durations, and charging energy for the state being left.
+    /// Move to `next` at time `now`, validating the edge, the ladder depth
+    /// and transitional durations, and charging energy for the state being
+    /// left.
     pub fn transition(&mut self, now: f64, next: PowerState) -> Result<(), TransitionError> {
+        if let Some(l) = next.level() {
+            if l == 0 || l > self.deepest {
+                return Err(TransitionError::LevelOutOfRange {
+                    state: next,
+                    deepest: self.deepest,
+                });
+            }
+        }
         if !Self::edge_is_legal(self.state, next) {
             return Err(TransitionError::IllegalEdge {
                 from: self.state,
@@ -159,8 +203,8 @@ impl DiskStateMachine {
         }
         self.accountant.transition(now, next)?;
         match next {
-            PowerState::Standby => self.spin_downs += 1,
-            PowerState::Idle if self.state == PowerState::SpinningUp => self.spin_ups += 1,
+            PowerState::Sleeping(_) => self.spin_downs += 1,
+            PowerState::Idle if matches!(self.state, PowerState::Waking(_)) => self.spin_ups += 1,
             _ => {}
         }
         self.state = next;
@@ -168,18 +212,51 @@ impl DiskStateMachine {
         Ok(())
     }
 
-    /// Convenience: begin spinning down (must currently be `Idle`). Returns
-    /// the completion time.
-    pub fn begin_spin_down(&mut self, now: f64) -> Result<f64, TransitionError> {
-        self.transition(now, PowerState::SpinningDown)?;
-        Ok(now + self.spec.spin_down_time_s)
+    /// Convenience: begin descending one level (from `Idle` into level 1,
+    /// or from `Sleeping(l)` into level `l + 1`). Returns the completion
+    /// time.
+    pub fn begin_descend(&mut self, now: f64) -> Result<f64, TransitionError> {
+        let target = match self.state {
+            PowerState::Idle => 1,
+            PowerState::Sleeping(l) => l + 1,
+            other => {
+                return Err(TransitionError::IllegalEdge {
+                    from: other,
+                    to: PowerState::Descending(1),
+                })
+            }
+        };
+        self.transition(now, PowerState::Descending(target))?;
+        Ok(now + self.spec.level_entry_time_s(target))
     }
 
-    /// Convenience: begin spinning up (must currently be `Standby`). Returns
-    /// the completion time.
+    /// Convenience: begin spinning down (must currently be `Idle`). Returns
+    /// the completion time. For the two-state ladder this is the whole
+    /// descent; deeper ladders continue with [`Self::begin_descend`].
+    pub fn begin_spin_down(&mut self, now: f64) -> Result<f64, TransitionError> {
+        if self.state != PowerState::Idle {
+            return Err(TransitionError::IllegalEdge {
+                from: self.state,
+                to: PowerState::SpinningDown,
+            });
+        }
+        self.begin_descend(now)
+    }
+
+    /// Convenience: begin waking (must currently be sleeping at some
+    /// level). Returns the completion time.
     pub fn begin_spin_up(&mut self, now: f64) -> Result<f64, TransitionError> {
-        self.transition(now, PowerState::SpinningUp)?;
-        Ok(now + self.spec.spin_up_time_s)
+        let level = match self.state {
+            PowerState::Sleeping(l) => l,
+            other => {
+                return Err(TransitionError::IllegalEdge {
+                    from: other,
+                    to: PowerState::SpinningUp,
+                })
+            }
+        };
+        self.transition(now, PowerState::Waking(level))?;
+        Ok(now + self.spec.level_exit_time_s(level))
     }
 
     /// Close the books at `now` and return the energy breakdown.
@@ -197,9 +274,16 @@ impl DiskStateMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ladder::PowerLadder;
 
     fn machine() -> DiskStateMachine {
         DiskStateMachine::new(DiskSpec::seagate_st3500630as(), 0.0)
+    }
+
+    fn three_level_machine() -> DiskStateMachine {
+        let mut spec = DiskSpec::seagate_st3500630as();
+        spec.ladder = Some(PowerLadder::with_low_rpm(&spec));
+        DiskStateMachine::new(spec, 0.0)
     }
 
     #[test]
@@ -208,6 +292,7 @@ mod tests {
         assert_eq!(m.state(), PowerState::Idle);
         assert_eq!(m.spin_ups(), 0);
         assert_eq!(m.spin_downs(), 0);
+        assert_eq!(m.deepest_level(), 1);
     }
 
     #[test]
@@ -224,6 +309,68 @@ mod tests {
         let b = m.finish(600.0).unwrap();
         assert!((b.total_seconds() - 600.0).abs() < 1e-9);
         assert!((b.seconds_in(PowerState::Standby) - 390.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_level_descent_and_direct_wake() {
+        let mut m = three_level_machine();
+        let lad = m.spec().power_ladder();
+        assert_eq!(m.deepest_level(), 2);
+        // Idle → low-RPM.
+        let d1 = m.begin_descend(100.0).unwrap();
+        assert!((d1 - (100.0 + lad.level(1).entry_time_s)).abs() < 1e-12);
+        m.transition(d1, PowerState::Sleeping(1)).unwrap();
+        assert_eq!(m.spin_downs(), 1);
+        // Low-RPM → standby.
+        let d2 = m.begin_descend(200.0).unwrap();
+        assert!((d2 - (200.0 + lad.level(2).entry_time_s)).abs() < 1e-12);
+        m.transition(d2, PowerState::Sleeping(2)).unwrap();
+        assert_eq!(m.spin_downs(), 2);
+        // Wake straight from the deepest level.
+        let up = m.begin_spin_up(500.0).unwrap();
+        assert!((up - (500.0 + lad.level(2).exit_time_s)).abs() < 1e-12);
+        m.transition(up, PowerState::Idle).unwrap();
+        assert_eq!(m.spin_ups(), 1);
+        let b = m.finish(600.0).unwrap();
+        assert!((b.total_seconds() - 600.0).abs() < 1e-9);
+        assert!(b.seconds_in(PowerState::Sleeping(1)) > 0.0);
+        assert!(b.seconds_in(PowerState::Sleeping(2)) > 0.0);
+    }
+
+    #[test]
+    fn wake_from_intermediate_level() {
+        let mut m = three_level_machine();
+        let d1 = m.begin_descend(10.0).unwrap();
+        m.transition(d1, PowerState::Sleeping(1)).unwrap();
+        let up = m.begin_spin_up(50.0).unwrap();
+        let exit = m.spec().power_ladder().level(1).exit_time_s;
+        assert!((up - (50.0 + exit)).abs() < 1e-12);
+        m.transition(up, PowerState::Idle).unwrap();
+        assert_eq!(m.spin_ups(), 1);
+    }
+
+    #[test]
+    fn cannot_skip_levels_descending() {
+        let mut m = three_level_machine();
+        let err = m.transition(1.0, PowerState::Descending(2)).unwrap_err();
+        assert!(matches!(err, TransitionError::IllegalEdge { .. }));
+    }
+
+    #[test]
+    fn levels_beyond_the_ladder_are_rejected() {
+        let mut m = machine();
+        let err = m.transition(1.0, PowerState::Descending(2)).unwrap_err();
+        assert_eq!(
+            err,
+            TransitionError::LevelOutOfRange {
+                state: PowerState::Descending(2),
+                deepest: 1
+            }
+        );
+        // A two-state machine cannot descend below its single level.
+        let d = m.begin_spin_down(10.0).unwrap();
+        m.transition(d, PowerState::Standby).unwrap();
+        assert!(m.begin_descend(100.0).is_err());
     }
 
     #[test]

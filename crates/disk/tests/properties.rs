@@ -5,9 +5,12 @@
 use proptest::prelude::*;
 use spindown_disk::breakeven::{offline_break_even_gap, spin_down_gain};
 use spindown_disk::energy::EnergyAccountant;
+use spindown_disk::ladder::{PowerLadder, PowerLevel};
 use spindown_disk::mechanics::ServiceTimer;
 use spindown_disk::power::{power_of, PowerState};
-use spindown_disk::{break_even_threshold, DiskSpec, DiskSpecBuilder, DiskStateMachine};
+use spindown_disk::{
+    break_even_threshold, break_even_threshold_between, DiskSpec, DiskSpecBuilder, DiskStateMachine,
+};
 
 fn state_strategy() -> impl Strategy<Value = PowerState> {
     prop_oneof![
@@ -127,42 +130,106 @@ proptest! {
     #[test]
     fn illegal_transitions_always_rejected(from in state_strategy(), to in state_strategy()) {
         // Build a machine coaxed into `from`, then attempt `to` and verify
-        // acceptance matches the documented edge set.
+        // acceptance matches the documented edge set. (The legacy state
+        // names are associated consts of the ladder-general enum now, so
+        // the edge table is written with tuple equality, not patterns —
+        // an unqualified `Standby` in a pattern would *bind*, not match.)
         let spec = DiskSpec::seagate_st3500630as();
         let mut m = DiskStateMachine::new(spec.clone(), 0.0);
         let mut t = 0.0;
         // Drive into `from` through legal edges.
-        let reached = match from {
-            PowerState::Idle => true,
-            PowerState::Seek => m.transition(t, PowerState::Seek).is_ok(),
-            PowerState::Active => m.transition(t, PowerState::Active).is_ok(),
-            PowerState::SpinningDown => m.begin_spin_down(t).is_ok(),
-            PowerState::Standby => {
-                let d = m.begin_spin_down(t).unwrap();
-                t = d;
-                m.transition(t, PowerState::Standby).is_ok()
-            }
-            PowerState::SpinningUp => {
-                let d = m.begin_spin_down(t).unwrap();
-                t = d;
-                m.transition(t, PowerState::Standby).unwrap();
-                m.begin_spin_up(t).is_ok()
-            }
+        let reached = if from == PowerState::Idle {
+            true
+        } else if from == PowerState::Seek {
+            m.transition(t, PowerState::Seek).is_ok()
+        } else if from == PowerState::Active {
+            m.transition(t, PowerState::Active).is_ok()
+        } else if from == PowerState::SpinningDown {
+            m.begin_spin_down(t).is_ok()
+        } else if from == PowerState::Standby {
+            let d = m.begin_spin_down(t).unwrap();
+            t = d;
+            m.transition(t, PowerState::Standby).is_ok()
+        } else {
+            // SpinningUp
+            let d = m.begin_spin_down(t).unwrap();
+            t = d;
+            m.transition(t, PowerState::Standby).unwrap();
+            m.begin_spin_up(t).is_ok()
         };
         prop_assert!(reached);
-        use PowerState::*;
-        let legal = matches!(
-            (from, to),
-            (Idle, Seek) | (Idle, Active) | (Idle, SpinningDown)
-                | (Seek, Active) | (Seek, Idle)
-                | (Active, Idle) | (Active, Seek)
-                | (SpinningDown, Standby)
-                | (Standby, SpinningUp)
-                | (SpinningUp, Idle)
-        );
+        let legal_edges = [
+            (PowerState::Idle, PowerState::Seek),
+            (PowerState::Idle, PowerState::Active),
+            (PowerState::Idle, PowerState::SpinningDown),
+            (PowerState::Seek, PowerState::Active),
+            (PowerState::Seek, PowerState::Idle),
+            (PowerState::Active, PowerState::Idle),
+            (PowerState::Active, PowerState::Seek),
+            (PowerState::SpinningDown, PowerState::Standby),
+            (PowerState::Standby, PowerState::SpinningUp),
+            (PowerState::SpinningUp, PowerState::Idle),
+        ];
+        let legal = legal_edges.contains(&(from, to));
         // Attempt at a time far enough in the future that transitional
         // durations are satisfied.
         let attempt = m.transition(t + 1_000.0, to);
         prop_assert_eq!(attempt.is_ok(), legal, "edge {:?}->{:?}", from, to);
+    }
+
+    // Satellite invariant of the ladder refactor: for any *valid* ladder
+    // (one that passes the lower-envelope validation), per-level
+    // break-even thresholds are strictly monotone — descending to a
+    // deeper level always takes longer to pay off, from any starting
+    // level.
+    #[test]
+    fn deeper_levels_have_monotone_break_evens(
+        spec in spec_strategy(),
+        power_frac in 0.05f64..0.95,
+        entry_frac in 0.1f64..0.9,
+        exit_frac in 0.1f64..0.9,
+        exit_power_frac in 0.3f64..1.0,
+    ) {
+        let two = PowerLadder::two_state(&spec);
+        let low = PowerLevel {
+            name: "lowrpm".to_owned(),
+            power_w: spec.standby_power_w
+                + power_frac * (spec.idle_power_w - spec.standby_power_w),
+            entry_time_s: entry_frac * spec.spin_down_time_s,
+            entry_power_w: spec.idle_power_w,
+            exit_time_s: exit_frac * spec.spin_up_time_s,
+            exit_power_w: exit_power_frac * spec.spin_up_power_w,
+            service_rate_factor: 1.0,
+        };
+        let candidate = vec![
+            two.levels()[0].clone(),
+            low,
+            two.levels()[1].clone(),
+        ];
+        // Only ladders that pass validation make any monotonicity promise
+        // — dominated middle levels are rejected up front.
+        let Ok(ladder) = PowerLadder::new(candidate) else {
+            return Ok(());
+        };
+        let spec = spec.clone().with_ladder(Some(ladder.clone()));
+        for from in 0..ladder.deepest() {
+            let mut last = 0.0;
+            for to in (from + 1)..=ladder.deepest() {
+                let t = break_even_threshold_between(&spec, from, to);
+                prop_assert!(
+                    t.is_finite() && t > last,
+                    "T({from},{to}) = {t} not past {last}"
+                );
+                last = t;
+            }
+        }
+        // The envelope descent schedule is strictly increasing too.
+        let times = spindown_disk::envelope_descent_times(&ladder);
+        prop_assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+        // And the (0, deepest) case is the drive's aggregate threshold.
+        prop_assert_eq!(
+            break_even_threshold_between(&spec, 0, ladder.deepest()),
+            break_even_threshold(&spec)
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! `experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--out DIR] [--discipline D]
+//! experiments [--quick] [--out DIR] [--discipline D] [--ladder 2|3]
 //!             [--trace-file FILE] [--horizon S] [--requests N] CMD...
 //!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds all replay }
 //! ```
@@ -10,7 +10,11 @@
 //! (default `results/`). `--quick` runs proportionally shrunken instances.
 //! `--discipline` selects the queue discipline (`fifo`, `sjf`,
 //! `sjf:SECONDS`, `elevator`) the shootout's allocator and policy rows run
-//! under; its discipline rows always compare the whole family.
+//! under; its discipline rows always compare the whole family. `--ladder`
+//! selects the power-state ladder (`2` = the paper's Idle ⇄ Standby
+//! two-state machine, `3` = idle / low-RPM / standby) those same rows and
+//! the `replay` command run on; the shootout's ladder bracket always
+//! compares both.
 //!
 //! `replay` streams a trace through the engine without materialising it:
 //! `--trace-file FILE` reads a `time_s,file_id` CSV line by line
@@ -24,7 +28,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spindown_core::DisciplineChoice;
+use spindown_core::{DisciplineChoice, LadderChoice};
 use spindown_experiments::output::{render_table, write_csv};
 use spindown_experiments::{
     bounds_exp, fig23, fig4, fig56, replay, sensitivity, shootout, tables, vsweep, Figure, Scale,
@@ -32,7 +36,8 @@ use spindown_experiments::{
 
 fn usage() -> &'static str {
     "usage: experiments [--quick] [--out DIR] [--discipline fifo|sjf|sjf:SECONDS|elevator]\n\
-     \u{20}                  [--trace-file FILE] [--horizon SECONDS] [--requests N] CMD...\n\
+     \u{20}                  [--ladder 2|3] [--trace-file FILE] [--horizon SECONDS]\n\
+     \u{20}                  [--requests N] CMD...\n\
      CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout replay all"
 }
 
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Paper;
     let mut out_dir = PathBuf::from("results");
     let mut discipline = DisciplineChoice::Fifo;
+    let mut ladder = LadderChoice::TwoState;
     let mut trace_file: Option<PathBuf> = None;
     let mut horizon: Option<f64> = None;
     let mut requests: u64 = 1_000_000;
@@ -86,6 +92,13 @@ fn main() -> ExitCode {
                         "--discipline needs fifo|sjf|sjf:SECONDS|elevator\n{}",
                         usage()
                     );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--ladder" => match args.next().as_deref().and_then(LadderChoice::parse) {
+                Some(l) => ladder = l,
+                None => {
+                    eprintln!("--ladder needs 2|two|2state|3|three|3state\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -155,14 +168,16 @@ fn main() -> ExitCode {
             "vsweep" => vsweep::vsweep(scale),
             "bounds" => bounds_exp::bounds(scale),
             "sensitivity" => sensitivity::sensitivity(scale),
-            "shootout" => shootout::shootout_with(scale, discipline),
-            "replay" => match replay::replay(scale, trace_file.as_deref(), horizon, requests) {
-                Ok(fig) => fig,
-                Err(e) => {
-                    eprintln!("replay failed: {e}");
-                    return ExitCode::FAILURE;
+            "shootout" => shootout::shootout_with(scale, discipline, ladder),
+            "replay" => {
+                match replay::replay(scale, trace_file.as_deref(), horizon, requests, ladder) {
+                    Ok(fig) => fig,
+                    Err(e) => {
+                        eprintln!("replay failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
-            },
+            }
             other => {
                 eprintln!("unknown command {other:?}\n{}", usage());
                 return ExitCode::FAILURE;

@@ -17,7 +17,7 @@
 
 use std::path::Path;
 
-use spindown_core::{MetricsMode, Planner, PlannerConfig};
+use spindown_core::{LadderChoice, MetricsMode, Planner, PlannerConfig};
 use spindown_sim::engine::Simulator;
 use spindown_sim::metrics::SimReport;
 use spindown_workload::{CsvTraceSource, FileCatalog, SyntheticSource, TraceSource};
@@ -34,16 +34,19 @@ const SYNTHETIC_RATE: f64 = 4.0;
 ///
 /// `trace_file == None` replays `requests` expected synthetic arrivals;
 /// `Some(path)` streams the CSV at `path` (with `horizon` overriding the
-/// pre-scan pass).
+/// pre-scan pass). `ladder` selects the fleet's power-state ladder
+/// (two-state reproduces the pre-ladder engine bit-identically).
 pub fn replay(
     scale: Scale,
     trace_file: Option<&Path>,
     horizon: Option<f64>,
     requests: u64,
+    ladder: LadderChoice,
 ) -> Result<Figure, Box<dyn std::error::Error>> {
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
     let mut cfg = PlannerConfig::default();
     cfg.sim = cfg.sim.with_metrics(MetricsMode::Histogram);
+    ladder.apply(&mut cfg.sim.disk);
     let planner = Planner::new(cfg);
     let plan = planner.plan(&catalog, SYNTHETIC_RATE)?;
     let fleet = scale.fleet().max(plan.disks_used());
@@ -89,8 +92,9 @@ pub fn replay(
     ]);
     fig.notes.push(source_note);
     fig.notes.push(format!(
-        "fleet {fleet} disks, Pack_Disks allocation, break-even threshold; \
-         p95/p99 within relative error {:.4} (streaming histogram)",
+        "fleet {fleet} disks, Pack_Disks allocation, break-even threshold, \
+         {} ladder; p95/p99 within relative error {:.4} (streaming histogram)",
+        ladder.label(),
         report.responses.quantile_error_bound()
     ));
     Ok(fig)
@@ -119,7 +123,8 @@ mod tests {
 
     #[test]
     fn synthetic_replay_summarises_the_streamed_run() {
-        let fig = replay(Scale::Quick, None, Some(500.0), 0).expect("replay runs");
+        let fig = replay(Scale::Quick, None, Some(500.0), 0, LadderChoice::TwoState)
+            .expect("replay runs");
         assert_eq!(fig.rows.len(), 1);
         let requests = fig.rows[0][0];
         assert!(requests > 1_000.0, "4/s for 500 s: got {requests}");
@@ -142,17 +147,32 @@ mod tests {
         trace.write_csv(&mut buf).unwrap();
         std::fs::write(&path, &buf).unwrap();
 
-        let fig = replay(Scale::Quick, Some(&path), Some(60.0), 0).expect("csv replay runs");
+        let fig = replay(
+            Scale::Quick,
+            Some(&path),
+            Some(60.0),
+            0,
+            LadderChoice::TwoState,
+        )
+        .expect("csv replay runs");
         assert_eq!(fig.rows[0][0] as usize, trace.len());
         assert!(fig.notes.iter().any(|n| n.contains("csv")));
         // Horizon pre-scan path agrees on the request count.
-        let fig2 = replay(Scale::Quick, Some(&path), None, 0).expect("pre-scan replay runs");
+        let fig2 = replay(Scale::Quick, Some(&path), None, 0, LadderChoice::TwoState)
+            .expect("pre-scan replay runs");
         assert_eq!(fig2.rows[0][0] as usize, trace.len());
     }
 
     #[test]
     fn missing_trace_file_is_a_clean_error() {
         let missing = Path::new("/nonexistent/spindown/trace.csv");
-        assert!(replay(Scale::Quick, Some(missing), Some(1.0), 0).is_err());
+        assert!(replay(
+            Scale::Quick,
+            Some(missing),
+            Some(1.0),
+            0,
+            LadderChoice::TwoState
+        )
+        .is_err());
     }
 }

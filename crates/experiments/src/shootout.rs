@@ -6,16 +6,23 @@
 //! curves against the online policies the `PowerPolicy` trait opens up),
 //! followed by every queue discipline on a spin-up-heavy bursty replay of
 //! the same allocation, where elevator batching amortises positioning
-//! across requests that piled up during a spin-up. This generalises the
-//! paper's two-way Pack_Disks-vs-random comparison into the design-space
-//! study its §6 hints at.
+//! across requests that piled up during a spin-up, followed by the
+//! **power-ladder bracket**: two-state vs three-state (low-RPM) drives
+//! under the fixed-timeout and lower-envelope policy families, replayed on
+//! the spin-up-heavy bursts and on a NERSC-style batched trace. This
+//! generalises the paper's two-way Pack_Disks-vs-random comparison into
+//! the design-space study its §6 hints at.
 
-use spindown_core::{DisciplineChoice, MetricsMode, Plan, Planner, PlannerConfig, PolicyChoice};
+use spindown_core::{
+    DisciplineChoice, LadderChoice, MetricsMode, Plan, Planner, PlannerConfig, PolicyChoice,
+};
 use spindown_packing::Allocator;
 use spindown_workload::arrivals::BatchConfig;
 use spindown_workload::{FileCatalog, Trace};
 
-use crate::sweep::{parallel_map, policy_cache_grid, policy_discipline_grid, run_sweep};
+use crate::sweep::{
+    ladder_policy_grid, parallel_map, policy_cache_grid, policy_discipline_grid, run_sweep,
+};
 use crate::{grid_seed, Figure, Scale};
 
 /// The allocator competitors, with stable row indices. CHP (identical
@@ -56,6 +63,17 @@ pub fn discipline_competitors() -> Vec<DisciplineChoice> {
     DisciplineChoice::all()
 }
 
+/// The policy competitors of the ladder bracket: the paper's fixed
+/// break-even timeout against the deterministic and probability-based
+/// lower-envelope descents.
+pub fn ladder_policy_competitors() -> Vec<PolicyChoice> {
+    vec![
+        PolicyChoice::break_even(),
+        PolicyChoice::EnvelopeDescent,
+        PolicyChoice::lower_envelope(),
+    ]
+}
+
 /// The spin-up-heavy burst workload the discipline rows replay: sparse
 /// bursts (disks sleep out the gaps under the aggressive threshold) of
 /// several near-simultaneous requests each, so most service happens right
@@ -70,16 +88,30 @@ fn spin_up_heavy_trace(catalog: &FileCatalog, scale: Scale) -> Trace {
     Trace::batched(catalog, &cfg, scale.sim_time(), grid_seed(91, 0, 0))
 }
 
-/// Run the shootout at R = 4, L = 0.7 with FIFO queues (the paper's
-/// service model) for the allocator and policy rows.
-pub fn shootout(scale: Scale) -> Figure {
-    shootout_with(scale, DisciplineChoice::Fifo)
+/// A NERSC-style batched replay (§3.2's bursts of related requests):
+/// moderate inter-burst gaps that straddle the break-even thresholds,
+/// where the probability-based policy's distribution awareness shows.
+fn nersc_style_trace(catalog: &FileCatalog, scale: Scale) -> Trace {
+    let cfg = BatchConfig {
+        burst_rate: 1.0 / 100.0,
+        min_batch: 2,
+        max_batch: 6,
+        intra_batch_gap_s: 2.0,
+    };
+    Trace::batched(catalog, &cfg, scale.sim_time(), grid_seed(93, 0, 0))
 }
 
-/// Run the shootout with an explicit base queue discipline for the
-/// allocator and policy rows (`--discipline` in the CLI); the discipline
-/// rows always compare the whole discipline family.
-pub fn shootout_with(scale: Scale, base: DisciplineChoice) -> Figure {
+/// Run the shootout at R = 4, L = 0.7 with FIFO queues (the paper's
+/// service model) and two-state drives for the allocator and policy rows.
+pub fn shootout(scale: Scale) -> Figure {
+    shootout_with(scale, DisciplineChoice::Fifo, LadderChoice::TwoState)
+}
+
+/// Run the shootout with an explicit base queue discipline and power
+/// ladder for the allocator and policy rows (`--discipline` / `--ladder`
+/// in the CLI); the discipline rows always compare the whole discipline
+/// family and the ladder bracket always compares every ladder.
+pub fn shootout_with(scale: Scale, base: DisciplineChoice, base_ladder: LadderChoice) -> Figure {
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
     let rate = 4.0;
     let fleet = scale.fleet();
@@ -96,6 +128,7 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice) -> Figure {
             .sim
             .with_discipline(base)
             .with_metrics(MetricsMode::Histogram);
+        base_ladder.apply(&mut cfg.sim.disk);
         let planner = Planner::new(cfg);
         let plan = planner.plan(&catalog, rate).expect("plan feasible");
         let report = planner
@@ -116,7 +149,10 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice) -> Figure {
     // discipline.
     let pack_plan = &alloc_results[0].4;
     let policies = policy_competitors();
-    let grid = policy_discipline_grid(&policies, &[base]);
+    let mut grid = policy_discipline_grid(&policies, &[base]);
+    for spec in &mut grid {
+        spec.ladder = base_ladder;
+    }
     let disk = PlannerConfig::default().disk;
     let policy_reports = run_sweep(&catalog, &trace, &pack_plan.assignment, &disk, fleet, &grid);
 
@@ -146,6 +182,40 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice) -> Figure {
     )[0]
     .energy
     .total_joules();
+
+    // Part 4: the power-ladder bracket — every ladder × the fixed-timeout
+    // and lower-envelope policies, replayed on the spin-up-heavy bursts
+    // and on a NERSC-style batched trace. The saving reference is random
+    // placement on the row's trace, as in part 3.
+    let ladder_grid = ladder_policy_grid(&LadderChoice::all(), &ladder_policy_competitors());
+    let nersc_style = nersc_style_trace(&catalog, scale);
+    let nersc_random_energy = run_sweep(
+        &catalog,
+        &nersc_style,
+        &random_plan.assignment,
+        &disk,
+        fleet,
+        &policy_cache_grid(&[PolicyChoice::break_even()], &[None]),
+    )[0]
+    .energy
+    .total_joules();
+    let ladder_replays = [
+        ("bursts", &bursty, bursty_random_energy),
+        ("nersc_style", &nersc_style, nersc_random_energy),
+    ];
+    let ladder_reports: Vec<Vec<spindown_sim::metrics::SimReport>> = ladder_replays
+        .iter()
+        .map(|(_, trace, _)| {
+            run_sweep(
+                &catalog,
+                trace,
+                &pack_plan.assignment,
+                &disk,
+                fleet,
+                &ladder_grid,
+            )
+        })
+        .collect();
 
     let mut fig = Figure::new(
         "shootout",
@@ -180,6 +250,19 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice) -> Figure {
             spec.discipline.label()
         ));
     }
+    let ladder_rows_base = allocators.len() + grid.len() + discipline_grid.len();
+    {
+        let mut row = ladder_rows_base;
+        for (name, _, _) in &ladder_replays {
+            for spec in &ladder_grid {
+                fig.notes.push(format!(
+                    "row {row} = ladder {} ({name} replay, Pack_Disks allocation)",
+                    spec.label()
+                ));
+                row += 1;
+            }
+        }
+    }
     for (idx, (disks, energy, resp, p95, _)) in alloc_results.iter().enumerate() {
         fig.push_row(vec![
             idx as f64,
@@ -208,6 +291,19 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice) -> Figure {
             report.response_p95(),
         ]);
     }
+    let mut row = ladder_rows_base;
+    for ((_, _, random_energy), reports) in ladder_replays.iter().zip(&ladder_reports) {
+        for report in reports {
+            fig.push_row(vec![
+                row as f64,
+                pack_disks_used as f64,
+                1.0 - report.energy.total_joules() / random_energy,
+                report.responses.mean(),
+                report.response_p95(),
+            ]);
+            row += 1;
+        }
+    }
     fig
 }
 
@@ -221,7 +317,9 @@ mod tests {
         let n_alloc = competitors(Scale::Quick, 100).len();
         let n_policy = policy_competitors().len();
         let n_disc = discipline_competitors().len();
-        assert_eq!(fig.rows.len(), n_alloc + n_policy + n_disc);
+        let n_ladder =
+            2 * ladder_policy_grid(&LadderChoice::all(), &ladder_policy_competitors()).len();
+        assert_eq!(fig.rows.len(), n_alloc + n_policy + n_disc + n_ladder);
         let savings = fig.series("saving_vs_rnd").unwrap();
         let disks = fig.series("disks_used").unwrap();
         // Pack_Disks (row 0) saves clearly against random (last alloc row).
@@ -305,9 +403,94 @@ mod tests {
         }
     }
 
+    /// Rows of the ladder bracket as (label, saving, p95) per replay, in
+    /// grid order.
+    fn ladder_rows(fig: &Figure) -> Vec<Vec<(String, f64, f64)>> {
+        let n_alloc = competitors(Scale::Quick, 100).len();
+        let n_policy = policy_competitors().len();
+        let n_disc = discipline_competitors().len();
+        let grid = ladder_policy_grid(&LadderChoice::all(), &ladder_policy_competitors());
+        let savings = fig.series("saving_vs_rnd").unwrap();
+        let p95s = fig.series("resp_p95_s").unwrap();
+        let base = n_alloc + n_policy + n_disc;
+        (0..2)
+            .map(|replay| {
+                grid.iter()
+                    .enumerate()
+                    .map(|(j, spec)| {
+                        let row = base + replay * grid.len() + j;
+                        (spec.label(), savings[row], p95s[row])
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ladder_bracket_lower_envelope_beats_fixed_timeout_on_energy_p95() {
+        let fig = shootout(Scale::Quick);
+        let replays = ladder_rows(&fig);
+        // Acceptance criterion: on at least one seeded replay, the
+        // probability-based lower-envelope policy on the 3-state ladder
+        // beats the fixed break-even timeout on the energy × p95 frontier.
+        // Within one replay the saving column shares its random-placement
+        // reference, so energy ∝ (1 − saving) and the product comparison
+        // needs no absolute joules.
+        let mut wins = 0;
+        for rows in &replays {
+            let find = |label: &str| {
+                rows.iter()
+                    .find(|(l, _, _)| l == label)
+                    .unwrap_or_else(|| panic!("missing ladder row {label}"))
+            };
+            let (_, s_fixed, p95_fixed) = find("break_even+3state");
+            let (_, s_env, p95_env) = find("lower_env+3state");
+            let product_fixed = (1.0 - s_fixed) * p95_fixed;
+            let product_env = (1.0 - s_env) * p95_env;
+            assert!(product_fixed.is_finite() && product_env.is_finite());
+            if product_env < product_fixed {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= 1,
+            "lower envelope never beat fixed timeout: {replays:?}"
+        );
+    }
+
+    #[test]
+    fn ladder_bracket_emits_both_replays_with_notes() {
+        let fig = shootout(Scale::Quick);
+        let grid = ladder_policy_grid(&LadderChoice::all(), &ladder_policy_competitors());
+        let n_alloc = competitors(Scale::Quick, 100).len();
+        let n_rows =
+            n_alloc + policy_competitors().len() + discipline_competitors().len() + 2 * grid.len();
+        assert_eq!(fig.rows.len(), n_rows);
+        for name in ["bursts replay", "nersc_style replay"] {
+            assert!(
+                fig.notes
+                    .iter()
+                    .any(|n| n.contains("ladder") && n.contains(name)),
+                "missing ladder note for {name}"
+            );
+        }
+        // Every bracket row labels its ladder and policy.
+        for spec in &grid {
+            assert!(
+                fig.notes.iter().any(|n| n.contains(&spec.label())),
+                "missing note for {}",
+                spec.label()
+            );
+        }
+    }
+
     #[test]
     fn shootout_with_sjf_base_labels_the_policy_rows() {
-        let fig = shootout_with(Scale::Quick, DisciplineChoice::sjf());
+        let fig = shootout_with(
+            Scale::Quick,
+            DisciplineChoice::sjf(),
+            LadderChoice::TwoState,
+        );
         assert!(
             fig.notes.iter().any(|n| n.contains("break_even+sjf_a30s")),
             "policy rows should carry the base discipline label"

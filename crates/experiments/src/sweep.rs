@@ -8,10 +8,12 @@
 //!   order-preserving parallel map over a slice, work-stealing via an
 //!   atomic cursor.
 //! - [`SweepSpec`]/[`run_sweep`]/[`policy_cache_grid`]/
-//!   [`policy_discipline_grid`] — the (policy × discipline × cache) grid
-//!   runner: each grid point names a [`PolicyChoice`] (fixed thresholds are
-//!   policies too), a queue [`DisciplineChoice`] and an optional cache, and
-//!   is simulated against a shared workload/assignment on its own thread.
+//!   [`policy_discipline_grid`]/[`ladder_policy_grid`] — the (policy ×
+//!   discipline × ladder × cache) grid runner: each grid point names a
+//!   [`PolicyChoice`] (fixed thresholds are policies too), a queue
+//!   [`DisciplineChoice`], a power-state [`LadderChoice`] and an optional
+//!   cache, and is simulated against a shared workload/assignment on its
+//!   own thread.
 //!   Determinism holds because every simulation is seeded by its grid
 //!   point, never by thread scheduling. Grid points aggregate responses in
 //!   [`MetricsMode::Histogram`], so a full grid run holds O(buckets) per
@@ -20,7 +22,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use spindown_core::{DisciplineChoice, PolicyChoice};
+use spindown_core::{DisciplineChoice, LadderChoice, PolicyChoice};
 use spindown_disk::DiskSpec;
 use spindown_packing::Assignment;
 use spindown_sim::config::{CacheConfig, SimConfig};
@@ -72,13 +74,16 @@ where
         .collect()
 }
 
-/// One point of a (policy × discipline × cache) sweep grid.
+/// One point of a (policy × discipline × ladder × cache) sweep grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepSpec {
     /// The spin-down policy to run (fixed thresholds included).
     pub policy: PolicyChoice,
     /// The per-disk queue discipline.
     pub discipline: DisciplineChoice,
+    /// The power-state ladder the fleet's drives descend through
+    /// (two-state by default — the paper's model).
+    pub ladder: LadderChoice,
     /// Optional LRU cache in front of the dispatcher.
     pub cache: Option<CacheConfig>,
     /// Response aggregation per grid point. The grid constructors pick
@@ -89,12 +94,16 @@ pub struct SweepSpec {
 }
 
 impl SweepSpec {
-    /// Label like `break_even`, `fixed_1800s+lru` or `break_even+sjf_a30s`
-    /// (the discipline is only spelled out when it is not FIFO).
+    /// Label like `break_even`, `fixed_1800s+lru`, `break_even+sjf_a30s`
+    /// or `lower_env+3state` (discipline and ladder are only spelled out
+    /// when they differ from the paper's FIFO / two-state defaults).
     pub fn label(&self) -> String {
         let mut label = self.policy.label();
         if self.discipline != DisciplineChoice::Fifo {
             label = format!("{label}+{}", self.discipline.label());
+        }
+        if self.ladder != LadderChoice::TwoState {
+            label = format!("{label}+{}", self.ladder.label());
         }
         if self.cache.is_some() {
             label = format!("{label}+lru");
@@ -115,6 +124,7 @@ pub fn policy_cache_grid(
             caches.iter().map(move |&cache| SweepSpec {
                 policy,
                 discipline: DisciplineChoice::Fifo,
+                ladder: LadderChoice::TwoState,
                 cache,
                 metrics: MetricsMode::Histogram,
             })
@@ -134,6 +144,24 @@ pub fn policy_discipline_grid(
             disciplines.iter().map(move |&discipline| SweepSpec {
                 policy,
                 discipline,
+                ladder: LadderChoice::TwoState,
+                cache: None,
+                metrics: MetricsMode::Histogram,
+            })
+        })
+        .collect()
+}
+
+/// The cross product of ladders and policies (FIFO discipline, no cache),
+/// in row-major (ladder-outer) order — the shootout's ladder bracket.
+pub fn ladder_policy_grid(ladders: &[LadderChoice], policies: &[PolicyChoice]) -> Vec<SweepSpec> {
+    ladders
+        .iter()
+        .flat_map(|&ladder| {
+            policies.iter().map(move |&policy| SweepSpec {
+                policy,
+                discipline: DisciplineChoice::Fifo,
+                ladder,
                 cache: None,
                 metrics: MetricsMode::Histogram,
             })
@@ -156,18 +184,14 @@ pub fn run_sweep(
             disk: disk.clone(),
             ..SimConfig::paper_default()
         };
+        spec.ladder.apply(&mut cfg.disk);
         cfg.cache = spec.cache;
         cfg.discipline = spec.discipline;
         cfg.metrics = spec.metrics;
-        Simulator::run_with_policy(
-            catalog,
-            trace,
-            assignment,
-            &cfg,
-            fleet,
-            spec.policy.build(disk),
-        )
-        .expect("sweep point simulates")
+        // Ladder-aware policies must see the ladder the run uses.
+        let policy = spec.policy.build(&cfg.disk);
+        Simulator::run_with_policy(catalog, trace, assignment, &cfg, fleet, policy)
+            .expect("sweep point simulates")
     })
 }
 
@@ -218,6 +242,60 @@ mod tests {
         assert_eq!(grid[2].label(), "break_even+elevator");
         assert_eq!(grid[3].label(), "never");
         assert!(grid.iter().all(|s| s.cache.is_none()));
+    }
+
+    #[test]
+    fn ladder_grid_is_ladder_outer_and_labelled() {
+        let grid = ladder_policy_grid(
+            &LadderChoice::all(),
+            &[PolicyChoice::break_even(), PolicyChoice::lower_envelope()],
+        );
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].label(), "break_even");
+        assert_eq!(grid[1].label(), "lower_env");
+        assert_eq!(grid[2].label(), "break_even+3state");
+        assert_eq!(grid[3].label(), "lower_env+3state");
+        assert!(grid.iter().all(|s| s.cache.is_none()));
+    }
+
+    #[test]
+    fn three_state_sweep_points_simulate_and_differ_from_two_state() {
+        let catalog =
+            spindown_workload::FileCatalog::from_parts(vec![10 * MB, 20 * MB], vec![0.5, 0.5]);
+        let trace = Trace::poisson(&catalog, 0.01, 4000.0, 17);
+        let assignment = Assignment {
+            disks: vec![
+                DiskBin {
+                    items: vec![0],
+                    total_s: 0.0,
+                    total_l: 0.0,
+                },
+                DiskBin {
+                    items: vec![1],
+                    total_s: 0.0,
+                    total_l: 0.0,
+                },
+            ],
+        };
+        let spec = DiskSpec::seagate_st3500630as();
+        let grid = ladder_policy_grid(
+            &LadderChoice::all(),
+            &[PolicyChoice::break_even(), PolicyChoice::EnvelopeDescent],
+        );
+        let reports = run_sweep(&catalog, &trace, &assignment, &spec, 2, &grid);
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.energy.total_joules() > 0.0);
+            assert_eq!(r.responses.len(), trace.len());
+        }
+        // On the two-state ladder the envelope policy *is* the break-even
+        // timeout (same single threshold), so rows 0 and 1 agree; the
+        // three-state rows genuinely differ from their two-state peers.
+        assert!((reports[0].energy.total_joules() - reports[1].energy.total_joules()).abs() < 1e-6);
+        assert_ne!(
+            reports[0].energy.total_joules(),
+            reports[2].energy.total_joules()
+        );
     }
 
     #[test]

@@ -159,6 +159,8 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F);
     impl_tuple_strategy!(A, B, C, D, E, F, G);
     impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
 }
 
 /// `any::<T>()` — full-domain strategies.

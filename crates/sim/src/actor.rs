@@ -9,19 +9,33 @@ use spindown_disk::{DiskSpec, PowerState};
 use crate::discipline::{DisciplineChoice, Popped, RequestQueue, ELEVATOR_SEEK_FACTOR};
 
 /// What the disk is doing, from the queueing perspective. Mirrors (and is
-/// asserted against) the state machine's power state.
+/// asserted against) the state machine's power state. Level-carrying
+/// variants follow the power ladder: `Asleep(1)` is the two-state
+/// ladder's standby, `Descending(1)`/`Waking(1)` its spin-down/spin-up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
-    /// Spun up, empty of work.
+    /// Spun up, empty of work (ladder level 0).
     Idle,
     /// Serving a request.
     Busy,
-    /// Transitioning to standby.
-    SpinningDown,
-    /// Spun down.
-    Standby,
-    /// Transitioning to idle.
-    SpinningUp,
+    /// Entry transition into ladder level `l`.
+    Descending(u8),
+    /// Resident at power-saving ladder level `l`.
+    Asleep(u8),
+    /// Exit transition from level `l` back to idle.
+    Waking(u8),
+}
+
+impl Phase {
+    /// The resident ladder level of a settled phase (`Idle` = 0,
+    /// `Asleep(l)` = `l`); `None` while busy or transitioning.
+    pub fn settled_level(self) -> Option<u8> {
+        match self {
+            Phase::Idle => Some(0),
+            Phase::Asleep(l) => Some(l),
+            _ => None,
+        }
+    }
 }
 
 /// One simulated disk.
@@ -38,7 +52,10 @@ pub struct DiskActor {
     /// compute its response time without indexing back into a materialised
     /// trace (streamed sources have none). Set by [`DiskActor::serve_next`].
     current_arrival: Option<f64>,
-    /// Incremented every time the disk *becomes* idle; stale spin-down
+    /// The level the in-flight descent is heading for (meaningful only
+    /// while `phase` is `Descending(_)`).
+    descent_target: u8,
+    /// Incremented every time the disk *becomes* idle; stale descent
     /// timers carry an older generation and are ignored.
     pub idle_generation: u64,
     served: u64,
@@ -60,6 +77,7 @@ impl DiskActor {
             queue: RequestQueue::new(discipline),
             current: None,
             current_arrival: None,
+            descent_target: 0,
             idle_generation: 0,
             served: 0,
         }
@@ -70,17 +88,22 @@ impl DiskActor {
         self.phase
     }
 
+    /// The deepest ladder level of this disk's drive.
+    pub fn deepest_level(&self) -> u8 {
+        self.machine.deepest_level()
+    }
+
     /// Requests completed so far.
     pub fn served(&self) -> u64 {
         self.served
     }
 
-    /// Completed spin-down count.
+    /// Completed descent (spin-down) transition count.
     pub fn spin_downs(&self) -> u64 {
         self.machine.spin_downs()
     }
 
-    /// Completed spin-up count.
+    /// Completed wake (spin-up) transition count.
     pub fn spin_ups(&self) -> u64 {
         self.machine.spin_ups()
     }
@@ -160,35 +183,74 @@ impl DiskActor {
         Ok(self.current.take().expect("busy implies current"))
     }
 
-    /// Begin spinning down at `t` (must be idle); returns completion time.
+    /// Begin descending one level toward `target` at `t` (must be settled
+    /// at a level shallower than `target`); returns the completion time of
+    /// the first entry transition. Targets beyond the drive's ladder are
+    /// clamped to its deepest level.
+    pub fn begin_descend(&mut self, t: f64, target: u8) -> Result<f64, TransitionError> {
+        let target = target.min(self.deepest_level());
+        let here = self
+            .phase
+            .settled_level()
+            .unwrap_or_else(|| panic!("descend requires a settled phase, was {:?}", self.phase));
+        assert!(here < target, "descend {here} -> {target} goes nowhere");
+        let done = self.machine.begin_descend(t)?;
+        self.phase = Phase::Descending(here + 1);
+        self.descent_target = target;
+        Ok(done)
+    }
+
+    /// Begin spinning all the way down at `t` (must be idle); returns the
+    /// completion time of the first entry transition. The two-state
+    /// ladder's whole spin-down; deeper ladders continue step by step.
     pub fn begin_spin_down(&mut self, t: f64) -> Result<f64, TransitionError> {
         assert_eq!(self.phase, Phase::Idle, "spin-down requires Idle");
-        let done = self.machine.begin_spin_down(t)?;
-        self.phase = Phase::SpinningDown;
-        Ok(done)
+        self.begin_descend(t, self.deepest_level())
     }
 
-    /// Spin-down completed at `t`.
+    /// A descent step completed at `t`: the disk is now resident one level
+    /// deeper. Returns the level settled at.
+    pub fn complete_descend(&mut self, t: f64) -> Result<u8, TransitionError> {
+        let Phase::Descending(level) = self.phase else {
+            panic!("complete_descend in phase {:?}", self.phase);
+        };
+        self.machine.transition(t, PowerState::Sleeping(level))?;
+        self.phase = Phase::Asleep(level);
+        Ok(level)
+    }
+
+    /// Whether the in-flight descent has further levels to go after
+    /// settling at `level`.
+    pub fn descent_target(&self) -> u8 {
+        self.descent_target
+    }
+
+    /// Spin-down (descent step) completed at `t` — the two-state name for
+    /// [`DiskActor::complete_descend`].
     pub fn complete_spin_down(&mut self, t: f64) -> Result<(), TransitionError> {
-        assert_eq!(self.phase, Phase::SpinningDown);
-        self.machine.transition(t, PowerState::Standby)?;
-        self.phase = Phase::Standby;
-        Ok(())
+        self.complete_descend(t).map(|_| ())
     }
 
-    /// Begin spinning up at `t` (must be in standby); returns completion.
+    /// Begin waking at `t` (must be asleep at some level); returns
+    /// completion time — deeper levels take longer to exit.
     pub fn begin_spin_up(&mut self, t: f64) -> Result<f64, TransitionError> {
-        assert_eq!(self.phase, Phase::Standby, "spin-up requires Standby");
+        let Phase::Asleep(level) = self.phase else {
+            panic!("spin-up requires Asleep, was {:?}", self.phase);
+        };
         let done = self.machine.begin_spin_up(t)?;
-        self.phase = Phase::SpinningUp;
+        self.phase = Phase::Waking(level);
         Ok(done)
     }
 
-    /// Spin-up completed at `t`; the disk is idle again. Everything that
+    /// Wake completed at `t`; the disk is idle again. Everything that
     /// accumulated while the disk was asleep or waking is frozen into one
     /// elevator batch (a no-op for other disciplines).
     pub fn complete_spin_up(&mut self, t: f64) -> Result<(), TransitionError> {
-        assert_eq!(self.phase, Phase::SpinningUp);
+        assert!(
+            matches!(self.phase, Phase::Waking(_)),
+            "complete_spin_up in phase {:?}",
+            self.phase
+        );
         self.machine.transition(t, PowerState::Idle)?;
         self.phase = Phase::Idle;
         self.idle_generation += 1;
@@ -210,10 +272,16 @@ impl DiskActor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spindown_disk::MB;
+    use spindown_disk::{PowerLadder, MB};
 
     fn actor() -> DiskActor {
         DiskActor::new(DiskSpec::seagate_st3500630as())
+    }
+
+    fn three_level_actor() -> DiskActor {
+        let mut spec = DiskSpec::seagate_st3500630as();
+        spec.ladder = Some(PowerLadder::with_low_rpm(&spec));
+        DiskActor::new(spec)
     }
 
     #[test]
@@ -235,13 +303,49 @@ mod tests {
         let down = a.begin_spin_down(100.0).unwrap();
         assert_eq!(down, 110.0);
         a.complete_spin_down(down).unwrap();
-        assert_eq!(a.phase(), Phase::Standby);
+        assert_eq!(a.phase(), Phase::Asleep(1));
         let up = a.begin_spin_up(200.0).unwrap();
         assert_eq!(up, 215.0);
         a.complete_spin_up(up).unwrap();
         assert_eq!(a.phase(), Phase::Idle);
         assert_eq!(a.spin_downs(), 1);
         assert_eq!(a.spin_ups(), 1);
+    }
+
+    #[test]
+    fn ladder_descent_step_by_step_with_early_wake() {
+        let mut a = three_level_actor();
+        assert_eq!(a.deepest_level(), 2);
+        let lad = PowerLadder::with_low_rpm(&DiskSpec::seagate_st3500630as());
+        // First step of a full descent lands at level 1.
+        let d1 = a.begin_descend(100.0, 2).unwrap();
+        assert!((d1 - (100.0 + lad.level(1).entry_time_s)).abs() < 1e-12);
+        assert_eq!(a.phase(), Phase::Descending(1));
+        assert_eq!(a.complete_descend(d1).unwrap(), 1);
+        assert_eq!(a.phase(), Phase::Asleep(1));
+        assert_eq!(a.descent_target(), 2);
+        // Continue to level 2.
+        let d2 = a.begin_descend(d1, 2).unwrap();
+        assert_eq!(a.phase(), Phase::Descending(2));
+        assert_eq!(a.complete_descend(d2).unwrap(), 2);
+        assert_eq!(a.phase(), Phase::Asleep(2));
+        assert_eq!(a.spin_downs(), 2);
+        // Wake straight from the deepest level; pays that level's exit.
+        let up = a.begin_spin_up(500.0).unwrap();
+        assert!((up - (500.0 + lad.level(2).exit_time_s)).abs() < 1e-12);
+        a.complete_spin_up(up).unwrap();
+        assert_eq!(a.spin_ups(), 1);
+        assert_eq!(a.phase(), Phase::Idle);
+    }
+
+    #[test]
+    fn descend_target_clamps_to_the_ladder() {
+        let mut a = actor();
+        let done = a.begin_descend(0.0, u8::MAX).unwrap();
+        assert_eq!(a.phase(), Phase::Descending(1));
+        a.complete_descend(done).unwrap();
+        assert_eq!(a.descent_target(), 1);
+        assert_eq!(a.phase(), Phase::Asleep(1));
     }
 
     #[test]

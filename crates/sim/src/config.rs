@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use serde::{Deserialize, Serialize};
-use spindown_disk::{break_even_threshold, DiskSpec};
+use spindown_disk::{break_even_threshold, DiskSpec, PowerLadder};
 
 use crate::discipline::DisciplineChoice;
 use crate::metrics::MetricsMode;
@@ -134,6 +134,15 @@ impl SimConfig {
     /// Select the per-disk queue discipline.
     pub fn with_discipline(mut self, discipline: DisciplineChoice) -> Self {
         self.discipline = discipline;
+        self
+    }
+
+    /// Set (or clear) the fleet drive's power-state ladder. `None` — the
+    /// default — is the canonical two-state ladder derived from the
+    /// drive's scalar fields, bit-identical to the pre-ladder engine;
+    /// deeper ladders open per-level descents to multi-state policies.
+    pub fn with_ladder(mut self, ladder: Option<PowerLadder>) -> Self {
+        self.disk.ladder = ladder;
         self
     }
 

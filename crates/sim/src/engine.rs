@@ -14,14 +14,19 @@
 //!   elevator-batch followers pay an amortised seek. The discipline only
 //!   reorders the *pending* queue: the two dispatch points (service
 //!   completion and spin-up completion) both pop through it.
-//! - When a disk becomes idle the configured [`PowerPolicy`] is consulted;
-//!   it may arm a spin-down timer (fixed-threshold policies answer with a
-//!   constant, online policies adapt per idle period). Arrival of work
-//!   cancels the timer (by generation check). After the timer fires the
-//!   disk spins down (10 s) into standby.
-//! - A request reaching a standby disk triggers spin-up (15 s). A request
-//!   reaching a disk *mid-spin-down* waits for the spin-down to complete and
-//!   then spins up — disks cannot abort transitions (Zedlewski et al.).
+//! - Whenever a disk settles at a ladder level with an empty queue (level
+//!   0 = just became idle) the configured [`PowerPolicy`] is consulted; it
+//!   may arm a descent timer (fixed-threshold policies answer with a
+//!   constant and descend straight to the deepest level — the paper's
+//!   spin-down; multi-state policies descend the ladder step by step).
+//!   Arrival of work cancels the timer (by generation check). After the
+//!   timer fires the disk descends, paying each level's entry transition.
+//! - A request reaching a sleeping disk triggers a wake from *that* level
+//!   (deeper levels pay longer exits; the two-state ladder's 15 s
+//!   spin-up). A request reaching a disk *mid-descent* waits for the
+//!   in-flight entry transition to complete, settles, and then wakes from
+//!   the level just reached — disks cannot abort transitions (Zedlewski
+//!   et al.).
 //! - Simulation ends when all events have drained; energy is integrated to
 //!   `max(horizon, last event)`. Spin-down timers that would fire after the
 //!   trace horizon are not armed (end effects would otherwise depend on the
@@ -61,7 +66,7 @@ use crate::cache::LruCache;
 use crate::config::{ArrivalMode, SimConfig};
 use crate::event::{Event, EventQueue};
 use crate::metrics::{Completion, ResponseStats, SimReport};
-use crate::policy::{PowerPolicy, TimeoutPolicy};
+use crate::policy::{DescentStep, PowerPolicy, TimeoutPolicy};
 
 /// Simulation failures.
 #[derive(Debug)]
@@ -112,7 +117,18 @@ impl From<TraceIoError> for SimError {
     }
 }
 
-/// Per-disk spin-down timer bookkeeping for lazy scheduling: the engine
+/// A live descent deadline: fire time, the idle generation it guards, the
+/// ladder level the disk must still be settled at when it fires, and the
+/// level to descend to.
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    fire: f64,
+    generation: u64,
+    from_level: u8,
+    to_level: u8,
+}
+
+/// Per-disk descent timer bookkeeping for lazy scheduling: the engine
 /// keeps at most one *live* timer deadline per disk and (almost always) one
 /// heap entry, rescheduling on pop instead of piling a heap entry onto
 /// every idle period. `scheduled` is the sorted list of this disk's event
@@ -121,8 +137,8 @@ impl From<TraceIoError> for SimError {
 /// already-scheduled (now stale) one.
 #[derive(Debug, Default, Clone)]
 struct TimerState {
-    /// The active deadline: fire time plus the idle generation it guards.
-    deadline: Option<(f64, u64)>,
+    /// The active deadline guarding the next descent step, if any.
+    deadline: Option<Deadline>,
     /// Times of this disk's `SpinDownTimer` events in the heap, ascending.
     scheduled: Vec<f64>,
 }
@@ -337,32 +353,47 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             self.arrived = trace.len();
         }
         for disk in 0..self.actors.len() {
-            self.arm_timer(disk, 0.0);
+            self.arm_timer(disk, 0, 0.0);
         }
         self.peak_events = self.peak_events.max(self.events.len());
     }
 
-    /// Consult the policy for the idle period starting at `t` on `disk` and
-    /// arm its spin-down deadline, unless the policy keeps the disk up or
-    /// the deadline would fall beyond the trace horizon.
-    fn arm_timer(&mut self, disk: usize, t: f64) {
-        let decision = self.policy.idle_started(disk, t);
+    /// Consult the policy for `disk` settling at ladder `level` at time
+    /// `t` and arm its next descent deadline, unless the policy holds at
+    /// this level or the deadline would fall beyond the trace horizon.
+    fn arm_timer(&mut self, disk: usize, level: u8, t: f64) {
+        let decision = self.policy.settled(disk, level, t);
+        let deepest = self.actors[disk].deepest_level();
         let timer = &mut self.timers[disk];
-        let Some(delay) = decision else {
+        let Some(DescentStep { rest_s, to_level }) = decision else {
             timer.deadline = None;
             return;
         };
         assert!(
-            delay.is_finite() && delay >= 0.0,
-            "policy {} returned bad spin-down delay {delay}",
+            rest_s.is_finite() && rest_s >= 0.0,
+            "policy {} returned bad descent delay {rest_s}",
             self.policy.name()
         );
-        let fire = t + delay;
+        // Clamp ladder-oblivious targets (DescentStep::DEEPEST) to the
+        // drive's ladder; a step that no longer goes anywhere after
+        // clamping — the policy answered at the deepest level — means
+        // hold, same as `None`.
+        let to_level = to_level.min(deepest);
+        if to_level <= level {
+            timer.deadline = None;
+            return;
+        }
+        let fire = t + rest_s;
         if fire > self.horizon {
             timer.deadline = None;
             return;
         }
-        timer.deadline = Some((fire, self.actors[disk].idle_generation));
+        timer.deadline = Some(Deadline {
+            fire,
+            generation: self.actors[disk].idle_generation,
+            from_level: level,
+            to_level,
+        });
         self.ensure_timer_event(disk, fire);
     }
 
@@ -461,14 +492,15 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                     self.events.schedule(done, Event::PhaseDone { disk });
                 }
             }
-            Phase::Standby => {
+            Phase::Asleep(_) => {
+                // Wake directly from whatever level the disk rests at.
                 let done = self.actors[disk].begin_spin_up(t)?;
                 self.events.schedule(done, Event::PhaseDone { disk });
             }
             // Busy: the queue drains at service completion.
-            // SpinningUp / SpinningDown: the transition completion handler
-            // will look at the queue.
-            Phase::Busy | Phase::SpinningUp | Phase::SpinningDown => {}
+            // Waking / Descending: the transition completion handler will
+            // look at the queue.
+            Phase::Busy | Phase::Waking(_) | Phase::Descending(_) => {}
         }
         Ok(())
     }
@@ -490,26 +522,38 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                     });
                 }
                 if self.actors[disk].queue_is_empty() {
-                    self.arm_timer(disk, t);
+                    self.arm_timer(disk, 0, t);
                 } else {
                     self.kick(t, disk)?;
                 }
             }
-            Phase::SpinningUp => {
+            Phase::Waking(_) => {
                 self.actors[disk].complete_spin_up(t)?;
                 if self.actors[disk].queue_is_empty() {
                     // Rare: the waiting request was served from elsewhere —
                     // impossible today, but arm the timer for robustness.
-                    self.arm_timer(disk, t);
+                    self.arm_timer(disk, 0, t);
                 } else {
                     self.kick(t, disk)?;
                 }
             }
-            Phase::SpinningDown => {
-                self.actors[disk].complete_spin_down(t)?;
+            Phase::Descending(_) => {
+                let level = self.actors[disk].complete_descend(t)?;
                 if !self.actors[disk].queue_is_empty() {
-                    // Work arrived mid-spin-down; spin straight back up.
+                    // Work arrived mid-descent; wake from the level just
+                    // reached (transitions cannot be aborted).
                     self.kick(t, disk)?;
+                } else if level < self.actors[disk].descent_target() {
+                    // The in-flight descent has deeper to go: chain the
+                    // next entry transition immediately.
+                    let target = self.actors[disk].descent_target();
+                    let done = self.actors[disk].begin_descend(t, target)?;
+                    self.events.schedule(done, Event::PhaseDone { disk });
+                } else {
+                    // Settled at the descent's target: ask the policy for
+                    // the next step (multi-state policies may rest here
+                    // and descend further later).
+                    self.arm_timer(disk, level, t);
                 }
             }
             other => unreachable!("PhaseDone in phase {other:?}"),
@@ -525,27 +569,27 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         if !timer.scheduled.is_empty() {
             timer.scheduled.remove(0);
         }
-        let Some((fire, generation)) = timer.deadline else {
+        let Some(deadline) = timer.deadline else {
             return Ok(()); // no live deadline: stale entry.
         };
         let actor = &mut self.actors[disk];
-        if actor.phase() != Phase::Idle
-            || actor.idle_generation != generation
+        if actor.phase().settled_level() != Some(deadline.from_level)
+            || actor.idle_generation != deadline.generation
             || !actor.queue_is_empty()
         {
-            // The idle period this deadline guarded is over.
+            // The rest period this deadline guarded is over.
             self.timers[disk].deadline = None;
             return Ok(());
         }
-        if fire > t {
+        if deadline.fire > t {
             // Popped a stale (early) entry while the live deadline is still
             // ahead: reschedule exactly at the deadline.
-            self.ensure_timer_event(disk, fire);
+            self.ensure_timer_event(disk, deadline.fire);
             return Ok(());
         }
         self.timers[disk].deadline = None;
-        self.policy.spin_down_started(disk, t);
-        let done = self.actors[disk].begin_spin_down(t)?;
+        self.policy.descent_started(disk, t, deadline.to_level);
+        let done = self.actors[disk].begin_descend(t, deadline.to_level)?;
         self.events.schedule(done, Event::PhaseDone { disk });
         Ok(())
     }
@@ -979,14 +1023,22 @@ mod tests {
         fn name(&self) -> String {
             "eager_counter".into()
         }
-        fn idle_started(&mut self, _disk: usize, _t: f64) -> Option<f64> {
+        fn settled(
+            &mut self,
+            _disk: usize,
+            level: u8,
+            _t: f64,
+        ) -> Option<crate::policy::DescentStep> {
+            if level > 0 {
+                return None;
+            }
             self.idles += 1;
-            Some(0.0)
+            Some(crate::policy::DescentStep::to_deepest(0.0))
         }
         fn request_arrived(&mut self, _disk: usize, _t: f64) {
             self.arrivals += 1;
         }
-        fn spin_down_started(&mut self, _disk: usize, _t: f64) {
+        fn descent_started(&mut self, _disk: usize, _t: f64, _to_level: u8) {
             self.downs += 1;
         }
     }
@@ -1095,6 +1147,141 @@ mod tests {
         );
         // The batch saved three cold seeks' worth of positioning time.
         assert!(re.responses.mean() < rf.responses.mean());
+    }
+
+    /// A descent schedule stepping one level at a time: 5 s at idle, then
+    /// low-RPM; 30 s at low-RPM, then standby.
+    struct StepDown;
+
+    impl crate::policy::PowerPolicy for StepDown {
+        fn name(&self) -> String {
+            "step_down".into()
+        }
+        fn settled(&mut self, _disk: usize, level: u8, _t: f64) -> Option<DescentStep> {
+            match level {
+                0 => Some(DescentStep::to_level(5.0, 1)),
+                1 => Some(DescentStep::to_level(30.0, 2)),
+                _ => None,
+            }
+        }
+    }
+
+    fn three_level_cfg() -> SimConfig {
+        let cfg = SimConfig::paper_default();
+        let ladder = spindown_disk::PowerLadder::with_low_rpm(&cfg.disk);
+        cfg.with_ladder(Some(ladder))
+    }
+
+    #[test]
+    fn ladder_wake_pays_the_exit_of_the_level_reached() {
+        let cat = catalog(1, 72 * MB);
+        let cfg = three_level_cfg();
+        let lad = cfg.disk.power_ladder();
+        // Idle from t=0: descends to low-RPM at t=5 (entry 3 s, settled at
+        // 8), would descend to standby at t=38. The request at t=20 finds
+        // the disk resting at low-RPM and pays only its (shorter) exit.
+        let tr = trace(&[(20.0, 0)], 100.0);
+        let report =
+            Simulator::run_with_policy(&cat, &tr, &assignment(&[0]), &cfg, 1, Box::new(StepDown))
+                .unwrap();
+        let expected = lad.level(1).exit_time_s + service_time_72mb();
+        assert!(
+            (report.response_quantile(1.0) - expected).abs() < 1e-9,
+            "response {} vs {expected}",
+            report.response_quantile(1.0)
+        );
+        // Three completed descents: idle → low-RPM before the arrival,
+        // then idle → low-RPM → standby after the service.
+        assert_eq!(report.spin_downs, 3);
+        assert_eq!(report.spin_ups, 1);
+    }
+
+    #[test]
+    fn ladder_step_descent_reaches_standby_through_low_rpm() {
+        let cat = catalog(1, 72 * MB);
+        let cfg = three_level_cfg();
+        let lad = cfg.disk.power_ladder();
+        // Request at t=300: by then the disk stepped 0 → 1 (t=5..8) and
+        // 1 → 2 (t=38..48); it wakes from standby paying the full exit.
+        let tr = trace(&[(300.0, 0)], 400.0);
+        let report =
+            Simulator::run_with_policy(&cat, &tr, &assignment(&[0]), &cfg, 1, Box::new(StepDown))
+                .unwrap();
+        let expected = lad.level(2).exit_time_s + service_time_72mb();
+        assert!(
+            (report.response_quantile(1.0) - expected).abs() < 1e-9,
+            "response {} vs {expected}",
+            report.response_quantile(1.0)
+        );
+        // Energy accounted at every level the descent visited.
+        assert!(report.fleet_seconds_in(PowerState::Sleeping(1)) > 0.0);
+        assert!(report.fleet_seconds_in(PowerState::Sleeping(2)) > 0.0);
+        assert!(report.fleet_seconds_in(PowerState::Descending(2)) > 0.0);
+    }
+
+    #[test]
+    fn timeout_policy_chains_straight_to_the_deepest_level() {
+        let cat = catalog(1, 72 * MB);
+        let cfg = three_level_cfg().with_threshold(ThresholdPolicy::Fixed(10.0));
+        let lad = cfg.disk.power_ladder();
+        // Fixed timeout descends the whole ladder in one go: entries at
+        // 10..13 (level 1) and 13..23 (level 2), charging each level's
+        // entry transition back to back. (Horizon 120 keeps the
+        // post-service timer, due ~126, from arming a second descent.)
+        let tr = trace(&[(100.0, 0)], 120.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        let expected = lad.level(2).exit_time_s + service_time_72mb();
+        assert!(
+            (report.response_quantile(1.0) - expected).abs() < 1e-9,
+            "response {} vs {expected}",
+            report.response_quantile(1.0)
+        );
+        // One full descent = two completed entry transitions; the
+        // zero-length residency at level 1 costs nothing.
+        assert_eq!(report.spin_ups, 1);
+        assert!(report.fleet_seconds_in(PowerState::Sleeping(1)) == 0.0);
+        assert!((report.fleet_seconds_in(PowerState::Descending(1)) - 3.0).abs() < 1e-9);
+        assert!((report.fleet_seconds_in(PowerState::Descending(2)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_mid_descent_wakes_from_the_level_just_reached() {
+        let cat = catalog(1, 72 * MB);
+        let cfg = three_level_cfg().with_threshold(ThresholdPolicy::Fixed(10.0));
+        let lad = cfg.disk.power_ladder();
+        // Descent starts at 10; the level-1 entry completes at 13. A
+        // request at t=11 waits out the entry, then wakes from level 1
+        // (the deeper step is abandoned). Horizon 25 keeps the
+        // post-service timer from starting a second, full descent.
+        let tr = trace(&[(11.0, 0)], 25.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        let expected = 2.0 + lad.level(1).exit_time_s + service_time_72mb();
+        assert!(
+            (report.response_quantile(1.0) - expected).abs() < 1e-9,
+            "response {} vs {expected}",
+            report.response_quantile(1.0)
+        );
+        assert!(report.fleet_seconds_in(PowerState::Sleeping(2)) == 0.0);
+    }
+
+    #[test]
+    fn explicit_two_state_ladder_is_bit_identical_to_the_derived_default() {
+        let cat = catalog(4, 30 * MB);
+        let tr = Trace::poisson(&cat, 2.0, 500.0, 13);
+        let a = assignment(&[0, 1, 2, 3]);
+        for threshold in [
+            ThresholdPolicy::BreakEven,
+            ThresholdPolicy::Fixed(5.0),
+            ThresholdPolicy::Never,
+        ] {
+            let derived = SimConfig::paper_default().with_threshold(threshold);
+            let explicit = derived
+                .clone()
+                .with_ladder(Some(spindown_disk::PowerLadder::two_state(&derived.disk)));
+            let rd = Simulator::run(&cat, &tr, &a, &derived).unwrap();
+            let re = Simulator::run(&cat, &tr, &a, &explicit).unwrap();
+            assert_reports_identical(&rd, &re);
+        }
     }
 
     #[test]

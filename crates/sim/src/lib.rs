@@ -33,11 +33,14 @@
 //!
 //! ## Power policies
 //!
-//! The engine consults a [`policy::PowerPolicy`] every time a disk becomes
-//! idle; the policy answers with a spin-down delay (or `None` to stay up)
-//! and observes request arrivals, so it can adapt online. The paper's
-//! fixed-threshold family is [`policy::TimeoutPolicy`]; pass any custom
-//! implementation through [`engine::Simulator::run_with_policy`]:
+//! The engine consults a [`policy::PowerPolicy`] every time a disk settles
+//! at a ladder level with an empty queue (level 0 = just became idle); the
+//! policy answers with the next [`policy::DescentStep`] — rest here this
+//! long, then descend that deep — or `None` to hold, and observes request
+//! arrivals, so it can adapt online. On the default two-state ladder this
+//! reduces to the classic "how long until spin-down?" consultation. The
+//! paper's fixed-threshold family is [`policy::TimeoutPolicy`]; pass any
+//! custom implementation through [`engine::Simulator::run_with_policy`]:
 //!
 //! ```
 //! use spindown_packing::{Assignment, DiskBin};

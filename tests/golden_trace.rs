@@ -170,6 +170,30 @@ fn golden_trace_table_is_trace_source_invariant() {
     }
 }
 
+/// The same fixture with the canonical two-state ladder set *explicitly*
+/// on the spec must land on the identical table — the ladder refactor's
+/// pin: an explicit `PowerLadder::two_state` is the derived default, not a
+/// different engine.
+#[test]
+fn golden_trace_table_is_ladder_representation_invariant() {
+    use spindown::disk::PowerLadder;
+    let (catalog, assignment, cfg) = fixture();
+    let cfg = cfg
+        .clone()
+        .with_ladder(Some(PowerLadder::two_state(&cfg.disk)));
+    let text = std::fs::read_to_string(EXPECTED).expect("golden expected fixture present");
+    let expected = parse_expected(&text);
+    let raw = std::fs::File::open(TRACE).expect("golden trace fixture present");
+    let trace = Trace::read_csv(BufReader::new(raw), Some(600.0)).expect("fixture parses");
+    let report = Simulator::run(&catalog, &trace, &assignment, &cfg).expect("simulates");
+    assert_eq!(report.responses.len(), trace.len(), "requests dropped");
+    for (d, exp) in expected.iter().enumerate() {
+        assert!((report.per_disk_energy[d].total_joules() - exp.0).abs() < TOL * exp.0.max(1.0));
+        assert!((report.per_disk_responses[d].mean() - exp.1).abs() < TOL);
+        assert!((report.per_disk_response_quantile(d, 0.95) - exp.2).abs() < TOL);
+    }
+}
+
 /// The same fixture replayed with the preloaded arrival mode and an
 /// explicit FIFO discipline must land on the identical table — the
 /// `--ignored` CI smoke lane runs this alongside the 1M-request replay.

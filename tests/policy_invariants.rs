@@ -19,6 +19,8 @@ fn all_policies() -> Vec<PolicyChoice> {
         PolicyChoice::Threshold(ThresholdPolicy::Never),
         PolicyChoice::SkiRental { seed: 0xDECAF },
         PolicyChoice::Adaptive { alpha: 0.5 },
+        PolicyChoice::EnvelopeDescent,
+        PolicyChoice::lower_envelope(),
     ]
 }
 
@@ -104,6 +106,58 @@ fn every_policy_conserves_energy_time_and_requests() {
             report.disks
         );
     }
+}
+
+#[test]
+fn every_policy_conserves_on_the_three_state_ladder_too() {
+    // The same global accounting must hold when the fleet runs the
+    // three-level (idle / low-RPM / standby) ladder: time partitions
+    // exactly across the per-level states, every request is answered, and
+    // the per-state table sums to the totals with nothing dropped.
+    let f = fixture();
+    let mut sim = f.planner.config().sim.clone();
+    let ladder = spindown::disk::PowerLadder::with_low_rpm(&sim.disk);
+    sim = sim.with_ladder(Some(ladder));
+    for policy in all_policies() {
+        let report = Simulator::run_with_policy(
+            &f.workload.catalog,
+            &f.workload.trace,
+            &f.plan.assignment,
+            &sim,
+            f.fleet,
+            policy.build(&sim.disk),
+        )
+        .expect("three-state replay succeeds");
+        let covered = report.energy.total_seconds();
+        let expected = report.sim_time_s * report.disks as f64;
+        assert!(
+            (covered - expected).abs() < 1e-6 * expected.max(1.0),
+            "{}: covered {covered}s vs {expected}s",
+            policy.label()
+        );
+        assert_eq!(report.responses.len(), f.workload.trace.len());
+        // Table-driven per-state iteration covers every ladder slot: its
+        // sums equal the totals bit-for-bit (the satellite contract — a
+        // ladder adding levels can never silently drop energy).
+        let rows = report.energy.per_state();
+        let sum_s: f64 = rows.iter().map(|(_, s, _)| s).sum();
+        let sum_j: f64 = rows.iter().map(|(_, _, j)| j).sum();
+        assert_eq!(sum_s, report.energy.total_seconds(), "{}", policy.label());
+        assert_eq!(sum_j, report.energy.total_joules(), "{}", policy.label());
+    }
+    // The envelope policies actually use the intermediate level on this
+    // sparse replay (it pays off before standby does).
+    let report = Simulator::run_with_policy(
+        &f.workload.catalog,
+        &f.workload.trace,
+        &f.plan.assignment,
+        &sim,
+        f.fleet,
+        PolicyChoice::EnvelopeDescent.build(&sim.disk),
+    )
+    .expect("three-state replay succeeds");
+    assert!(report.fleet_seconds_in(PowerState::Sleeping(1)) > 0.0);
+    assert!(report.fleet_seconds_in(PowerState::Sleeping(2)) > 0.0);
 }
 
 #[test]
