@@ -23,12 +23,17 @@
 //! ```
 
 pub mod comparison;
+pub mod joint;
 pub mod planner;
 pub mod policy;
 pub mod reorg;
 pub mod writes;
 
 pub use comparison::{compare, Comparison};
+pub use joint::{
+    pareto_frontier, JointCandidate, JointCell, JointConfig, JointError, JointObjective,
+    JointOutcome, JointPlanner,
+};
 pub use planner::{Plan, PlanError, Planner, PlannerConfig, ServiceModel};
 pub use policy::PolicyChoice;
 pub use reorg::{plan_reorg, MigrationPlan};

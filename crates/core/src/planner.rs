@@ -24,10 +24,16 @@ pub enum ServiceModel {
 }
 
 /// Configuration for [`Planner`].
+///
+/// The drive model lives in **one** place — `sim.disk` — and feeds
+/// everything: instance building (capacity normalises sizes, transfer rate
+/// defines loads), policy construction ([`Planner::power_policy`]) and
+/// simulation ([`Planner::evaluate`]). Earlier versions carried a second,
+/// independent `DiskSpec` for the packing side, which let a caller plan
+/// against one drive and silently evaluate against another; use
+/// [`PlannerConfig::with_disk`] (or set `sim.disk` directly) to swap drives.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlannerConfig {
-    /// Drive model (capacity normalises sizes; transfer rate defines loads).
-    pub disk: DiskSpec,
     /// The load constraint `L` as a fraction of the disk's service capacity
     /// (the paper sweeps 0.5–0.8).
     pub load_constraint: f64,
@@ -35,7 +41,8 @@ pub struct PlannerConfig {
     pub service_model: ServiceModel,
     /// Which allocation algorithm to run.
     pub allocator: Allocator,
-    /// Simulation configuration used by [`Planner::evaluate`].
+    /// Simulation configuration used by [`Planner::evaluate`]; its `disk`
+    /// is the single drive model for planning *and* simulation.
     pub sim: SimConfig,
     /// Spin-down policy selection. `None` (the default) derives the policy
     /// from `sim.threshold`, preserving the fixed-threshold behaviour;
@@ -46,13 +53,26 @@ pub struct PlannerConfig {
 impl Default for PlannerConfig {
     fn default() -> Self {
         PlannerConfig {
-            disk: DiskSpec::seagate_st3500630as(),
             load_constraint: 0.7,
             service_model: ServiceModel::TransferOnly,
             allocator: Allocator::PackDisks,
             sim: SimConfig::paper_default(),
             policy: None,
         }
+    }
+}
+
+impl PlannerConfig {
+    /// Swap the drive model everywhere at once (packing, policies,
+    /// simulation).
+    pub fn with_disk(mut self, disk: DiskSpec) -> Self {
+        self.sim.disk = disk;
+        self
+    }
+
+    /// The single drive model this configuration plans and evaluates with.
+    pub fn disk(&self) -> &DiskSpec {
+        &self.sim.disk
     }
 }
 
@@ -141,9 +161,14 @@ impl Planner {
         &self.cfg
     }
 
+    /// The drive model the planner packs against *and* simulates with.
+    pub fn disk(&self) -> &DiskSpec {
+        &self.cfg.sim.disk
+    }
+
     /// The per-byte service function implied by the config.
     pub fn service_time(&self, bytes: u64) -> f64 {
-        let timer = ServiceTimer::new(&self.cfg.disk);
+        let timer = ServiceTimer::new(&self.cfg.sim.disk);
         match self.cfg.service_model {
             ServiceModel::TransferOnly => timer.transfer_time(bytes),
             ServiceModel::WithPositioning => timer.service_time(bytes),
@@ -162,7 +187,7 @@ impl Planner {
         Ok(Instance::from_raw(
             &sizes,
             &loads,
-            self.cfg.disk.capacity_bytes,
+            self.cfg.sim.disk.capacity_bytes,
             l,
         )?)
     }
@@ -345,6 +370,47 @@ mod tests {
             planner.policy_choice(),
             crate::policy::PolicyChoice::fixed(12.0)
         );
+    }
+
+    #[test]
+    fn non_default_drive_is_honoured_end_to_end() {
+        // Regression for the split-brain config: planning and evaluation
+        // must see the *same* non-default drive. Plan on the archival
+        // drive and evaluate under Never-spin-down: the fleet then idles
+        // at exactly the archival drive's idle power between requests, so
+        // the report's mean power is bracketed by that drive's idle and
+        // active draws — impossible if evaluation fell back to the Table 2
+        // drive (9.3 W idle vs 5.0 W).
+        let drive = spindown_disk::DiskSpec::archival_5400();
+        let mut cfg = PlannerConfig::default().with_disk(drive.clone());
+        cfg.sim = cfg.sim.with_threshold(ThresholdPolicy::Never);
+        let planner = Planner::new(cfg);
+        assert_eq!(planner.disk().model, drive.model);
+        let cat = catalog();
+        let plan = planner.plan(&cat, 0.2).unwrap();
+        // The packing side normalised against the archival capacity (1 TB),
+        // not the default 500 GB.
+        let max_s = plan
+            .instance
+            .items()
+            .iter()
+            .map(|it| it.s)
+            .fold(0.0, f64::max);
+        let expected_max = 20.0e9 / drive.capacity_bytes as f64;
+        assert!((max_s - expected_max).abs() < 1e-9, "max_s {max_s}");
+        let trace = Trace::poisson(&cat, 0.2, 400.0, 5);
+        let report = planner.evaluate(&plan, &cat, &trace).unwrap();
+        let mean_w = report.energy.total_joules() / report.sim_time_s / plan.disk_slots() as f64;
+        assert!(
+            mean_w >= drive.idle_power_w && mean_w <= drive.active_power_w,
+            "per-disk mean power {mean_w} W outside the archival drive's \
+             [{}, {}] W envelope",
+            drive.idle_power_w,
+            drive.active_power_w
+        );
+        // And well below the default drive's idle floor, proving the
+        // simulation did not run the Table 2 spec.
+        assert!(mean_w < spindown_disk::DiskSpec::seagate_st3500630as().idle_power_w);
     }
 
     #[test]

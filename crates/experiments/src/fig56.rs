@@ -134,7 +134,7 @@ pub fn study(scale: Scale) -> NerscStudy {
     // Each series is one (policy × cache) sweep: the threshold grid as
     // fixed-threshold policies plus the never-spin-down normaliser, all
     // fanned across threads by the generic sweep driver.
-    let disk = spindown_sim::config::SimConfig::paper_default().disk;
+    let base_cfg = spindown_sim::config::SimConfig::paper_default();
     let policies: Vec<PolicyChoice> = thresholds
         .iter()
         .map(|&hours| PolicyChoice::fixed(hours * 3600.0))
@@ -154,7 +154,7 @@ pub fn study(scale: Scale) -> NerscStudy {
                 &workload.catalog,
                 &workload.trace,
                 assignment,
-                &disk,
+                &base_cfg,
                 fleet,
                 &grid,
             );

@@ -22,12 +22,14 @@
 //! | `bounds`   | Theorem 1 empirical check | [`bounds_exp`] |
 //! | `sensitivity` | drive-class extension study | [`sensitivity`] |
 //! | `shootout` | allocator design-space study | [`shootout`] |
+//! | `joint`    | joint (allocation × policy × discipline × ladder) search | [`joint_exp`] |
 //! | `replay`   | streamed trace replay (`--trace-file` / synthetic) | [`replay`] |
 
 pub mod bounds_exp;
 pub mod fig23;
 pub mod fig4;
 pub mod fig56;
+pub mod joint_exp;
 pub mod output;
 pub mod replay;
 pub mod sensitivity;

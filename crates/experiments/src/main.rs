@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [--quick] [--out DIR] [--discipline D] [--ladder 2|3]
 //!             [--trace-file FILE] [--horizon S] [--requests N] CMD...
-//!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds all replay }
+//!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity
+//!           shootout joint replay all }
 //! ```
 //!
 //! Prints each artefact as an aligned table and writes `DIR/<id>.csv`
@@ -31,14 +32,16 @@ use std::process::ExitCode;
 use spindown_core::{DisciplineChoice, LadderChoice};
 use spindown_experiments::output::{render_table, write_csv};
 use spindown_experiments::{
-    bounds_exp, fig23, fig4, fig56, replay, sensitivity, shootout, tables, vsweep, Figure, Scale,
+    bounds_exp, fig23, fig4, fig56, joint_exp, replay, sensitivity, shootout, tables, vsweep,
+    Figure, Scale,
 };
 
 fn usage() -> &'static str {
     "usage: experiments [--quick] [--out DIR] [--discipline fifo|sjf|sjf:SECONDS|elevator]\n\
      \u{20}                  [--ladder 2|3] [--trace-file FILE] [--horizon SECONDS]\n\
      \u{20}                  [--requests N] CMD...\n\
-     CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout replay all"
+     CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout joint\n\
+     \u{20}    replay all   (--joint is accepted as an alias for the joint command)"
 }
 
 fn main() -> ExitCode {
@@ -106,6 +109,9 @@ fn main() -> ExitCode {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
+            // `--joint` is accepted as an alias for the `joint` command so
+            // the joint bracket composes with other flags naturally.
+            "--joint" => cmds.push("joint".to_owned()),
             other => cmds.push(other.to_owned()),
         }
     }
@@ -126,6 +132,7 @@ fn main() -> ExitCode {
             "bounds",
             "sensitivity",
             "shootout",
+            "joint",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -169,6 +176,7 @@ fn main() -> ExitCode {
             "bounds" => bounds_exp::bounds(scale),
             "sensitivity" => sensitivity::sensitivity(scale),
             "shootout" => shootout::shootout_with(scale, discipline, ladder),
+            "joint" => joint_exp::joint(scale),
             "replay" => {
                 match replay::replay(scale, trace_file.as_deref(), horizon, requests, ladder) {
                     Ok(fig) => fig,

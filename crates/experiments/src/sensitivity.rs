@@ -7,7 +7,6 @@
 use spindown_core::{compare, Planner, PlannerConfig};
 use spindown_disk::{break_even_threshold, DiskSpec};
 use spindown_packing::Allocator;
-use spindown_sim::config::SimConfig;
 use spindown_workload::{FileCatalog, Trace};
 
 use crate::sweep::parallel_map;
@@ -31,12 +30,8 @@ pub fn sensitivity(scale: Scale) -> Figure {
 
     let presets = presets();
     let rows: Vec<Vec<f64>> = parallel_map(&presets, |idx, (_, spec)| {
-        let mut cfg = PlannerConfig::default();
-        cfg.disk = spec.clone();
-        cfg.sim = SimConfig {
-            disk: spec.clone(),
-            ..SimConfig::paper_default()
-        };
+        // One spec drives packing, policy construction and simulation.
+        let cfg = PlannerConfig::default().with_disk(spec.clone());
         let planner = Planner::new(cfg.clone());
         let pack = planner.plan(&catalog, rate).expect("feasible");
         let mut rnd_cfg = cfg;

@@ -18,12 +18,17 @@
 //!   point, never by thread scheduling. Grid points aggregate responses in
 //!   [`MetricsMode::Histogram`], so a full grid run holds O(buckets) per
 //!   cell instead of one O(requests) response vector per cell.
+//! - [`run_joint`] — the thread-fanned driver for the joint
+//!   (allocation × policy × discipline × ladder) planner in
+//!   `spindown_core::joint`: same cells as the sequential search, fanned
+//!   with [`parallel_map`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use spindown_core::{DisciplineChoice, LadderChoice, PolicyChoice};
-use spindown_disk::DiskSpec;
+use spindown_core::{
+    DisciplineChoice, JointError, JointOutcome, JointPlanner, LadderChoice, PolicyChoice,
+};
 use spindown_packing::Assignment;
 use spindown_sim::config::{CacheConfig, SimConfig};
 use spindown_sim::engine::Simulator;
@@ -59,7 +64,12 @@ where
                     }
                     local.push((i, f(i, &items[i])));
                 }
-                let mut slots = results.lock().expect("no poisoned worker");
+                // A panicking sibling poisons the mutex; recover the
+                // guard so healthy workers still record their results and
+                // the *original* panic — not a misleading secondary
+                // "poisoned lock" message — propagates from
+                // `thread::scope` when it joins the panicked thread.
+                let mut slots = results.lock().unwrap_or_else(|e| e.into_inner());
                 for (i, r) in local {
                     slots[i] = Some(r);
                 }
@@ -68,7 +78,7 @@ where
     });
     results
         .into_inner()
-        .expect("scope joined all workers")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .map(|r| r.expect("every index computed"))
         .collect()
@@ -171,28 +181,55 @@ pub fn ladder_policy_grid(ladders: &[LadderChoice], policies: &[PolicyChoice]) -
 
 /// Simulate every grid point against one workload/assignment, in parallel.
 /// `fleet` disks spin regardless of how many the assignment loads.
+///
+/// `base` is the caller's simulation configuration: the grid only
+/// overrides its own dimensions (ladder, cache, discipline, metrics —
+/// plus the policy, built per point), so everything else the caller set —
+/// drive model, arrival mode, completion log — survives into every cell.
+/// Earlier versions rebuilt `SimConfig::paper_default()` internally and
+/// silently discarded such overrides.
 pub fn run_sweep(
     catalog: &FileCatalog,
     trace: &Trace,
     assignment: &Assignment,
-    disk: &DiskSpec,
+    base: &SimConfig,
     fleet: usize,
     specs: &[SweepSpec],
 ) -> Vec<SimReport> {
     parallel_map(specs, |_, spec| {
-        let mut cfg = SimConfig {
-            disk: disk.clone(),
-            ..SimConfig::paper_default()
-        };
+        let mut cfg = base.clone();
         spec.ladder.apply(&mut cfg.disk);
         cfg.cache = spec.cache;
         cfg.discipline = spec.discipline;
         cfg.metrics = spec.metrics;
-        // Ladder-aware policies must see the ladder the run uses.
+        // Ladder-aware policies must see the ladder the run uses: the
+        // ladder is applied to the one true spec *before* the policy is
+        // built from it.
         let policy = spec.policy.build(&cfg.disk);
         Simulator::run_with_policy(catalog, trace, assignment, &cfg, fleet, policy)
             .expect("sweep point simulates")
     })
+}
+
+/// Thread-fanned equivalent of [`JointPlanner::search`]: plan each
+/// allocation strategy once, then evaluate every (allocation × policy ×
+/// discipline × ladder) cell across the sweep threads. Candidate order —
+/// and therefore cell, frontier and winner indices — matches the
+/// sequential search exactly; only wall-clock differs.
+pub fn run_joint(
+    planner: &JointPlanner,
+    catalog: &FileCatalog,
+    trace: &Trace,
+    rate: f64,
+) -> Result<JointOutcome, JointError> {
+    let plans = planner.plan_allocations(catalog, rate)?;
+    let fleet = planner.fleet_for(&plans);
+    let candidates = planner.candidates();
+    let results = parallel_map(&candidates, |_, cand| {
+        planner.evaluate(cand, planner.plan_for(&plans, cand), catalog, trace, fleet)
+    });
+    let cells = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    planner.outcome(cells, fleet)
 }
 
 #[cfg(test)]
@@ -217,6 +254,133 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(&empty, |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    // A panicking worker poisons the shared results mutex. The map must
+    // let that *original* panic propagate out of `thread::scope` (the test
+    // harness reports it), not kill every sibling worker with a secondary
+    // "poisoned lock" message.
+    #[test]
+    #[should_panic]
+    fn parallel_map_propagates_a_worker_panic() {
+        let items: Vec<u64> = (0..64).collect();
+        let _ = parallel_map(&items, |_, &x| {
+            if x == 13 {
+                panic!("worker 13 exploded");
+            }
+            x
+        });
+    }
+
+    // `thread::scope` wraps any worker panic in its own message, so the
+    // `#[should_panic]` above cannot tell the fixed code from the old
+    // `.expect("no poisoned worker")` path — both panic. Pin the fix
+    // directly: count the panics the run actually raises via a scoped
+    // panic hook. Exactly one worker must panic (the original); siblings
+    // must survive the poisoned lock instead of raising secondaries.
+    #[test]
+    fn parallel_map_poisoned_lock_raises_no_secondary_panics() {
+        use std::panic;
+        use std::sync::atomic::AtomicUsize;
+        static ORIGINAL: AtomicUsize = AtomicUsize::new(0);
+        static OTHER_WORKER: AtomicUsize = AtomicUsize::new(0);
+        // Forward to the previous hook after counting: the hook is
+        // process-global, and tests in this binary run concurrently — a
+        // swallowed panic elsewhere would report FAILED with no message.
+        let prev = std::sync::Arc::new(panic::take_hook());
+        let forward = std::sync::Arc::clone(&prev);
+        panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if msg.contains("worker 29 detonated") {
+                ORIGINAL.fetch_add(1, Ordering::SeqCst);
+            } else if msg.contains("poisoned") {
+                // the old `.expect("no poisoned worker")` message — a
+                // sibling died on the lock instead of recovering it.
+                // (scope's own "a scoped thread panicked" wrapper on the
+                // main thread is expected either way and not counted.)
+                OTHER_WORKER.fetch_add(1, Ordering::SeqCst);
+            }
+            forward(info);
+        }));
+        let items: Vec<u64> = (0..64).collect();
+        let result = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            parallel_map(&items, |_, &x| {
+                if x == 29 {
+                    panic!("worker 29 detonated");
+                }
+                x
+            })
+        }));
+        drop(panic::take_hook()); // releases the counting hook's Arc clone
+        if let Ok(hook) = std::sync::Arc::try_unwrap(prev) {
+            panic::set_hook(hook);
+        }
+        assert!(result.is_err(), "the worker panic must propagate");
+        assert_eq!(ORIGINAL.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            OTHER_WORKER.load(Ordering::SeqCst),
+            0,
+            "sibling workers died on the poisoned results lock"
+        );
+    }
+
+    #[test]
+    fn run_joint_matches_the_sequential_search() {
+        use spindown_core::{JointConfig, JointPlanner, PolicyChoice};
+        use spindown_packing::Allocator;
+        let catalog = spindown_workload::FileCatalog::paper_table1(300, 0);
+        let trace = Trace::poisson(&catalog, 0.1, 300.0, 33);
+        let mut cfg = JointConfig::default_grid();
+        cfg.allocators = vec![Allocator::PackDisks, Allocator::SpreadTail];
+        cfg.policies = vec![PolicyChoice::break_even(), PolicyChoice::EnvelopeDescent];
+        cfg.disciplines = vec![DisciplineChoice::Fifo];
+        let planner = JointPlanner::new(cfg);
+        let fanned = run_joint(&planner, &catalog, &trace, 0.1).unwrap();
+        let sequential = planner.search(&catalog, &trace, 0.1).unwrap();
+        assert_eq!(fanned, sequential);
+        assert_eq!(fanned.cells.len(), 8);
+    }
+
+    #[test]
+    fn run_sweep_preserves_the_callers_base_config() {
+        let catalog =
+            spindown_workload::FileCatalog::from_parts(vec![10 * MB, 20 * MB], vec![0.5, 0.5]);
+        let trace = Trace::poisson(&catalog, 0.05, 600.0, 3);
+        let assignment = Assignment {
+            disks: vec![DiskBin {
+                items: vec![0, 1],
+                total_s: 0.0,
+                total_l: 0.0,
+            }],
+        };
+        // A base the grid dimensions do not cover: non-default drive,
+        // completion log on. Both must survive into every cell (the old
+        // driver rebuilt paper_default() and lost them).
+        let drive = spindown_disk::DiskSpec::archival_5400();
+        let base = SimConfig::paper_default()
+            .with_disk(drive.clone())
+            .with_completion_log();
+        let grid = policy_cache_grid(
+            &[PolicyChoice::never(), PolicyChoice::break_even()],
+            &[None],
+        );
+        let reports = run_sweep(&catalog, &trace, &assignment, &base, 1, &grid);
+        for r in &reports {
+            let log = r.completions.as_ref().expect("completion log survives");
+            assert_eq!(log.len(), trace.len());
+        }
+        // Never-spin-down: the disk idles at the archival drive's 5 W, not
+        // the default drive's 9.3 W — the custom drive survived too.
+        let mean_w = reports[0].energy.total_joules() / reports[0].sim_time_s;
+        assert!(
+            mean_w >= drive.idle_power_w && mean_w < 9.3,
+            "mean power {mean_w} W does not match the archival drive"
+        );
     }
 
     #[test]
@@ -277,12 +441,12 @@ mod tests {
                 },
             ],
         };
-        let spec = DiskSpec::seagate_st3500630as();
+        let base = SimConfig::paper_default();
         let grid = ladder_policy_grid(
             &LadderChoice::all(),
             &[PolicyChoice::break_even(), PolicyChoice::EnvelopeDescent],
         );
-        let reports = run_sweep(&catalog, &trace, &assignment, &spec, 2, &grid);
+        let reports = run_sweep(&catalog, &trace, &assignment, &base, 2, &grid);
         assert_eq!(reports.len(), 4);
         for r in &reports {
             assert!(r.energy.total_joules() > 0.0);
@@ -319,7 +483,7 @@ mod tests {
                 },
             ],
         };
-        let spec = DiskSpec::seagate_st3500630as();
+        let base = SimConfig::paper_default();
         let grid = policy_cache_grid(
             &[
                 PolicyChoice::Threshold(ThresholdPolicy::BreakEven),
@@ -329,8 +493,8 @@ mod tests {
             ],
             &[None],
         );
-        let a = run_sweep(&catalog, &trace, &assignment, &spec, 2, &grid);
-        let b = run_sweep(&catalog, &trace, &assignment, &spec, 2, &grid);
+        let a = run_sweep(&catalog, &trace, &assignment, &base, 2, &grid);
+        let b = run_sweep(&catalog, &trace, &assignment, &base, 2, &grid);
         assert_eq!(a.len(), grid.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.energy.total_joules(), y.energy.total_joules());

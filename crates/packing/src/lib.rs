@@ -34,6 +34,7 @@ pub mod heap;
 pub mod instance;
 pub mod pack_disks;
 pub mod pack_disks_v;
+pub mod shaping;
 
 pub use assignment::{Assignment, DiskBin, FeasibilityError};
 pub use bounds::{fractional_lower_bound, lower_bound, theorem1_budget};
@@ -69,6 +70,14 @@ pub enum Allocator {
     /// Popular Data Concentration (Pinheiro & Bianchini, ref [11]):
     /// hottest files first, disks filled sequentially.
     Pdc,
+    /// Load-shaping: hot load on the fewest disks, archival mass on
+    /// dedicated near-zero-load disks ([`shaping::concentrate`]) — the
+    /// energy-leaning leg of the joint planner.
+    Concentrate,
+    /// Load-shaping: archival mass packed normally, the latency-sensitive
+    /// hot tail balanced evenly across disks ([`shaping::spread_tail`]) —
+    /// the latency-leaning leg of the joint planner.
+    SpreadTail,
 }
 
 impl Allocator {
@@ -86,6 +95,8 @@ impl Allocator {
             Allocator::BestFit => baselines::best_fit(instance),
             Allocator::NextFit => baselines::next_fit(instance),
             Allocator::Pdc => baselines::pdc(instance),
+            Allocator::Concentrate => shaping::concentrate(instance),
+            Allocator::SpreadTail => shaping::spread_tail(instance),
         };
         Ok(a)
     }
@@ -102,6 +113,8 @@ impl Allocator {
             Allocator::BestFit => "best_fit".to_owned(),
             Allocator::NextFit => "next_fit".to_owned(),
             Allocator::Pdc => "pdc".to_owned(),
+            Allocator::Concentrate => "concentrate".to_owned(),
+            Allocator::SpreadTail => "spread_tail".to_owned(),
         }
     }
 }
@@ -118,5 +131,7 @@ mod tests {
             Allocator::RandomFixed { disks: 96, seed: 0 }.label(),
             "random_96"
         );
+        assert_eq!(Allocator::Concentrate.label(), "concentrate");
+        assert_eq!(Allocator::SpreadTail.label(), "spread_tail");
     }
 }

@@ -101,6 +101,21 @@ proptest! {
     }
 
     #[test]
+    fn shaping_strategies_respect_the_load_constraint(items in items_strategy(200, 1.0)) {
+        // The joint planner's load-shaping legs must never violate either
+        // normalised cap, whatever the catalog looks like — `verify`
+        // checks per-disk totals in both dimensions plus item accounting.
+        let inst = Instance::new(items).unwrap();
+        for a in [
+            spindown_packing::shaping::concentrate(&inst),
+            spindown_packing::shaping::spread_tail(&inst),
+        ] {
+            prop_assert!(a.verify(&inst).is_ok());
+            prop_assert_eq!(a.items_assigned(), inst.len());
+        }
+    }
+
+    #[test]
     fn random_fixed_respects_storage(
         items in items_strategy(100, 0.3),
         seed in any::<u64>()

@@ -113,6 +113,15 @@ impl SimConfig {
         }
     }
 
+    /// Swap the fleet's drive model (keeps any ladder the new spec
+    /// carries). The planner and sweep driver treat this field as the
+    /// *single* source of truth for the drive — packing, policy
+    /// construction and simulation all read it.
+    pub fn with_disk(mut self, disk: DiskSpec) -> Self {
+        self.disk = disk;
+        self
+    }
+
     /// Same but with a fixed idleness threshold (Figures 5/6 sweep this).
     pub fn with_threshold(mut self, threshold: ThresholdPolicy) -> Self {
         self.threshold = threshold;
@@ -206,10 +215,12 @@ mod tests {
         let cfg = SimConfig::paper_default()
             .with_threshold(ThresholdPolicy::Fixed(600.0))
             .with_cache(CacheConfig::paper_16gb())
-            .with_arrival_mode(ArrivalMode::Preloaded);
+            .with_arrival_mode(ArrivalMode::Preloaded)
+            .with_disk(DiskSpec::archival_5400());
         assert_eq!(cfg.threshold, ThresholdPolicy::Fixed(600.0));
         assert_eq!(cfg.cache.unwrap().capacity_bytes, 16 * 1_000_000_000);
         assert_eq!(cfg.arrivals, ArrivalMode::Preloaded);
+        assert_eq!(cfg.disk.model, DiskSpec::archival_5400().model);
     }
 
     #[test]

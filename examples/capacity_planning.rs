@@ -33,14 +33,7 @@ fn main() {
         "budget_s", "load_cap", "by_load", "by_cap", "disks"
     );
     for budget in [5.0, 8.0, 12.0, 20.0, 40.0] {
-        match plan_farm(
-            catalog.total_bytes(),
-            rate,
-            es,
-            es2,
-            budget,
-            &planner.config().disk,
-        ) {
+        match plan_farm(catalog.total_bytes(), rate, es, es2, budget, planner.disk()) {
             Some(plan) => println!(
                 "{:>12.1}  {:>9.3}  {:>9}  {:>8}  {:>9}",
                 budget,
@@ -56,15 +49,8 @@ fn main() {
     // Validate the 12 s budget row by planning at the derived load cap and
     // simulating.
     let budget = 12.0;
-    let farm = plan_farm(
-        catalog.total_bytes(),
-        rate,
-        es,
-        es2,
-        budget,
-        &planner.config().disk,
-    )
-    .expect("feasible");
+    let farm =
+        plan_farm(catalog.total_bytes(), rate, es, es2, budget, planner.disk()).expect("feasible");
     let mut cfg = PlannerConfig::default();
     cfg.load_constraint = farm.load_cap.min(1.0);
     let planner = Planner::new(cfg);

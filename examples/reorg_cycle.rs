@@ -28,7 +28,7 @@ fn main() {
 
     // Between reorganizations: a stream of new files is written using the
     // paper's policy — spinning disks first, best-fit fallback.
-    let cap = planner.config().disk.capacity_bytes;
+    let cap = planner.disk().capacity_bytes;
     let mut placer = WritePlacer::from_assignment(&plan0.assignment, cap, WriteFit::BestFit);
     // Suppose the first half of the loaded disks are currently spinning.
     let slots = placer.disks();
@@ -65,7 +65,7 @@ fn main() {
         &plan0.assignment,
         &instance,
         &sizes,
-        planner.config().disk.transfer_rate_bps,
+        planner.disk().transfer_rate_bps,
     );
     println!(
         "epoch 1 reorg: {} moves, {:.2} TB moved ({:.1}% of data), ≈ {:.1} h of transfer",
