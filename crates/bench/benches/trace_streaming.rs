@@ -2,10 +2,13 @@
 //! replays in histogram-metrics mode, where resident memory is
 //! O(disks + histogram buckets) regardless of request count — no
 //! materialised trace, no response vector. The criterion loop times a
-//! 10M-request generator replay and a 1M-request CSV file replay; a
-//! one-shot 100M-request replay (10M under `CRITERION_QUICK=1`) records
-//! wall time, throughput and the tracked-structure sizes alongside.
-//! Results are tracked in BENCHMARKS.md.
+//! 10M-request generator replay, a 1M-request CSV file replay, and the
+//! same generator replay across 1/2/4/8 shards (the `--shards` scaling
+//! curve — wall clock tracks the host's core count, the report is
+//! bit-identical); a one-shot 100M-request replay (10M under
+//! `CRITERION_QUICK=1`) records wall time, throughput and the
+//! tracked-structure sizes alongside. Results are tracked in
+//! BENCHMARKS.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spindown_packing::{Assignment, DiskBin};
@@ -100,6 +103,34 @@ fn bench(c: &mut Criterion) {
             })
         },
     );
+    // Criterion-timed: the same 10M-request generator replay across 1, 2,
+    // 4 and 8 shards (8 disks round-robined, so 8 shards = one disk per
+    // shard). The merged report is bit-identical whatever the count (see
+    // tests/shard_equivalence.rs); what this measures is wall-clock
+    // scaling, which tracks the host's core count.
+    for shards in [1usize, 2, 4, 8] {
+        let sharded_cfg = cfg.clone().with_shards(shards);
+        group.throughput(Throughput::Elements(requests_10m as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sharded", format!("{shards}_shards")),
+            &sharded_cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let source =
+                        SyntheticSource::poisson(&catalog, RATE, requests_10m / RATE, SEED);
+                    let report = Simulator::run_from_source(
+                        &catalog,
+                        source,
+                        &assignment,
+                        black_box(cfg),
+                        DISKS,
+                    )
+                    .unwrap();
+                    black_box((report.responses.len(), report.peak_disk_queue))
+                })
+            },
+        );
+    }
     group.finish();
     let _ = std::fs::remove_file(&csv_path);
 

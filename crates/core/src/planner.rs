@@ -241,13 +241,13 @@ impl Planner {
         trace: &Trace,
         fleet: usize,
     ) -> Result<SimReport, SimError> {
-        Simulator::run_with_policy(
+        Simulator::run_sharded(
             catalog,
             trace,
             &plan.assignment,
             &self.cfg.sim,
             fleet,
-            self.power_policy(),
+            |_| self.power_policy(),
         )
     }
 }

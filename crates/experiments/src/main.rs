@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [--quick] [--out DIR] [--discipline D] [--ladder 2|3]
-//!             [--trace-file FILE] [--horizon S] [--requests N] CMD...
+//!             [--trace-file FILE] [--horizon S] [--requests N] [--shards S]
+//!             CMD...
 //!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity
 //!           shootout joint replay all }
 //! ```
@@ -24,7 +25,11 @@
 //! `--requests N` expected arrivals come from a seeded synthetic
 //! generator. Either way the
 //! run aggregates responses in the streaming histogram, so resident memory
-//! is O(disks + buckets) regardless of the request count.
+//! is O(disks + buckets) regardless of the request count. `--shards N`
+//! partitions the fleet across N replay threads (round-robin by disk id);
+//! the merged report's histogram metrics and energy totals are
+//! bit-identical whatever the shard count, so the flag is purely a
+//! wall-clock lever.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,7 +44,7 @@ use spindown_experiments::{
 fn usage() -> &'static str {
     "usage: experiments [--quick] [--out DIR] [--discipline fifo|sjf|sjf:SECONDS|elevator]\n\
      \u{20}                  [--ladder 2|3] [--trace-file FILE] [--horizon SECONDS]\n\
-     \u{20}                  [--requests N] CMD...\n\
+     \u{20}                  [--requests N] [--shards N] CMD...\n\
      CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout joint\n\
      \u{20}    replay all   (--joint is accepted as an alias for the joint command)"
 }
@@ -52,6 +57,7 @@ fn main() -> ExitCode {
     let mut trace_file: Option<PathBuf> = None;
     let mut horizon: Option<f64> = None;
     let mut requests: u64 = 1_000_000;
+    let mut shards: usize = 1;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -85,6 +91,13 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => requests = n,
                 _ => {
                     eprintln!("--requests needs a positive count\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => shards = n,
+                _ => {
+                    eprintln!("--shards needs a positive count\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -178,7 +191,14 @@ fn main() -> ExitCode {
             "shootout" => shootout::shootout_with(scale, discipline, ladder),
             "joint" => joint_exp::joint(scale),
             "replay" => {
-                match replay::replay(scale, trace_file.as_deref(), horizon, requests, ladder) {
+                match replay::replay(
+                    scale,
+                    trace_file.as_deref(),
+                    horizon,
+                    requests,
+                    ladder,
+                    shards,
+                ) {
                     Ok(fig) => fig,
                     Err(e) => {
                         eprintln!("replay failed: {e}");

@@ -35,17 +35,23 @@ const SYNTHETIC_RATE: f64 = 4.0;
 /// `trace_file == None` replays `requests` expected synthetic arrivals;
 /// `Some(path)` streams the CSV at `path` (with `horizon` overriding the
 /// pre-scan pass). `ladder` selects the fleet's power-state ladder
-/// (two-state reproduces the pre-ladder engine bit-identically).
+/// (two-state reproduces the pre-ladder engine bit-identically), and
+/// `shards` the number of parallel replay shards (1 = the single-threaded
+/// engine; any count reports bit-identical histogram metrics and energy).
 pub fn replay(
     scale: Scale,
     trace_file: Option<&Path>,
     horizon: Option<f64>,
     requests: u64,
     ladder: LadderChoice,
+    shards: usize,
 ) -> Result<Figure, Box<dyn std::error::Error>> {
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
     let mut cfg = PlannerConfig::default();
-    cfg.sim = cfg.sim.with_metrics(MetricsMode::Histogram);
+    cfg.sim = cfg
+        .sim
+        .with_metrics(MetricsMode::Histogram)
+        .with_shards(shards);
     ladder.apply(&mut cfg.sim.disk);
     let planner = Planner::new(cfg);
     let plan = planner.plan(&catalog, SYNTHETIC_RATE)?;
@@ -93,14 +99,16 @@ pub fn replay(
     fig.notes.push(source_note);
     fig.notes.push(format!(
         "fleet {fleet} disks, Pack_Disks allocation, break-even threshold, \
-         {} ladder; p95/p99 within relative error {:.4} (streaming histogram)",
+         {} ladder, {} shard(s); p95/p99 within relative error {:.4} \
+         (streaming histogram)",
         ladder.label(),
+        shards.max(1),
         report.responses.quantile_error_bound()
     ));
     Ok(fig)
 }
 
-fn run<S: TraceSource>(
+fn run<S: TraceSource + Send>(
     planner: &Planner,
     catalog: &FileCatalog,
     source: S,
@@ -123,8 +131,15 @@ mod tests {
 
     #[test]
     fn synthetic_replay_summarises_the_streamed_run() {
-        let fig = replay(Scale::Quick, None, Some(500.0), 0, LadderChoice::TwoState)
-            .expect("replay runs");
+        let fig = replay(
+            Scale::Quick,
+            None,
+            Some(500.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+        )
+        .expect("replay runs");
         assert_eq!(fig.rows.len(), 1);
         let requests = fig.rows[0][0];
         assert!(requests > 1_000.0, "4/s for 500 s: got {requests}");
@@ -153,13 +168,21 @@ mod tests {
             Some(60.0),
             0,
             LadderChoice::TwoState,
+            1,
         )
         .expect("csv replay runs");
         assert_eq!(fig.rows[0][0] as usize, trace.len());
         assert!(fig.notes.iter().any(|n| n.contains("csv")));
         // Horizon pre-scan path agrees on the request count.
-        let fig2 = replay(Scale::Quick, Some(&path), None, 0, LadderChoice::TwoState)
-            .expect("pre-scan replay runs");
+        let fig2 = replay(
+            Scale::Quick,
+            Some(&path),
+            None,
+            0,
+            LadderChoice::TwoState,
+            1,
+        )
+        .expect("pre-scan replay runs");
         assert_eq!(fig2.rows[0][0] as usize, trace.len());
     }
 
@@ -171,7 +194,8 @@ mod tests {
             Some(missing),
             Some(1.0),
             0,
-            LadderChoice::TwoState
+            LadderChoice::TwoState,
+            1
         )
         .is_err());
     }

@@ -205,9 +205,10 @@ pub fn run_sweep(
         // Ladder-aware policies must see the ladder the run uses: the
         // ladder is applied to the one true spec *before* the policy is
         // built from it.
-        let policy = spec.policy.build(&cfg.disk);
-        Simulator::run_with_policy(catalog, trace, assignment, &cfg, fleet, policy)
-            .expect("sweep point simulates")
+        Simulator::run_sharded(catalog, trace, assignment, &cfg, fleet, |_| {
+            spec.policy.build(&cfg.disk)
+        })
+        .expect("sweep point simulates")
     })
 }
 

@@ -96,6 +96,14 @@ pub struct SimConfig {
     /// the streamed engine otherwise avoids; tests switch it on to check
     /// conservation and ordering invariants.
     pub completion_log: bool,
+    /// Number of replay shards: the fleet is partitioned by disk id
+    /// (`disk % shards`), each shard runs its own event loop on its own
+    /// thread, and per-shard reports are merged. `1` — the default — is
+    /// today's single-threaded engine, unchanged. Histogram-mode metrics
+    /// and all energy totals are bit-identical across shard counts; the
+    /// engine falls back to one shard when a configuration couples disks
+    /// globally (cache, completion log, preloaded arrivals).
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -110,6 +118,7 @@ impl SimConfig {
             discipline: DisciplineChoice::Fifo,
             metrics: MetricsMode::Exact,
             completion_log: false,
+            shards: 1,
         }
     }
 
@@ -166,6 +175,15 @@ impl SimConfig {
     /// Record per-request completions in the report (O(requests) memory).
     pub fn with_completion_log(mut self) -> Self {
         self.completion_log = true;
+        self
+    }
+
+    /// Run the replay sharded over `shards` threads (clamped to at least 1;
+    /// the engine further clamps to the fleet size so no shard is empty).
+    /// Merged histogram-mode metrics and energy totals are bit-identical
+    /// for any shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -235,6 +253,14 @@ mod tests {
         assert_eq!(cfg.metrics, MetricsMode::Exact);
         let cfg = cfg.with_metrics(MetricsMode::Histogram);
         assert_eq!(cfg.metrics, MetricsMode::Histogram);
+    }
+
+    #[test]
+    fn shards_default_to_one_and_clamp_to_at_least_one() {
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.shards, 1);
+        assert_eq!(cfg.clone().with_shards(8).shards, 8);
+        assert_eq!(cfg.with_shards(0).shards, 1, "zero clamps to one");
     }
 
     #[test]

@@ -55,6 +55,16 @@
 //! metrics) instead of the trace itself. Response times come from the
 //! arrival stamp each queue entry carries, never from indexing back into a
 //! materialised request list.
+//!
+//! ## Sharded replay
+//!
+//! After allocation every disk's request stream is independent (absent a
+//! cache, the completion log, or preloaded arrivals — all of which force
+//! one shard), so `cfg.shards > 1` partitions the fleet by disk id
+//! (`disk % shards`), runs one event loop per shard on its own thread and
+//! merges the per-shard reports — see [`crate::shard`] for the merge rules
+//! and the determinism argument. Histogram-mode metrics and all energy
+//! totals are bit-identical at every shard count.
 
 use spindown_disk::state::TransitionError;
 use spindown_packing::Assignment;
@@ -65,7 +75,7 @@ use crate::actor::{DiskActor, Phase};
 use crate::cache::LruCache;
 use crate::config::{ArrivalMode, SimConfig};
 use crate::event::{Event, EventQueue};
-use crate::metrics::{Completion, ResponseStats, SimReport};
+use crate::metrics::{Completion, MetricsMode, ResponseStats, SimReport};
 use crate::policy::{DescentStep, PowerPolicy, TimeoutPolicy};
 
 /// Simulation failures.
@@ -160,7 +170,15 @@ pub struct Simulator<'a, S: TraceSource> {
     timers: Vec<TimerState>,
     events: EventQueue,
     cache: Option<LruCache>,
+    /// In exact mode: the live global response collector (disk completions
+    /// and cache hits, recorded in completion order). In histogram mode:
+    /// only cache hits are recorded here live — the global collector is
+    /// *derived* at finish by merging the per-disk collectors in disk
+    /// order, the canonical derivation that makes histogram-mode reports
+    /// bit-identical at every shard count.
     responses: ResponseStats,
+    /// Whether disk completions record into `responses` live (exact mode).
+    record_global: bool,
     per_disk_responses: Vec<ResponseStats>,
     completions: Option<Vec<Completion>>,
     policy: Box<dyn PowerPolicy>,
@@ -201,13 +219,68 @@ impl<'a> Simulator<'a, InMemorySource<'a>> {
         cfg: &'a SimConfig,
         fleet: usize,
     ) -> Result<SimReport, SimError> {
-        let policy = TimeoutPolicy::from_config(cfg.threshold, &cfg.disk);
-        Self::run_with_policy(catalog, trace, assignment, cfg, fleet, Box::new(policy))
+        Self::run_sharded(catalog, trace, assignment, cfg, fleet, |_| {
+            Box::new(TimeoutPolicy::from_config(cfg.threshold, &cfg.disk))
+        })
+    }
+
+    /// Run with a per-shard [`PowerPolicy`] factory, sharding the fleet
+    /// over `cfg.shards` threads (disk `d` → shard `d % shards`; the count
+    /// is clamped to the fleet, and configurations that couple disks
+    /// globally — a cache, the completion log, preloaded arrivals — fall
+    /// back to one shard). `factory(s)` builds shard `s`'s policy instance;
+    /// it is called once per shard in shard order and each instance sees
+    /// *global* disk ids, so per-disk-state policies behave identically at
+    /// any shard count. (Policies sharing randomness *across* disks — e.g.
+    /// one RNG stream consulted fleet-wide — see a different interleaving
+    /// per shard count and are not shard-count-invariant.)
+    ///
+    /// Histogram-mode metrics and all energy totals are bit-identical for
+    /// every shard count; exact-mode quantiles are bit-identical while the
+    /// global mean may differ by float-summation order.
+    pub fn run_sharded(
+        catalog: &'a FileCatalog,
+        trace: &'a Trace,
+        assignment: &Assignment,
+        cfg: &'a SimConfig,
+        fleet: usize,
+        mut factory: impl FnMut(usize) -> Box<dyn PowerPolicy>,
+    ) -> Result<SimReport, SimError> {
+        let shards = crate::shard::effective_shards(cfg, fleet);
+        if shards <= 1 {
+            return Self::run_with_policy(catalog, trace, assignment, cfg, fleet, factory(0));
+        }
+        let required = assignment.disk_slots();
+        if fleet < required {
+            return Err(SimError::FleetTooSmall { required, fleet });
+        }
+        let file_to_disk = assignment.item_to_disk(catalog.len());
+        for r in trace.requests() {
+            if file_to_disk
+                .get(r.file.index())
+                .copied()
+                .unwrap_or(usize::MAX)
+                == usize::MAX
+            {
+                return Err(SimError::UnmappedFile { file: r.file });
+            }
+        }
+        crate::shard::run_partitioned_trace(
+            catalog,
+            trace,
+            &file_to_disk,
+            cfg,
+            fleet,
+            shards,
+            &mut factory,
+        )
     }
 
     /// Run with an explicit [`PowerPolicy`]. The policy is consumed: a
     /// fresh (identically seeded) instance must be built per run, which is
-    /// what makes randomised policies reproducible.
+    /// what makes randomised policies reproducible. Always single-threaded
+    /// (one policy instance cannot be split across shards) — use
+    /// [`Simulator::run_sharded`] with a factory for the sharded path.
     pub fn run_with_policy(
         catalog: &'a FileCatalog,
         trace: &'a Trace,
@@ -242,7 +315,7 @@ impl<'a> Simulator<'a, InMemorySource<'a>> {
     }
 }
 
-impl<'a, S: TraceSource> Simulator<'a, S> {
+impl<'a, S: TraceSource + Send> Simulator<'a, S> {
     /// Run with arrivals streamed from any [`TraceSource`] — a CSV file
     /// reader, a seeded synthetic generator, or an in-memory cursor. The
     /// spin-down policy is the fixed-threshold family configured in
@@ -252,6 +325,11 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
     /// arrives (the stream cannot be pre-validated without materialising
     /// it). With [`ArrivalMode::Preloaded`] the source *is* materialised
     /// first — preloading is O(requests) memory by definition.
+    ///
+    /// Honours `cfg.shards`: with more than one (effective) shard the
+    /// source is demultiplexed by a single reader thread into bounded
+    /// per-shard channels — the underlying file or generator is read
+    /// exactly once — and the shards replay concurrently.
     pub fn run_from_source(
         catalog: &'a FileCatalog,
         source: S,
@@ -259,11 +337,53 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         cfg: &'a SimConfig,
         fleet: usize,
     ) -> Result<SimReport, SimError> {
-        let policy = TimeoutPolicy::from_config(cfg.threshold, &cfg.disk);
-        Self::run_from_source_with_policy(catalog, source, assignment, cfg, fleet, Box::new(policy))
+        Self::run_from_source_sharded(catalog, source, assignment, cfg, fleet, |_| {
+            Box::new(TimeoutPolicy::from_config(cfg.threshold, &cfg.disk))
+        })
     }
 
+    /// [`Simulator::run_from_source`] with a per-shard [`PowerPolicy`]
+    /// factory — the streaming twin of [`Simulator::run_sharded`], with
+    /// the same shard assignment, fallbacks and determinism guarantees.
+    pub fn run_from_source_sharded(
+        catalog: &'a FileCatalog,
+        source: S,
+        assignment: &Assignment,
+        cfg: &'a SimConfig,
+        fleet: usize,
+        mut factory: impl FnMut(usize) -> Box<dyn PowerPolicy>,
+    ) -> Result<SimReport, SimError> {
+        let shards = crate::shard::effective_shards(cfg, fleet);
+        if shards <= 1 {
+            return Self::run_from_source_with_policy(
+                catalog,
+                source,
+                assignment,
+                cfg,
+                fleet,
+                factory(0),
+            );
+        }
+        let required = assignment.disk_slots();
+        if fleet < required {
+            return Err(SimError::FleetTooSmall { required, fleet });
+        }
+        let file_to_disk = assignment.item_to_disk(catalog.len());
+        crate::shard::run_demuxed_source(
+            catalog,
+            source,
+            &file_to_disk,
+            cfg,
+            fleet,
+            shards,
+            &mut factory,
+        )
+    }
+}
+
+impl<'a, S: TraceSource> Simulator<'a, S> {
     /// [`Simulator::run_from_source`] with an explicit [`PowerPolicy`].
+    /// Always single-threaded, like [`Simulator::run_with_policy`].
     pub fn run_from_source_with_policy(
         catalog: &'a FileCatalog,
         mut source: S,
@@ -312,6 +432,27 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         if fleet < required {
             return Err(SimError::FleetTooSmall { required, fleet });
         }
+        let sim = Self::run_drained(catalog, source, trace, file_to_disk, cfg, fleet, policy)?;
+        let t_end = sim.horizon.max(sim.last_event_time);
+        sim.finish_at(t_end)
+    }
+
+    /// Construct the simulator, prime it and drive the event loop to
+    /// exhaustion, returning the drained simulator *without* finishing it —
+    /// the sharded driver needs every shard drained before the common end
+    /// time (`horizon.max(`max over shards of [`Self::last_event_time`]`)`)
+    /// is known. `file_to_disk` maps file index → actor index (possibly a
+    /// shard-local index); `usize::MAX` marks unmapped files.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_drained(
+        catalog: &'a FileCatalog,
+        source: S,
+        trace: Option<&'a Trace>,
+        file_to_disk: Vec<usize>,
+        cfg: &'a SimConfig,
+        fleet: usize,
+        policy: Box<dyn PowerPolicy>,
+    ) -> Result<Self, SimError> {
         let horizon = source.horizon();
         let mut sim = Simulator {
             catalog,
@@ -326,6 +467,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             events: EventQueue::new(),
             cache: cfg.cache.as_ref().map(|c| LruCache::new(c.capacity_bytes)),
             responses: ResponseStats::with_mode(cfg.metrics),
+            record_global: cfg.metrics == MetricsMode::Exact,
             per_disk_responses: vec![ResponseStats::with_mode(cfg.metrics); fleet],
             completions: cfg.completion_log.then(Vec::new),
             policy,
@@ -337,7 +479,17 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         };
         sim.prime();
         sim.drive()?;
-        sim.finish()
+        Ok(sim)
+    }
+
+    /// Time of the last processed event (arrival or scheduled).
+    pub(crate) fn last_event_time(&self) -> f64 {
+        self.last_event_time
+    }
+
+    /// The horizon the arrival source declared.
+    pub(crate) fn source_horizon(&self) -> f64 {
+        self.horizon
     }
 
     /// Schedule the initial idle timers — and, in preloaded mode, every
@@ -512,7 +664,9 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                     .current_arrival()
                     .expect("engine dispatch always goes through serve_next");
                 let req = self.actors[disk].complete_service(t)?;
-                self.responses.record(t - arrival);
+                if self.record_global {
+                    self.responses.record(t - arrival);
+                }
                 self.per_disk_responses[disk].record(t - arrival);
                 if let Some(log) = self.completions.as_mut() {
                     log.push(Completion {
@@ -594,8 +748,17 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         Ok(())
     }
 
-    fn finish(self) -> Result<SimReport, SimError> {
-        let t_end = self.horizon.max(self.last_event_time);
+    /// Integrate energy to `t_end` and assemble the report. In histogram
+    /// mode the global response collector is derived here — cache-hit
+    /// collector first, then the per-disk collectors merged in ascending
+    /// disk order — so the global statistics are a pure function of the
+    /// per-disk trajectories, identical however the fleet was sharded.
+    pub(crate) fn finish_at(mut self, t_end: f64) -> Result<SimReport, SimError> {
+        if !self.record_global {
+            for per_disk in &self.per_disk_responses {
+                self.responses.merge(per_disk);
+            }
+        }
         let mut fleet = spindown_disk::energy::EnergyBreakdown::default();
         let mut per_disk = Vec::with_capacity(self.actors.len());
         let mut per_disk_served = Vec::with_capacity(self.actors.len());

@@ -30,6 +30,11 @@
 //! - [`metrics`] — response-time statistics and the simulation report.
 //! - [`engine`] — the [`engine::Simulator`] main loop (streamed arrivals by
 //!   default: O(disks) peak event-queue size).
+//! - `shard` (internal) — the sharded parallel replay driver behind
+//!   `SimConfig::with_shards`: the fleet partitions by disk id, each shard
+//!   runs its own event loop on its own thread, and the per-shard reports
+//!   merge bit-identically (histogram metrics, all energy totals) to the
+//!   single-threaded run.
 //!
 //! ## Power policies
 //!
@@ -87,6 +92,7 @@ pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod policy;
+mod shard;
 
 pub use cache::LruCache;
 pub use config::{ArrivalMode, CacheConfig, SimConfig, ThresholdPolicy};

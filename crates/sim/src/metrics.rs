@@ -491,7 +491,13 @@ pub struct SimReport {
     /// Per-disk energy, in disk order.
     pub per_disk_energy: Vec<EnergyBreakdown>,
     /// Response-time samples for requests served by disks *and* the cache,
-    /// aggregated per `SimConfig::metrics`.
+    /// aggregated per `SimConfig::metrics`. In histogram mode this is
+    /// derived at finish by merging the cache-hit collector and then the
+    /// per-disk collectors in ascending disk order — a canonical order
+    /// that makes the global statistics bit-identical at every shard
+    /// count. In exact mode the samples are recorded live in completion
+    /// order (sharded exact runs concatenate per-disk samples in disk
+    /// order instead: same multiset, bit-identical quantiles).
     pub responses: ResponseStats,
     /// Response-time samples per disk, in disk order (cache hits excluded —
     /// they never reach a disk).
@@ -511,13 +517,22 @@ pub struct SimReport {
     /// Requests served per disk, in disk order (excludes cache hits).
     pub per_disk_served: Vec<u64>,
     /// Largest number of events simultaneously pending in the event heap —
-    /// O(disks) under streamed arrivals, O(requests) when preloaded.
+    /// O(disks) under streamed arrivals, O(requests) when preloaded. In a
+    /// sharded run this is the **sum** of the per-shard heap peaks: a
+    /// deterministic upper bound on the single-threaded peak (the shards'
+    /// heaps together never hold more than the unsharded heap would), kept
+    /// a sum so the fleet-bound invariant `peak ≤ O(disks)` stays checkable
+    /// at every shard count.
     pub peak_event_queue: usize,
     /// Largest number of requests simultaneously pending in any one disk's
     /// queue. Together with `peak_event_queue` and the histogram bucket cap
     /// this bounds the engine's per-request resident state: a streamed
     /// replay holds O(disks + buckets + peak backlog), where the backlog is
     /// a property of the workload's utilisation, not of the request count.
+    /// Sharding does not change this value: each disk's queue trajectory is
+    /// identical at every shard count, so the merged report takes the
+    /// cross-shard **max** (never a sum), which equals the unsharded peak
+    /// exactly.
     pub peak_disk_queue: usize,
 }
 

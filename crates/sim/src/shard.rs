@@ -1,0 +1,420 @@
+//! Sharded parallel replay: partition the fleet, run one event loop per
+//! shard, merge the reports.
+//!
+//! ## Shard assignment
+//!
+//! Global disk `d` belongs to shard `d % S` and appears there as local
+//! actor `d / S`; shard `s` therefore simulates `ceil((fleet − s) / S)`
+//! disks and local actor `i` of shard `s` is global disk `i·S + s`. The
+//! arrival stream splits the same way (`spindown_workload::shard`), each
+//! shard's policy instance sees global ids through [`GlobalIds`], and the
+//! shard count is clamped to the fleet so no shard is ever empty.
+//!
+//! ## Why the merged report is bit-identical
+//!
+//! Without a cache, a completion log or preloaded arrivals, disks interact
+//! through *nothing*: each disk's service, queueing, power-transition and
+//! energy trajectory is a function of its own arrival subsequence, which
+//! sharding preserves in order. The merge then reproduces the unsharded
+//! report's exact float operations:
+//!
+//! - every shard drains, then all shards finish at the common end time
+//!   `horizon.max(max over shards of last event time)` — exactly the
+//!   unsharded `t_end`, since the shards' events partition the unsharded
+//!   event set;
+//! - fleet energy is re-folded from the per-disk breakdowns in ascending
+//!   global disk order — the identical merge sequence the unsharded
+//!   `finish` performs over its actors;
+//! - histogram-mode global response statistics are *derived* (in every
+//!   run, sharded or not) by merging the per-disk collectors in ascending
+//!   disk order, so the global histogram is a pure function of per-disk
+//!   trajectories. Exact-mode keeps the legacy live recording at one
+//!   shard; sharded exact-mode concatenates per-disk samples in disk
+//!   order — same multiset, bit-identical quantiles (nearest-rank over
+//!   the sorted samples), but the mean may differ in the last ulp from an
+//!   unsharded run because float summation order changes.
+//!
+//! Merged counters: spin-downs/ups and served counts are exact sums;
+//! `peak_disk_queue` is the cross-shard **max** (each disk's queue
+//! trajectory is identical to the unsharded run, so the fleet-wide peak is
+//! the max over shards — never a sum); `peak_event_queue` is the **sum**
+//! of per-shard heap peaks (a deterministic upper bound on the unsharded
+//! peak — the shards' heaps together hold at most the unsharded entries).
+
+use spindown_disk::energy::EnergyBreakdown;
+use spindown_workload::shard::{demux, ShardedTraceView};
+use spindown_workload::{FileCatalog, Trace, TraceSource};
+
+use crate::config::{ArrivalMode, SimConfig};
+use crate::engine::{SimError, Simulator};
+use crate::metrics::{ResponseStats, SimReport};
+use crate::policy::{DescentStep, PowerPolicy};
+
+/// The shard count a run actually uses: `cfg.shards` clamped to at least 1
+/// and at most the fleet (no empty shards), with a forced fallback to 1
+/// whenever the configuration couples disks globally — an LRU cache (hits
+/// depend on the interleaved global request order), the completion log
+/// (one globally ordered O(requests) vector), or preloaded arrivals (the
+/// materialised-heap legacy mode).
+pub(crate) fn effective_shards(cfg: &SimConfig, fleet: usize) -> usize {
+    if cfg.cache.is_some() || cfg.completion_log || cfg.arrivals == ArrivalMode::Preloaded {
+        return 1;
+    }
+    cfg.shards.max(1).min(fleet.max(1))
+}
+
+/// The round-robin fleet partition.
+struct ShardPlan {
+    shards: usize,
+    fleet: usize,
+}
+
+impl ShardPlan {
+    /// Number of disks shard `s` simulates.
+    fn shard_fleet(&self, s: usize) -> usize {
+        (self.fleet - s).div_ceil(self.shards)
+    }
+
+    /// Shard `s`'s file → local-actor map: `d / S` for this shard's disks,
+    /// `usize::MAX` (the engine's unmapped sentinel) for everything else.
+    fn local_map(&self, file_to_disk: &[usize], s: usize) -> Vec<usize> {
+        file_to_disk
+            .iter()
+            .map(|&d| {
+                if d != usize::MAX && d % self.shards == s {
+                    d / self.shards
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect()
+    }
+}
+
+/// Translates a shard engine's local actor indices back to global disk ids
+/// before they reach the wrapped policy, so per-disk-state policies keep
+/// their state keyed identically at every shard count.
+struct GlobalIds {
+    inner: Box<dyn PowerPolicy>,
+    shard: usize,
+    stride: usize,
+}
+
+impl GlobalIds {
+    #[inline]
+    fn global(&self, local: usize) -> usize {
+        local * self.stride + self.shard
+    }
+}
+
+impl PowerPolicy for GlobalIds {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn settled(&mut self, disk: usize, level: u8, t: f64) -> Option<DescentStep> {
+        self.inner.settled(self.global(disk), level, t)
+    }
+
+    fn request_arrived(&mut self, disk: usize, t: f64) {
+        self.inner.request_arrived(self.global(disk), t);
+    }
+
+    fn descent_started(&mut self, disk: usize, t: f64, to_level: u8) {
+        self.inner.descent_started(self.global(disk), t, to_level);
+    }
+}
+
+/// Sharded replay of a materialised trace: zero-copy per-shard views over
+/// the one request slice.
+pub(crate) fn run_partitioned_trace<'a>(
+    catalog: &'a FileCatalog,
+    trace: &'a Trace,
+    file_to_disk: &[usize],
+    cfg: &'a SimConfig,
+    fleet: usize,
+    shards: usize,
+    factory: &mut dyn FnMut(usize) -> Box<dyn PowerPolicy>,
+) -> Result<SimReport, SimError> {
+    let sources: Vec<ShardedTraceView<'_>> = (0..shards)
+        .map(|s| ShardedTraceView::new(trace.requests(), trace.horizon(), file_to_disk, shards, s))
+        .collect();
+    drive_and_merge(
+        catalog,
+        cfg,
+        file_to_disk,
+        fleet,
+        shards,
+        sources,
+        factory,
+        None::<fn(&[usize])>,
+    )
+}
+
+/// Sharded replay of a streaming source: one reader thread demultiplexes
+/// the source into bounded per-shard channels (the file is scanned once).
+pub(crate) fn run_demuxed_source<'a, S: TraceSource + Send>(
+    catalog: &'a FileCatalog,
+    source: S,
+    file_to_disk: &[usize],
+    cfg: &'a SimConfig,
+    fleet: usize,
+    shards: usize,
+    factory: &mut dyn FnMut(usize) -> Box<dyn PowerPolicy>,
+) -> Result<SimReport, SimError> {
+    let (pump, receivers) = demux(source, shards);
+    drive_and_merge(
+        catalog,
+        cfg,
+        file_to_disk,
+        fleet,
+        shards,
+        receivers,
+        factory,
+        Some(move |map: &[usize]| pump.run(map)),
+    )
+}
+
+/// Drain every shard on its own scoped thread (plus the optional producer
+/// thread feeding them), finish all shards at the common end time, and
+/// merge. Policies are built by `factory` in shard order on the calling
+/// thread, so factory side effects (seed derivation, logging) are
+/// deterministic.
+#[allow(clippy::too_many_arguments)]
+fn drive_and_merge<'a, Src, P>(
+    catalog: &'a FileCatalog,
+    cfg: &'a SimConfig,
+    file_to_disk: &[usize],
+    fleet: usize,
+    shards: usize,
+    sources: Vec<Src>,
+    factory: &mut dyn FnMut(usize) -> Box<dyn PowerPolicy>,
+    producer: Option<P>,
+) -> Result<SimReport, SimError>
+where
+    Src: TraceSource + Send,
+    P: FnOnce(&[usize]) + Send,
+{
+    /// One shard's inputs: (source, wrapped policy, local file map,
+    /// local fleet size).
+    type ShardJob<Src> = (Src, Box<dyn PowerPolicy>, Vec<usize>, usize);
+    let plan = ShardPlan { shards, fleet };
+    let jobs: Vec<ShardJob<Src>> = sources
+        .into_iter()
+        .enumerate()
+        .map(|(s, source)| {
+            let policy = Box::new(GlobalIds {
+                inner: factory(s),
+                shard: s,
+                stride: shards,
+            }) as Box<dyn PowerPolicy>;
+            (
+                source,
+                policy,
+                plan.local_map(file_to_disk, s),
+                plan.shard_fleet(s),
+            )
+        })
+        .collect();
+    let results: Vec<Result<Simulator<'a, Src>, SimError>> = std::thread::scope(|scope| {
+        if let Some(p) = producer {
+            scope.spawn(move || p(file_to_disk));
+        }
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(source, policy, local_map, shard_fleet)| {
+                scope.spawn(move || {
+                    Simulator::run_drained(
+                        catalog,
+                        source,
+                        None,
+                        local_map,
+                        cfg,
+                        shard_fleet,
+                        policy,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let mut sims = Vec::with_capacity(shards);
+    for r in results {
+        sims.push(r?);
+    }
+    // The shards' event sets partition the unsharded run's events, so the
+    // common end time is exactly the unsharded `horizon.max(last event)`.
+    let t_end = sims.iter().fold(sims[0].source_horizon(), |acc, s| {
+        acc.max(s.last_event_time())
+    });
+    let mut reports = Vec::with_capacity(shards);
+    for sim in sims {
+        reports.push(sim.finish_at(t_end)?);
+    }
+    Ok(merge_reports(cfg, fleet, shards, reports))
+}
+
+/// Reassemble per-shard reports into the fleet report, in ascending global
+/// disk order (see the module docs for why this reproduces the unsharded
+/// float operations exactly).
+fn merge_reports(
+    cfg: &SimConfig,
+    fleet: usize,
+    shards: usize,
+    reports: Vec<SimReport>,
+) -> SimReport {
+    struct Parts {
+        energy: std::vec::IntoIter<EnergyBreakdown>,
+        responses: std::vec::IntoIter<ResponseStats>,
+        served: std::vec::IntoIter<u64>,
+    }
+    let sim_time_s = reports[0].sim_time_s;
+    let mut spin_downs = 0u64;
+    let mut spin_ups = 0u64;
+    let mut peak_event_queue = 0usize;
+    let mut peak_disk_queue = 0usize;
+    let mut parts: Vec<Parts> = Vec::with_capacity(shards);
+    for r in reports {
+        debug_assert_eq!(r.sim_time_s, sim_time_s, "shards share one end time");
+        spin_downs += r.spin_downs;
+        spin_ups += r.spin_ups;
+        peak_event_queue += r.peak_event_queue;
+        peak_disk_queue = peak_disk_queue.max(r.peak_disk_queue);
+        parts.push(Parts {
+            energy: r.per_disk_energy.into_iter(),
+            responses: r.per_disk_responses.into_iter(),
+            served: r.per_disk_served.into_iter(),
+        });
+    }
+    let mut fleet_energy = EnergyBreakdown::default();
+    let mut per_disk_energy = Vec::with_capacity(fleet);
+    let mut per_disk_responses = Vec::with_capacity(fleet);
+    let mut per_disk_served = Vec::with_capacity(fleet);
+    let mut responses = ResponseStats::with_mode(cfg.metrics);
+    // Local actor indices ascend with the global disk id within a shard, so
+    // popping each shard's vectors front-to-front in global order lands
+    // every per-disk entry at its global index.
+    for d in 0..fleet {
+        let p = &mut parts[d % shards];
+        let e = p.energy.next().expect("shard simulated its disk");
+        let r = p.responses.next().expect("shard simulated its disk");
+        let s = p.served.next().expect("shard simulated its disk");
+        fleet_energy.merge(&e);
+        responses.merge(&r);
+        per_disk_energy.push(e);
+        per_disk_responses.push(r);
+        per_disk_served.push(s);
+    }
+    SimReport {
+        sim_time_s,
+        energy: fleet_energy,
+        per_disk_energy,
+        responses,
+        per_disk_responses,
+        completions: None,
+        spin_downs,
+        spin_ups,
+        cache: None,
+        disks: fleet,
+        per_disk_served,
+        peak_event_queue,
+        peak_disk_queue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    #[test]
+    fn effective_shards_clamps_and_falls_back() {
+        let cfg = SimConfig::paper_default().with_shards(4);
+        assert_eq!(effective_shards(&cfg, 8), 4);
+        assert_eq!(effective_shards(&cfg, 3), 3, "clamped to the fleet");
+        assert_eq!(effective_shards(&cfg, 0), 1, "zero fleet runs unsharded");
+        assert_eq!(effective_shards(&SimConfig::paper_default(), 8), 1);
+        let cached = cfg.clone().with_cache(CacheConfig::paper_16gb());
+        assert_eq!(effective_shards(&cached, 8), 1, "cache couples disks");
+        let logged = cfg.clone().with_completion_log();
+        assert_eq!(effective_shards(&logged, 8), 1, "completion log is global");
+        let preloaded = cfg.with_arrival_mode(ArrivalMode::Preloaded);
+        assert_eq!(effective_shards(&preloaded, 8), 1, "preloaded is legacy");
+    }
+
+    #[test]
+    fn shard_plan_partitions_the_fleet_exactly() {
+        for fleet in [1usize, 2, 5, 7, 16, 100] {
+            for shards in 1..=fleet.min(9) {
+                let plan = ShardPlan { shards, fleet };
+                let total: usize = (0..shards).map(|s| plan.shard_fleet(s)).sum();
+                assert_eq!(total, fleet, "{fleet} disks / {shards} shards");
+                // Round-trip: every global disk id is local i of shard s
+                // with i*S + s == d, within the shard's fleet.
+                for d in 0..fleet {
+                    let (s, i) = (d % shards, d / shards);
+                    assert!(i < plan.shard_fleet(s));
+                    assert_eq!(i * shards + s, d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_maps_cover_every_mapped_file_once() {
+        let file_to_disk = vec![0usize, 3, 1, 4, 2, usize::MAX, 0];
+        let plan = ShardPlan {
+            shards: 2,
+            fleet: 5,
+        };
+        let maps: Vec<Vec<usize>> = (0..2).map(|s| plan.local_map(&file_to_disk, s)).collect();
+        for (f, &d) in file_to_disk.iter().enumerate() {
+            let owners: Vec<usize> = (0..2).filter(|&s| maps[s][f] != usize::MAX).collect();
+            if d == usize::MAX {
+                assert!(owners.is_empty(), "unmapped file {f} owned");
+            } else {
+                assert_eq!(owners, vec![d % 2], "file {f}");
+                assert_eq!(maps[d % 2][f], d / 2, "file {f} local index");
+            }
+        }
+    }
+
+    /// A probe recording every callback's disk id.
+    struct Probe {
+        seen: std::sync::Arc<std::sync::Mutex<Vec<usize>>>,
+    }
+
+    impl PowerPolicy for Probe {
+        fn name(&self) -> String {
+            "probe".into()
+        }
+        fn settled(&mut self, disk: usize, _level: u8, _t: f64) -> Option<DescentStep> {
+            self.seen.lock().unwrap().push(disk);
+            None
+        }
+        fn request_arrived(&mut self, disk: usize, _t: f64) {
+            self.seen.lock().unwrap().push(disk);
+        }
+        fn descent_started(&mut self, disk: usize, _t: f64, _to_level: u8) {
+            self.seen.lock().unwrap().push(disk);
+        }
+    }
+
+    #[test]
+    fn global_ids_translates_local_actor_indices() {
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut wrapped = GlobalIds {
+            inner: Box::new(Probe { seen: seen.clone() }),
+            shard: 2,
+            stride: 3,
+        };
+        wrapped.settled(0, 0, 0.0);
+        wrapped.request_arrived(1, 1.0);
+        wrapped.descent_started(4, 2.0, 1);
+        assert_eq!(*seen.lock().unwrap(), vec![2, 5, 14], "local i → i*3 + 2");
+        assert_eq!(wrapped.name(), "probe");
+    }
+}

@@ -87,11 +87,17 @@ fn engine_histogram_mode_matches_exact_mode_scalars_and_tails() {
     let exact = Simulator::run(&catalog, &trace, &assignment, &exact_cfg).unwrap();
     let hist = Simulator::run(&catalog, &trace, &assignment, &hist_cfg).unwrap();
 
-    // Identical simulation, different aggregation: everything that is not
-    // a quantile is bit-identical (samples are recorded in the same order,
-    // so even the float mean matches exactly).
+    // Identical simulation, different aggregation: count and max are
+    // bit-identical. The histogram-mode global mean is summed in the
+    // canonical per-disk merge order (the derivation that makes sharded
+    // reports bit-identical), not in completion order, so it agrees with
+    // the exact-mode mean only up to float-summation reordering.
     assert_eq!(exact.responses.len(), hist.responses.len());
-    assert_eq!(exact.responses.mean(), hist.responses.mean());
+    let (me, mh) = (exact.responses.mean(), hist.responses.mean());
+    assert!(
+        (me - mh).abs() <= 1e-12 * me.abs(),
+        "mean {me} vs {mh} beyond summation-order slack"
+    );
     assert_eq!(exact.responses.max(), hist.responses.max());
     assert_eq!(exact.energy.total_joules(), hist.energy.total_joules());
     assert_eq!(exact.spin_downs, hist.spin_downs);

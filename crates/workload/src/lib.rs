@@ -29,17 +29,22 @@
 //!   so replays need not materialise O(requests) memory.
 //! - [`nersc`] — the synthetic NERSC workload.
 //! - [`bins`] — logarithmic size binning (the paper's 80-bin analysis).
+//! - [`shard`] — per-shard arrival streams for the sharded replay engine:
+//!   a zero-copy skip-scan view over in-memory traces and a single-reader
+//!   demux with bounded channels for streaming sources.
 
 pub mod arrivals;
 pub mod bins;
 pub mod catalog;
 pub mod nersc;
+pub mod shard;
 pub mod sizes;
 pub mod source;
 pub mod trace;
 pub mod zipf;
 
 pub use catalog::{FileCatalog, FileId, FileSpec};
+pub use shard::{demux, DemuxPump, ShardReceiver, ShardedTraceView};
 pub use source::{CsvTraceSource, InMemorySource, SyntheticSource, TraceSource};
 pub use trace::{Request, Trace};
 pub use zipf::ZipfDistribution;

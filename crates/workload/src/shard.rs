@@ -1,0 +1,401 @@
+//! Splitting one arrival stream into per-shard streams.
+//!
+//! The sharded replay engine partitions the fleet by disk id: global disk
+//! `d` belongs to shard `d % shards`. After allocation every request's
+//! target disk is a pure function of its file, so the arrival stream
+//! splits the same way — this module provides the two splitters the
+//! engine uses:
+//!
+//! - [`ShardedTraceView`] — a skip-scanning [`TraceSource`] over an
+//!   in-memory request slice. Zero-copy: `S` views share the one slice,
+//!   each yielding only its shard's requests. Used for [`Trace`]-backed
+//!   and pre-materialised replays.
+//! - [`demux`] — a single-reader fan-out for streaming sources
+//!   ([`crate::CsvTraceSource`] especially): one pump thread drains the
+//!   source once, routing requests into bounded per-shard channels in
+//!   [`Request`]-chunk batches; each shard consumes a [`ShardReceiver`],
+//!   which is itself a [`TraceSource`]. The file is scanned exactly once
+//!   however many shards run.
+//!
+//! Routing is deterministic and identical between the two splitters:
+//! requests for unmapped files go to shard 0, which surfaces the same
+//! unmapped-file error the unsharded engine would raise.
+//!
+//! [`Trace`]: crate::Trace
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+
+use crate::source::TraceSource;
+use crate::trace::{Request, TraceIoError};
+
+/// Requests per channel batch: large enough to amortise channel overhead,
+/// small enough that per-shard buffering stays a few pages.
+const CHUNK: usize = 4096;
+/// Bounded channel depth, in batches. With every consumer guaranteed to
+/// drain or drop its receiver, a small bound caps memory without risking
+/// deadlock.
+const DEPTH: usize = 4;
+
+/// The shard a request for `file` routes to, given the file→disk map and
+/// the shard count: the target disk's `disk % shards`. Files outside the
+/// map (or mapped to [`usize::MAX`], the engine's unmapped sentinel) route
+/// to shard 0 so exactly one shard raises the unmapped-file error the
+/// unsharded engine would.
+#[inline]
+pub fn route_shard(file_to_disk: &[usize], shards: usize, file: usize) -> usize {
+    match file_to_disk.get(file) {
+        Some(&disk) if disk != usize::MAX => disk % shards,
+        _ => 0,
+    }
+}
+
+/// A skip-scanning [`TraceSource`] over a shared in-memory request slice:
+/// yields exactly the requests routed to one shard, in trace order. `S`
+/// views over the same slice partition it exactly.
+#[derive(Debug, Clone)]
+pub struct ShardedTraceView<'a> {
+    requests: &'a [Request],
+    file_to_disk: &'a [usize],
+    shards: usize,
+    shard: usize,
+    horizon: f64,
+    next: usize,
+}
+
+impl<'a> ShardedTraceView<'a> {
+    /// View of shard `shard` of `shards` over `requests` (time-ordered,
+    /// horizon `horizon`), routed through `file_to_disk`.
+    pub fn new(
+        requests: &'a [Request],
+        horizon: f64,
+        file_to_disk: &'a [usize],
+        shards: usize,
+        shard: usize,
+    ) -> Self {
+        assert!(shards > 0 && shard < shards, "shard {shard} of {shards}");
+        let mut view = ShardedTraceView {
+            requests,
+            file_to_disk,
+            shards,
+            shard,
+            horizon,
+            next: 0,
+        };
+        view.skip_foreign();
+        view
+    }
+
+    /// Advance `next` past requests belonging to other shards.
+    fn skip_foreign(&mut self) {
+        while let Some(r) = self.requests.get(self.next) {
+            if route_shard(self.file_to_disk, self.shards, r.file.0 as usize) == self.shard {
+                break;
+            }
+            self.next += 1;
+        }
+    }
+}
+
+impl TraceSource for ShardedTraceView<'_> {
+    #[inline]
+    fn peek_time(&mut self) -> Result<Option<f64>, TraceIoError> {
+        Ok(self.requests.get(self.next).map(|r| r.time))
+    }
+
+    #[inline]
+    fn next_request(&mut self) -> Result<Option<Request>, TraceIoError> {
+        let r = self.requests.get(self.next).copied();
+        if r.is_some() {
+            self.next += 1;
+            self.skip_foreign();
+        }
+        Ok(r)
+    }
+
+    #[inline]
+    fn horizon(&self) -> f64 {
+        self.horizon
+    }
+}
+
+/// One message on a demux channel: a batch of routed requests, or the
+/// shared copy of the pump's terminal error.
+enum Batch {
+    Requests(Vec<Request>),
+    Failed(Arc<TraceIoError>),
+}
+
+/// The producer half of [`demux`]: owns the underlying source and the send
+/// ends of every shard channel. Run [`DemuxPump::run`] on its own thread
+/// while the shard engines consume their [`ShardReceiver`]s.
+pub struct DemuxPump<S> {
+    source: S,
+    txs: Vec<SyncSender<Batch>>,
+}
+
+impl<S: TraceSource> DemuxPump<S> {
+    /// Drain the source to exhaustion, routing each request to its shard's
+    /// channel through `file_to_disk` (same rule as [`route_shard`]).
+    ///
+    /// On a source error the error is wrapped in an [`Arc`] and fanned out
+    /// to every shard, so each consumer fails with
+    /// [`TraceIoError::Shared`]. If a consumer hangs up (its engine
+    /// failed), the pump stops early — remaining consumers see end of
+    /// stream, and the caller surfaces the consumer's own error.
+    pub fn run(mut self, file_to_disk: &[usize]) {
+        let shards = self.txs.len();
+        let mut chunks: Vec<Vec<Request>> =
+            (0..shards).map(|_| Vec::with_capacity(CHUNK)).collect();
+        loop {
+            match self.source.next_request() {
+                Ok(Some(r)) => {
+                    let s = route_shard(file_to_disk, shards, r.file.0 as usize);
+                    chunks[s].push(r);
+                    if chunks[s].len() == CHUNK {
+                        let full = std::mem::replace(&mut chunks[s], Vec::with_capacity(CHUNK));
+                        if self.txs[s].send(Batch::Requests(full)).is_err() {
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let shared = Arc::new(e);
+                    for tx in &self.txs {
+                        let _ = tx.send(Batch::Failed(Arc::clone(&shared)));
+                    }
+                    return;
+                }
+            }
+        }
+        for (s, chunk) in chunks.into_iter().enumerate() {
+            if !chunk.is_empty() && self.txs[s].send(Batch::Requests(chunk)).is_err() {
+                return;
+            }
+        }
+        // Dropping the senders closes every channel: consumers observe a
+        // clean end of stream.
+    }
+}
+
+/// The consumer half of [`demux`]: a blocking [`TraceSource`] over one
+/// shard's channel. Yields the shard's requests in trace order; after the
+/// pump reports an error, every subsequent call returns
+/// [`TraceIoError::Shared`] over the same underlying failure.
+pub struct ShardReceiver {
+    rx: Receiver<Batch>,
+    buf: VecDeque<Request>,
+    horizon: f64,
+    failed: Option<Arc<TraceIoError>>,
+    done: bool,
+}
+
+impl ShardReceiver {
+    /// Block until a request is buffered, the stream ends, or the pump's
+    /// error arrives.
+    fn refill(&mut self) -> Result<(), TraceIoError> {
+        while self.buf.is_empty() && !self.done {
+            match self.rx.recv() {
+                Ok(Batch::Requests(v)) => self.buf.extend(v),
+                Ok(Batch::Failed(e)) => {
+                    self.failed = Some(e);
+                    self.done = true;
+                }
+                Err(_) => self.done = true,
+            }
+        }
+        match &self.failed {
+            Some(e) => Err(TraceIoError::Shared(Arc::clone(e))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl TraceSource for ShardReceiver {
+    fn peek_time(&mut self) -> Result<Option<f64>, TraceIoError> {
+        self.refill()?;
+        Ok(self.buf.front().map(|r| r.time))
+    }
+
+    fn next_request(&mut self) -> Result<Option<Request>, TraceIoError> {
+        self.refill()?;
+        Ok(self.buf.pop_front())
+    }
+
+    fn horizon(&self) -> f64 {
+        self.horizon
+    }
+}
+
+/// Split `source` into `shards` per-shard streams behind bounded channels.
+/// Returns the pump (drain it on its own thread with [`DemuxPump::run`])
+/// and one [`ShardReceiver`] per shard. The source is read exactly once.
+pub fn demux<S: TraceSource>(source: S, shards: usize) -> (DemuxPump<S>, Vec<ShardReceiver>) {
+    assert!(shards > 0, "demux needs at least one shard");
+    let horizon = source.horizon();
+    let mut txs = Vec::with_capacity(shards);
+    let mut rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = sync_channel(DEPTH);
+        txs.push(tx);
+        rxs.push(ShardReceiver {
+            rx,
+            buf: VecDeque::new(),
+            horizon,
+            failed: None,
+            done: false,
+        });
+    }
+    (DemuxPump { source, txs }, rxs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{FileCatalog, FileId};
+    use crate::source::{CsvTraceSource, InMemorySource};
+    use crate::trace::Trace;
+
+    fn drain(src: &mut dyn TraceSource) -> Vec<Request> {
+        let mut out = Vec::new();
+        while let Some(r) = src.next_request().expect("source yields") {
+            out.push(r);
+        }
+        out
+    }
+
+    fn fixture() -> (Trace, Vec<usize>) {
+        let catalog = FileCatalog::paper_table1(24, 0);
+        let trace = Trace::poisson(&catalog, 3.0, 300.0, 7);
+        // 24 files round-robined over 5 disks.
+        let file_to_disk: Vec<usize> = (0..24).map(|f| f % 5).collect();
+        (trace, file_to_disk)
+    }
+
+    #[test]
+    fn sharded_views_partition_the_trace_exactly() {
+        let (trace, file_to_disk) = fixture();
+        for shards in [1, 2, 3, 5, 8] {
+            let mut merged: Vec<Vec<Request>> = (0..shards)
+                .map(|s| {
+                    let mut view = ShardedTraceView::new(
+                        trace.requests(),
+                        trace.horizon(),
+                        &file_to_disk,
+                        shards,
+                        s,
+                    );
+                    assert_eq!(view.horizon(), trace.horizon());
+                    drain(&mut view)
+                })
+                .collect();
+            // Every request lands in exactly one shard, and re-interleaving
+            // by time order reproduces the trace verbatim.
+            let total: usize = merged.iter().map(Vec::len).sum();
+            assert_eq!(total, trace.len(), "{shards} shards dropped requests");
+            let mut rebuilt = Vec::with_capacity(total);
+            let mut cursors = vec![0usize; shards];
+            for r in trace.requests() {
+                let s = route_shard(&file_to_disk, shards, r.file.0 as usize);
+                assert_eq!(merged[s][cursors[s]], *r, "order within shard {s}");
+                cursors[s] += 1;
+                rebuilt.push(*r);
+            }
+            assert_eq!(rebuilt.len(), total);
+            merged.clear();
+        }
+    }
+
+    #[test]
+    fn demux_round_trips_a_csv_stream_in_shard_order() {
+        let (trace, file_to_disk) = fixture();
+        let mut csv = Vec::new();
+        trace.write_csv(&mut csv).unwrap();
+        let source = CsvTraceSource::from_reader(std::io::Cursor::new(csv), trace.horizon());
+        let shards = 3;
+        let (pump, mut rxs) = demux(source, shards);
+        let map = file_to_disk.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || pump.run(&map));
+            let got: Vec<Vec<Request>> = rxs.iter_mut().map(|rx| drain(rx)).collect();
+            // Compare against the in-memory view split (CSV print precision
+            // rounds times, so compare file ids and counts).
+            for (s, stream) in got.iter().enumerate() {
+                let mut view = ShardedTraceView::new(
+                    trace.requests(),
+                    trace.horizon(),
+                    &file_to_disk,
+                    shards,
+                    s,
+                );
+                let want = drain(&mut view);
+                assert_eq!(stream.len(), want.len(), "shard {s} length");
+                for (a, b) in stream.iter().zip(&want) {
+                    assert_eq!(a.file, b.file, "shard {s} order");
+                    assert!((a.time - b.time).abs() < 1e-5);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn demux_fans_a_source_error_out_to_every_shard() {
+        let bad = "1.0,0\n2.0,1\n1.5,2\n"; // out of order at line 3
+        let source = CsvTraceSource::from_reader(std::io::Cursor::new(bad), 10.0);
+        let (pump, mut rxs) = demux(source, 3);
+        std::thread::scope(|scope| {
+            scope.spawn(move || pump.run(&[0, 1, 2]));
+            for (s, rx) in rxs.iter_mut().enumerate() {
+                let mut saw_error = false;
+                loop {
+                    match rx.next_request() {
+                        Ok(Some(_)) => {}
+                        Ok(None) => break,
+                        Err(e) => {
+                            assert!(
+                                matches!(
+                                    &e,
+                                    TraceIoError::Shared(inner)
+                                        if matches!(**inner, TraceIoError::OutOfOrder(3))
+                                ),
+                                "shard {s}: unexpected error {e}"
+                            );
+                            saw_error = true;
+                            // The error is persistent.
+                            assert!(rx.next_request().is_err());
+                            break;
+                        }
+                    }
+                }
+                assert!(saw_error, "shard {s} missed the fan-out error");
+            }
+        });
+    }
+
+    #[test]
+    fn unmapped_files_route_to_shard_zero() {
+        assert_eq!(route_shard(&[4, usize::MAX], 3, 0), 1);
+        assert_eq!(route_shard(&[4, usize::MAX], 3, 1), 0, "MAX sentinel");
+        assert_eq!(route_shard(&[4, usize::MAX], 3, 9), 0, "out of range");
+        let requests = vec![Request {
+            time: 1.0,
+            file: FileId(77),
+        }];
+        for s in 0..3 {
+            let mut view = ShardedTraceView::new(&requests, 10.0, &[0, 1, 2], 3, s);
+            let got = drain(&mut view);
+            assert_eq!(got.len(), usize::from(s == 0), "shard {s}");
+        }
+    }
+
+    #[test]
+    fn single_shard_view_is_the_whole_trace() {
+        let (trace, file_to_disk) = fixture();
+        let mut view =
+            ShardedTraceView::new(trace.requests(), trace.horizon(), &file_to_disk, 1, 0);
+        let mut all = InMemorySource::new(&trace);
+        assert_eq!(drain(&mut view), drain(&mut all));
+    }
+}

@@ -19,9 +19,12 @@
 //!   exactly the request sequence of [`Trace::poisson`] with the same
 //!   arguments, without ever materialising it.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::SystemTime;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -134,27 +137,77 @@ pub struct CsvTraceSource<R> {
     done: bool,
 }
 
+/// Identity of a trace file for the horizon pre-scan cache: path plus the
+/// size and modification time observed when the scan ran, so editing or
+/// replacing the file invalidates its cached horizon.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TraceFileKey {
+    path: PathBuf,
+    len: u64,
+    mtime: Option<SystemTime>,
+}
+
+impl TraceFileKey {
+    fn probe(path: &Path) -> std::io::Result<Self> {
+        let meta = std::fs::metadata(path)?;
+        Ok(TraceFileKey {
+            path: path.to_path_buf(),
+            len: meta.len(),
+            mtime: meta.modified().ok(),
+        })
+    }
+}
+
+fn horizon_cache() -> &'static Mutex<HashMap<TraceFileKey, f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<TraceFileKey, f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 impl CsvTraceSource<BufReader<File>> {
     /// Open `path` for streaming. When `horizon` is `None` the file is
     /// pre-scanned once (still O(1) memory) to find the last request time;
-    /// pass an explicit horizon to skip that pass.
+    /// pass an explicit horizon to skip that pass. The pre-scan result is
+    /// cached process-wide, keyed on `(path, size, mtime)`, so repeated
+    /// opens of the same unmodified file — sweep cells, shard demux setup —
+    /// scan it once instead of once per construction.
     pub fn open<P: AsRef<Path>>(path: P, horizon: Option<f64>) -> Result<Self, TraceIoError> {
+        let path = path.as_ref();
         let horizon = match horizon {
             Some(h) => h,
             None => {
-                let mut scan =
-                    CsvTraceSource::from_reader(BufReader::new(File::open(&path)?), f64::MAX);
-                let mut last = 0.0_f64;
-                while let Some(r) = scan.next_request()? {
-                    last = r.time;
-                }
-                last
+                let key = TraceFileKey::probe(path)?;
+                Self::prescan_horizon(key, || File::open(path).map(BufReader::new))?
             }
         };
         Ok(CsvTraceSource::from_reader(
             BufReader::new(File::open(path)?),
             horizon,
         ))
+    }
+
+    /// Cached last-request-time lookup: returns the horizon recorded for
+    /// `key` if a previous scan stored one, otherwise opens a reader via
+    /// `open`, drains it to find the last request time, and caches that
+    /// under `key`. The cache lock is never held across the scan, so two
+    /// threads racing on a cold key at worst both scan (and agree).
+    fn prescan_horizon<R: BufRead>(
+        key: TraceFileKey,
+        open: impl FnOnce() -> std::io::Result<R>,
+    ) -> Result<f64, TraceIoError> {
+        let cache = horizon_cache();
+        if let Some(&h) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return Ok(h);
+        }
+        let mut scan = CsvTraceSource::from_reader(open()?, f64::MAX);
+        let mut last = 0.0_f64;
+        while let Some(r) = scan.next_request()? {
+            last = r.time;
+        }
+        cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, last);
+        Ok(last)
     }
 }
 
@@ -372,6 +425,94 @@ mod tests {
             src.next_request().unwrap_err(),
             TraceIoError::BeyondHorizon(2)
         ));
+    }
+
+    /// A `Read` wrapper counting every underlying read call, shared across
+    /// constructions through an `Arc` — the probe for "how many times was
+    /// this file actually scanned".
+    struct CountingReader<R> {
+        inner: R,
+        reads: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl<R: std::io::Read> std::io::Read for CountingReader<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.read(buf)
+        }
+    }
+
+    fn unique_key(tag: &str, len: u64) -> TraceFileKey {
+        TraceFileKey {
+            path: PathBuf::from(format!("/virtual/prescan-cache-test/{tag}")),
+            len,
+            mtime: None,
+        }
+    }
+
+    #[test]
+    fn horizon_prescan_scans_the_file_once_per_key() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let data = "1.5,0\n3.0,1\n7.25,0\n";
+        let reads = Arc::new(AtomicUsize::new(0));
+        let opens = Arc::new(AtomicUsize::new(0));
+        let open = |reads: &Arc<AtomicUsize>, opens: &Arc<AtomicUsize>| {
+            let reads = Arc::clone(reads);
+            let opens = Arc::clone(opens);
+            move || {
+                opens.fetch_add(1, Ordering::Relaxed);
+                Ok(BufReader::new(CountingReader {
+                    inner: std::io::Cursor::new(data),
+                    reads,
+                }))
+            }
+        };
+        let key = unique_key("once", data.len() as u64);
+        let h1 = CsvTraceSource::prescan_horizon(key.clone(), open(&reads, &opens)).unwrap();
+        assert_eq!(h1, 7.25);
+        let scanned = reads.load(Ordering::Relaxed);
+        assert!(scanned > 0, "first call must actually read");
+        assert_eq!(opens.load(Ordering::Relaxed), 1);
+        // Second construction against the same unmodified key: no open, no
+        // reads, same horizon.
+        let h2 = CsvTraceSource::prescan_horizon(key, open(&reads, &opens)).unwrap();
+        assert_eq!(h2, h1);
+        assert_eq!(opens.load(Ordering::Relaxed), 1, "cache hit re-opened");
+        assert_eq!(reads.load(Ordering::Relaxed), scanned, "cache hit re-read");
+    }
+
+    #[test]
+    fn horizon_prescan_invalidates_when_the_file_changes() {
+        // A changed file shows up as a different (len, mtime) key, so the
+        // cache re-scans instead of serving the stale horizon.
+        let old = "1.0,0\n2.0,1\n";
+        let new = "1.0,0\n2.0,1\n9.5,2\n";
+        let h_old = CsvTraceSource::prescan_horizon(unique_key("grow", old.len() as u64), || {
+            Ok(BufReader::new(std::io::Cursor::new(old)))
+        })
+        .unwrap();
+        let h_new = CsvTraceSource::prescan_horizon(unique_key("grow", new.len() as u64), || {
+            Ok(BufReader::new(std::io::Cursor::new(new)))
+        })
+        .unwrap();
+        assert_eq!(h_old, 2.0);
+        assert_eq!(h_new, 9.5);
+    }
+
+    #[test]
+    fn open_with_no_horizon_scans_the_file_once_across_repeat_opens() {
+        let dir = std::env::temp_dir().join("spindown-prescan-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.csv", std::process::id()));
+        std::fs::write(&path, "time_s,file_id\n0.5,0\n4.0,1\n6.5,0\n").unwrap();
+        let mut a = CsvTraceSource::open(&path, None).unwrap();
+        let mut b = CsvTraceSource::open(&path, None).unwrap();
+        assert_eq!(a.horizon(), 6.5);
+        assert_eq!(b.horizon(), 6.5);
+        assert_eq!(drain(&mut a), drain(&mut b));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub enum TraceIoError {
     /// unlike [`Trace::read_csv`], which grows the horizon to fit — late
     /// rows are an error rather than a silent extension.
     BeyondHorizon(usize),
+    /// A shared view of another error. `TraceIoError` holds an
+    /// `std::io::Error` and so cannot be `Clone`; when one reader thread
+    /// feeds many consumers (the sharded CSV demux), the single underlying
+    /// failure is wrapped in an [`std::sync::Arc`] and every consumer
+    /// observes it through this variant.
+    Shared(std::sync::Arc<TraceIoError>),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -64,11 +70,20 @@ impl std::fmt::Display for TraceIoError {
                     "request at line {line} is past the declared streaming horizon"
                 )
             }
+            TraceIoError::Shared(inner) => inner.fmt(f),
         }
     }
 }
 
-impl std::error::Error for TraceIoError {}
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Shared(inner) => Some(inner.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for TraceIoError {
     fn from(e: std::io::Error) -> Self {

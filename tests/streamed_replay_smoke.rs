@@ -147,3 +147,97 @@ fn hundred_million_request_generator_replay_is_constant_memory() {
     assert!(report.responses.mean() > 0.0);
     assert!(report.response_p99() >= report.responses.mean());
 }
+
+/// The billion-request bar from the sharded-replay work: a 10⁹-request
+/// generator-backed replay across 4 shards. Each shard's generator view
+/// streams its own partition, so resident memory stays
+/// O(shards × (disks + buckets)) and the wall clock divides across cores.
+/// A 1-shard control at 10⁷ requests is checked for bit-identity
+/// separately (tier-1 `shard_equivalence`); here the claim is scale.
+#[test]
+#[ignore = "smoke lane (minutes): cargo test -- --ignored"]
+fn billion_request_sharded_replay_completes_and_conserves() {
+    const RATE: f64 = 40.0;
+    const REQUESTS: f64 = 1e9;
+    let catalog = FileCatalog::from_parts(vec![8_000_000; FILES], vec![1.0 / FILES as f64; FILES]);
+    let mut bins: Vec<DiskBin> = (0..DISKS).map(|_| DiskBin::default()).collect();
+    for file in 0..FILES {
+        bins[file % DISKS].items.push(file);
+    }
+    let assignment = Assignment { disks: bins };
+    let cfg = SimConfig::paper_default()
+        .with_threshold(ThresholdPolicy::BreakEven)
+        .with_metrics(MetricsMode::Histogram)
+        .with_shards(4);
+    let source = SyntheticSource::poisson(&catalog, RATE, REQUESTS / RATE, 1_000_003);
+    let report =
+        Simulator::run_from_source(&catalog, source, &assignment, &cfg, DISKS).expect("replay");
+
+    let served = report.responses.len() as f64;
+    assert!(
+        (served - REQUESTS).abs() < 0.01 * REQUESTS,
+        "expected ≈{REQUESTS} requests, got {served}"
+    );
+    let counted: u64 = report.per_disk_served.iter().sum();
+    assert_eq!(counted, report.responses.len() as u64, "conservation");
+    // Sum of per-shard fleet-bound peaks is still fleet-bound overall.
+    assert!(
+        report.peak_event_queue <= 4 * report.disks + 4 * cfg.shards,
+        "peak {} for {} disks × {} shards",
+        report.peak_event_queue,
+        report.disks,
+        cfg.shards
+    );
+    assert!(report.peak_disk_queue < 10_000);
+    let covered = report.energy.total_seconds();
+    let expected = report.sim_time_s * report.disks as f64;
+    assert!((covered - expected).abs() < 1e-6 * expected);
+}
+
+/// The fleet-scale bar: 10⁵ disks (2×10⁵ files) replayed across 8 shards.
+/// Most of the fleet idles and spins down — the paper's archival shape —
+/// so the run exercises per-disk actor state, timer scheduling and the
+/// merge across a fleet three orders of magnitude beyond the paper's 100
+/// disks, and must complete in minutes.
+#[test]
+#[ignore = "smoke lane (minutes): cargo test -- --ignored"]
+fn hundred_thousand_disk_fleet_replays_under_sharding() {
+    const FLEET: usize = 100_000;
+    const N_FILES: usize = 2 * FLEET;
+    const RATE: f64 = 2_000.0; // ~5M requests over 2500 s, spread thin
+    let catalog = FileCatalog::from_parts(
+        vec![8_000_000; N_FILES],
+        vec![1.0 / N_FILES as f64; N_FILES],
+    );
+    let mut bins: Vec<DiskBin> = (0..FLEET).map(|_| DiskBin::default()).collect();
+    for file in 0..N_FILES {
+        bins[file % FLEET].items.push(file);
+    }
+    let assignment = Assignment { disks: bins };
+    let cfg = SimConfig::paper_default()
+        .with_threshold(ThresholdPolicy::BreakEven)
+        .with_metrics(MetricsMode::Histogram)
+        .with_shards(8);
+    let source = SyntheticSource::poisson(&catalog, RATE, 2_500.0, 77);
+    let report =
+        Simulator::run_from_source(&catalog, source, &assignment, &cfg, FLEET).expect("replay");
+
+    assert_eq!(report.disks, FLEET);
+    let served: u64 = report.per_disk_served.iter().sum();
+    assert_eq!(served, report.responses.len() as u64, "conservation");
+    assert!(
+        report.responses.len() > 4_000_000,
+        "want ~5M requests, got {}",
+        report.responses.len()
+    );
+    // At 0.02 req/s per disk every disk spends most of the run asleep:
+    // the spin-down machinery ran fleet-wide.
+    assert!(
+        report.spin_downs as usize >= FLEET / 2,
+        "only {} spin-downs across {FLEET} disks",
+        report.spin_downs
+    );
+    let covered = report.energy.total_seconds();
+    let expected = report.sim_time_s * report.disks as f64;
+    assert!((covered - expected).abs() < 1e-6 * expected);
+}
