@@ -1,0 +1,99 @@
+//! Cache-hierarchy hot path: replay cost of the tier walk in front of the
+//! engine — no cache vs a flat 16 GB front (one per replacement policy)
+//! vs a two-tier DRAM→SSD stack — on a Zipf-skewed Poisson trace where
+//! the Table 1 popularity/size coupling gives the front real reuse to
+//! absorb. Guards the `CachePolicy` dispatch and the per-tier promote
+//! path; `scripts/bench_diff.py` diffs the means against
+//! `BENCH_BASELINE.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spindown_core::PolicyChoice;
+use spindown_packing::{Assignment, DiskBin};
+use spindown_sim::config::SimConfig;
+use spindown_sim::engine::Simulator;
+use spindown_sim::hierarchy::CacheChoice;
+use spindown_sim::metrics::MetricsMode;
+use spindown_workload::{FileCatalog, Trace};
+use std::hint::black_box;
+
+const FILES: usize = 512;
+const DISKS: usize = 8;
+
+fn fixture() -> (FileCatalog, Assignment) {
+    let catalog = FileCatalog::paper_table1(FILES, 7);
+    let mut bins: Vec<DiskBin> = (0..DISKS).map(|_| DiskBin::default()).collect();
+    for file in 0..FILES {
+        bins[file % DISKS].items.push(file);
+    }
+    (catalog, Assignment { disks: bins })
+}
+
+fn bench(c: &mut Criterion) {
+    let (catalog, assignment) = fixture();
+    // Dense Zipf arrivals: most requests target the small hot head, so the
+    // run cost is dominated by the cache lookup/admit path under test.
+    let trace = Trace::poisson(&catalog, 4.0, 5_000.0, 777);
+    // (id, spec): the id avoids `:`/`+`, which `scripts/bench_diff.py`
+    // rejects from benchmark names to keep one-shot prints out.
+    let fronts = [
+        ("none", "none"),
+        ("lru16", "lru:16"),
+        ("slru80_16", "slru80:16"),
+        ("lfu16", "lfu:16"),
+        ("lru2_lru16", "lru:2+lru:16"), // DRAM front + SSD behind it
+    ];
+
+    let mut group = c.benchmark_group("cache_hierarchy/zipf_poisson");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (id, front) in fronts {
+        let cache = CacheChoice::parse(front).expect("valid cache spec");
+        let cfg = SimConfig::paper_default()
+            .with_metrics(MetricsMode::Histogram)
+            .with_cache_hierarchy(cache.hierarchy());
+        group.bench_with_input(BenchmarkId::new("replay", id), &cfg, |b, cfg| {
+            b.iter(|| {
+                let report = Simulator::run_with_policy(
+                    &catalog,
+                    &trace,
+                    &assignment,
+                    black_box(cfg),
+                    DISKS,
+                    PolicyChoice::break_even().build(&cfg.disk),
+                )
+                .unwrap();
+                black_box(report.energy.total_joules())
+            })
+        });
+    }
+    group.finish();
+
+    // One-shot hit-ratio report so `cargo bench` records the absorption
+    // story alongside the timing story (the tier walk only earns its cost
+    // when the front actually serves traffic).
+    for (_, front) in fronts {
+        let cache = CacheChoice::parse(front).expect("valid cache spec");
+        let cfg = SimConfig::paper_default()
+            .with_metrics(MetricsMode::Histogram)
+            .with_cache_hierarchy(cache.hierarchy());
+        let report = Simulator::run_with_policy(
+            &catalog,
+            &trace,
+            &assignment,
+            &cfg,
+            DISKS,
+            PolicyChoice::break_even().build(&cfg.disk),
+        )
+        .unwrap();
+        let stats = report.cache.unwrap_or_default();
+        println!(
+            "cache_hierarchy/traffic/{front}: hit ratio {:.4}, {:.0} J, mean resp {:.3} s",
+            stats.hit_ratio(),
+            report.energy.total_joules(),
+            report.responses.mean(),
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

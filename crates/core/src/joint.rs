@@ -1,12 +1,16 @@
-//! Joint (allocation × policy × discipline × ladder) planning.
+//! Joint (cache × allocation × policy × discipline × ladder) planning.
 //!
 //! The paper treats allocation and spin-down as separate knobs: pack files
 //! under a load constraint, then pick a threshold. Its own trade-off curves
 //! show the two interact — concentrating load on fewer disks deepens idle
 //! gaps and makes aggressive policies pay, while spreading the hot tail
 //! shortens queues at the cost of sleep opportunities. This module searches
-//! the *quadruple* space instead of fixing three dimensions:
+//! the *quintuple* space instead of fixing the other dimensions:
 //!
+//! - **cache** — any [`CacheChoice`]: no cache, a flat front, or a
+//!   two-tier DRAM→SSD hierarchy. A bigger cache absorbs reuse before it
+//!   reaches the fleet, deepening idle gaps — which can flip the winning
+//!   (policy, ladder) pair at equal hardware budget;
 //! - **allocation** — the paper's allocators plus the load-shaping legs
 //!   ([`Allocator::Concentrate`], [`Allocator::SpreadTail`]);
 //! - **policy** — any [`PolicyChoice`], including the Irani–Shukla–Gupta
@@ -32,6 +36,7 @@ use spindown_disk::{DiskSpec, LadderChoice};
 use spindown_packing::Allocator;
 use spindown_sim::discipline::DisciplineChoice;
 use spindown_sim::engine::SimError;
+use spindown_sim::hierarchy::CacheChoice;
 use spindown_sim::metrics::MetricsMode;
 use spindown_workload::{FileCatalog, Trace};
 
@@ -76,7 +81,7 @@ impl Default for JointObjective {
     }
 }
 
-/// One quadruple of the joint search space.
+/// One quintuple of the joint search space.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JointCandidate {
     /// The allocation strategy.
@@ -87,31 +92,41 @@ pub struct JointCandidate {
     pub discipline: DisciplineChoice,
     /// The power-state ladder.
     pub ladder: LadderChoice,
+    /// The cache hierarchy fronting the fleet.
+    pub cache: CacheChoice,
 }
 
 impl JointCandidate {
-    /// The paper's default quadruple: Pack_Disks + the fixed break-even
-    /// threshold + FIFO queues + the two-state ladder. The joint bracket
-    /// measures every other cell against this one.
+    /// The paper's default quintuple: Pack_Disks + the fixed break-even
+    /// threshold + FIFO queues + the two-state ladder, no cache. The joint
+    /// bracket measures every other cell against this one.
     pub fn paper_default() -> Self {
         JointCandidate {
             allocator: Allocator::PackDisks,
             policy: PolicyChoice::break_even(),
             discipline: DisciplineChoice::Fifo,
             ladder: LadderChoice::TwoState,
+            cache: CacheChoice::None,
         }
     }
 
-    /// Fully-spelled label `alloc+policy+discipline+ladder` (the joint
-    /// bracket never elides defaults — the quadruple is the point).
+    /// Fully-spelled label `alloc+policy+discipline+ladder[+cache]` (the
+    /// joint bracket never elides the paper's four knobs — the quadruple is
+    /// the point; only the cache-free default drops its suffix, keeping
+    /// historical labels stable).
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}+{}+{}+{}",
             self.allocator.label(),
             self.policy.label(),
             self.discipline.label(),
             self.ladder.label()
-        )
+        );
+        if self.cache != CacheChoice::None {
+            label.push('+');
+            label.push_str(&self.cache.label());
+        }
+        label
     }
 }
 
@@ -131,6 +146,9 @@ pub struct JointConfig {
     pub disciplines: Vec<DisciplineChoice>,
     /// Power-state ladders to cross (≥ 1).
     pub ladders: Vec<LadderChoice>,
+    /// Cache hierarchies to cross (≥ 1). Defaults to `[CacheChoice::None]`
+    /// — the cache-free quadruple grid the earlier brackets ran.
+    pub caches: Vec<CacheChoice>,
     /// Scalarisation picking the winner among non-dominated cells.
     pub objective: JointObjective,
     /// Fleet-size floor every cell simulates (energy is only comparable
@@ -144,8 +162,9 @@ impl JointConfig {
     /// The default search grid: the paper's allocator plus both
     /// load-shaping legs × the fixed break-even threshold and both
     /// lower-envelope multi-state policies × FIFO and elevator batching ×
-    /// both ladders — 3·3·2·2 = 36 cells including the paper's default
-    /// quadruple.
+    /// both ladders × no cache — 3·3·2·2·1 = 36 cells including the
+    /// paper's default quintuple. Widen `caches` to bracket cache sizing
+    /// as the fifth leg.
     pub fn default_grid() -> Self {
         JointConfig {
             base: PlannerConfig::default(),
@@ -161,30 +180,35 @@ impl JointConfig {
             ],
             disciplines: vec![DisciplineChoice::Fifo, DisciplineChoice::ElevatorBatch],
             ladders: LadderChoice::all(),
+            caches: vec![CacheChoice::None],
             objective: JointObjective::energy_p95(),
             fleet: None,
         }
     }
 
-    /// The cross product of the four grids, allocation-outer / ladder-inner
+    /// The cross product of the five grids, allocation-outer / cache-inner
     /// (row-major, deterministic).
     pub fn candidates(&self) -> Vec<JointCandidate> {
         let mut out = Vec::with_capacity(
             self.allocators.len()
                 * self.policies.len()
                 * self.disciplines.len()
-                * self.ladders.len(),
+                * self.ladders.len()
+                * self.caches.len(),
         );
         for &allocator in &self.allocators {
             for &policy in &self.policies {
                 for &discipline in &self.disciplines {
                     for &ladder in &self.ladders {
-                        out.push(JointCandidate {
-                            allocator,
-                            policy,
-                            discipline,
-                            ladder,
-                        });
+                        for &cache in &self.caches {
+                            out.push(JointCandidate {
+                                allocator,
+                                policy,
+                                discipline,
+                                ladder,
+                                cache,
+                            });
+                        }
                     }
                 }
             }
@@ -398,12 +422,15 @@ impl JointPlanner {
     /// *before* the policy choice is attached — so
     /// [`Planner::power_policy`] builds the policy from the exact spec the
     /// engine runs (the ordering `run_sweep` pins). Responses aggregate in
-    /// [`MetricsMode::Histogram`]: a grid holds O(buckets) per cell.
+    /// [`MetricsMode::Histogram`]: a grid holds O(buckets) per cell. A
+    /// non-`None` cache lowers to `sim.cache_hierarchy`, fronting the
+    /// fleet before any disk sees the request.
     pub fn planner_for(&self, candidate: &JointCandidate) -> Planner {
         let mut cfg = self.cfg.base.clone();
         cfg.allocator = candidate.allocator;
         cfg.sim.discipline = candidate.discipline;
         cfg.sim.metrics = MetricsMode::Histogram;
+        cfg.sim.cache_hierarchy = candidate.cache.hierarchy();
         candidate.ladder.apply(&mut cfg.sim.disk);
         cfg.policy = Some(candidate.policy);
         Planner::new(cfg)
@@ -543,10 +570,15 @@ mod tests {
         assert!(cfg.policies.len() >= 3);
         assert!(cfg.disciplines.len() >= 2);
         assert!(cfg.ladders.len() >= 2);
+        assert!(!cfg.caches.is_empty());
         let cands = cfg.candidates();
         assert_eq!(
             cands.len(),
-            cfg.allocators.len() * cfg.policies.len() * cfg.disciplines.len() * cfg.ladders.len()
+            cfg.allocators.len()
+                * cfg.policies.len()
+                * cfg.disciplines.len()
+                * cfg.ladders.len()
+                * cfg.caches.len()
         );
         // The paper's default quadruple is one of the cells, so the winner
         // can never be worse than it.
@@ -564,8 +596,18 @@ mod tests {
             policy: PolicyChoice::lower_envelope(),
             discipline: DisciplineChoice::ElevatorBatch,
             ladder: LadderChoice::ThreeState,
+            cache: CacheChoice::None,
         };
         assert_eq!(c.label(), "concentrate+lower_env+elevator+3state");
+    }
+
+    #[test]
+    fn non_default_caches_extend_the_label() {
+        let c = JointCandidate {
+            cache: CacheChoice::parse("lru:16").unwrap(),
+            ..JointCandidate::paper_default()
+        };
+        assert_eq!(c.label(), "pack_disks+break_even+fifo+2state+lru:16");
     }
 
     #[test]
@@ -576,6 +618,7 @@ mod tests {
             policy: PolicyChoice::EnvelopeDescent,
             discipline: DisciplineChoice::Fifo,
             ladder: LadderChoice::ThreeState,
+            cache: CacheChoice::None,
         };
         let p = planner.planner_for(&c);
         // The single spec carries the three-level ladder…
@@ -586,6 +629,21 @@ mod tests {
         let mut policy = p.power_policy();
         let step = policy.settled(0, 0, 0.0).expect("descends");
         assert!(policy.settled(0, 1, step.rest_s).is_some());
+    }
+
+    #[test]
+    fn planner_for_lowers_the_cache_choice_into_the_sim_config() {
+        let planner = JointPlanner::new(JointConfig::default_grid());
+        let cached = JointCandidate {
+            cache: CacheChoice::parse("lru:2+lru:16").unwrap(),
+            ..JointCandidate::paper_default()
+        };
+        let p = planner.planner_for(&cached);
+        let hierarchy = p.config().sim.cache_hierarchy.as_ref().expect("cache set");
+        assert_eq!(hierarchy.tiers.len(), 2);
+        // The cache-free default leaves the sim config untouched.
+        let p = planner.planner_for(&JointCandidate::paper_default());
+        assert!(p.config().sim.cache_hierarchy.is_none());
     }
 
     #[test]

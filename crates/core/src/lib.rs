@@ -51,4 +51,8 @@ pub use spindown_sim::metrics::MetricsMode;
 // the sweep grid's fourth dimension; re-exported alongside the policy and
 // discipline choices it composes with.
 pub use spindown_disk::LadderChoice;
+// The cache choice picks *what fronts the fleet* (nothing, a flat LRU, or
+// a DRAM→SSD hierarchy), the joint grid's fifth dimension; re-exported
+// with the policy picker so planner/sweep callers name tiers directly.
+pub use spindown_sim::hierarchy::{CacheChoice, CachePolicyChoice};
 pub use writes::{WriteFit, WritePlacer};

@@ -21,9 +21,9 @@
 //! | `vsweep`   | §5.1 `Pack_Disks_v`, v = 1..8 | [`vsweep`] |
 //! | `bounds`   | Theorem 1 empirical check | [`bounds_exp`] |
 //! | `sensitivity` | drive-class extension study | [`sensitivity`] |
-//! | `shootout` | allocator design-space study | [`shootout`] |
-//! | `joint`    | joint (allocation × policy × discipline × ladder) search | [`joint_exp`] |
-//! | `replay`   | streamed trace replay (`--trace-file` / synthetic) | [`replay`] |
+//! | `shootout` | allocator design-space study (incl. ladder/joint/cache brackets) | [`shootout`] |
+//! | `joint`    | joint (cache × allocation × policy × discipline × ladder) search | [`joint_exp`] |
+//! | `replay`   | streamed trace replay (`--trace-file` / synthetic, `--cache-tiers`) | [`replay`] |
 
 pub mod bounds_exp;
 pub mod fig23;

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick] [--out DIR] [--discipline D] [--ladder 2|3]
 //!             [--trace-file FILE] [--horizon S] [--requests N] [--shards S]
-//!             CMD...
+//!             [--cache-tiers SPEC] CMD...
 //!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity
 //!           shootout joint replay all }
 //! ```
@@ -29,12 +29,16 @@
 //! partitions the fleet across N replay threads (round-robin by disk id);
 //! the merged report's histogram metrics and energy totals are
 //! bit-identical whatever the shard count, so the flag is purely a
-//! wall-clock lever.
+//! wall-clock lever. `--cache-tiers SPEC` fronts the replayed fleet with a
+//! cache hierarchy: `none` (default), a flat tier like `lru:16` (policy ∈
+//! lru|slru|lfu, capacity in GB), or a two-tier DRAM→SSD stack like
+//! `lru:2+lru:16` — cache hits are served at the tier's bandwidth and
+//! never wake a disk.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spindown_core::{DisciplineChoice, LadderChoice};
+use spindown_core::{CacheChoice, DisciplineChoice, LadderChoice};
 use spindown_experiments::output::{render_table, write_csv};
 use spindown_experiments::{
     bounds_exp, fig23, fig4, fig56, joint_exp, replay, sensitivity, shootout, tables, vsweep,
@@ -44,7 +48,8 @@ use spindown_experiments::{
 fn usage() -> &'static str {
     "usage: experiments [--quick] [--out DIR] [--discipline fifo|sjf|sjf:SECONDS|elevator]\n\
      \u{20}                  [--ladder 2|3] [--trace-file FILE] [--horizon SECONDS]\n\
-     \u{20}                  [--requests N] [--shards N] CMD...\n\
+     \u{20}                  [--requests N] [--shards N]\n\
+     \u{20}                  [--cache-tiers none|POLICY:GB|POLICY:GB+POLICY:GB] CMD...\n\
      CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout joint\n\
      \u{20}    replay all   (--joint is accepted as an alias for the joint command)"
 }
@@ -58,6 +63,7 @@ fn main() -> ExitCode {
     let mut horizon: Option<f64> = None;
     let mut requests: u64 = 1_000_000;
     let mut shards: usize = 1;
+    let mut cache = CacheChoice::None;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,6 +104,17 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => shards = n,
                 _ => {
                     eprintln!("--shards needs a positive count\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cache-tiers" => match args.next().as_deref().and_then(CacheChoice::parse) {
+                Some(c) => cache = c,
+                None => {
+                    eprintln!(
+                        "--cache-tiers needs none, POLICY:GB or POLICY:GB+POLICY:GB \
+                         (POLICY: lru|slru|lfu, e.g. lru:16 or lru:2+lru:16)\n{}",
+                        usage()
+                    );
                     return ExitCode::FAILURE;
                 }
             },
@@ -198,6 +215,7 @@ fn main() -> ExitCode {
                     requests,
                     ladder,
                     shards,
+                    cache,
                 ) {
                     Ok(fig) => fig,
                     Err(e) => {

@@ -17,7 +17,7 @@
 
 use std::path::Path;
 
-use spindown_core::{LadderChoice, MetricsMode, Planner, PlannerConfig};
+use spindown_core::{CacheChoice, LadderChoice, MetricsMode, Planner, PlannerConfig};
 use spindown_sim::engine::Simulator;
 use spindown_sim::metrics::SimReport;
 use spindown_workload::{CsvTraceSource, FileCatalog, SyntheticSource, TraceSource};
@@ -35,9 +35,12 @@ const SYNTHETIC_RATE: f64 = 4.0;
 /// `trace_file == None` replays `requests` expected synthetic arrivals;
 /// `Some(path)` streams the CSV at `path` (with `horizon` overriding the
 /// pre-scan pass). `ladder` selects the fleet's power-state ladder
-/// (two-state reproduces the pre-ladder engine bit-identically), and
-/// `shards` the number of parallel replay shards (1 = the single-threaded
-/// engine; any count reports bit-identical histogram metrics and energy).
+/// (two-state reproduces the pre-ladder engine bit-identically), `shards`
+/// the number of parallel replay shards (1 = the single-threaded engine;
+/// any count reports bit-identical histogram metrics and energy), and
+/// `cache` an optional cache hierarchy fronting the fleet
+/// ([`CacheChoice::None`] replays cache-free; note that a global-scope
+/// hierarchy pins the run to one shard).
 pub fn replay(
     scale: Scale,
     trace_file: Option<&Path>,
@@ -45,13 +48,15 @@ pub fn replay(
     requests: u64,
     ladder: LadderChoice,
     shards: usize,
+    cache: CacheChoice,
 ) -> Result<Figure, Box<dyn std::error::Error>> {
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
     let mut cfg = PlannerConfig::default();
     cfg.sim = cfg
         .sim
         .with_metrics(MetricsMode::Histogram)
-        .with_shards(shards);
+        .with_shards(shards)
+        .with_cache_hierarchy(cache.hierarchy());
     ladder.apply(&mut cfg.sim.disk);
     let planner = Planner::new(cfg);
     let plan = planner.plan(&catalog, SYNTHETIC_RATE)?;
@@ -105,6 +110,17 @@ pub fn replay(
         shards.max(1),
         report.responses.quantile_error_bound()
     ));
+    if cache != CacheChoice::None {
+        let stats = report.cache.unwrap_or_default();
+        fig.notes.push(format!(
+            "cache {}: {} hits / {} misses (hit ratio {:.4}), {} oversize rejection(s)",
+            cache.label(),
+            stats.hits,
+            stats.misses,
+            stats.hit_ratio(),
+            stats.oversize_rejections,
+        ));
+    }
     Ok(fig)
 }
 
@@ -138,6 +154,7 @@ mod tests {
             0,
             LadderChoice::TwoState,
             1,
+            CacheChoice::None,
         )
         .expect("replay runs");
         assert_eq!(fig.rows.len(), 1);
@@ -169,6 +186,7 @@ mod tests {
             0,
             LadderChoice::TwoState,
             1,
+            CacheChoice::None,
         )
         .expect("csv replay runs");
         assert_eq!(fig.rows[0][0] as usize, trace.len());
@@ -181,9 +199,45 @@ mod tests {
             0,
             LadderChoice::TwoState,
             1,
+            CacheChoice::None,
         )
         .expect("pre-scan replay runs");
         assert_eq!(fig2.rows[0][0] as usize, trace.len());
+    }
+
+    #[test]
+    fn cached_replay_reports_tier_traffic_and_serves_faster() {
+        let cache = CacheChoice::parse("lru:16").unwrap();
+        let cached = replay(
+            Scale::Quick,
+            None,
+            Some(500.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+            cache,
+        )
+        .expect("cached replay runs");
+        let bare = replay(
+            Scale::Quick,
+            None,
+            Some(500.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+            CacheChoice::None,
+        )
+        .expect("bare replay runs");
+        // Same seeded trace either way; the 16 GB front absorbs reuse.
+        assert_eq!(cached.rows[0][0], bare.rows[0][0]);
+        let mean = cached.rows[0][cached.column("resp_s").unwrap()];
+        let bare_mean = bare.rows[0][bare.column("resp_s").unwrap()];
+        assert!(
+            mean < bare_mean,
+            "cache hits must lower the mean: {mean} vs {bare_mean}"
+        );
+        assert!(cached.notes.iter().any(|n| n.contains("cache lru:16")));
+        assert!(bare.notes.iter().all(|n| !n.contains("cache ")));
     }
 
     #[test]
@@ -195,7 +249,8 @@ mod tests {
             Some(1.0),
             0,
             LadderChoice::TwoState,
-            1
+            1,
+            CacheChoice::None,
         )
         .is_err());
     }

@@ -10,16 +10,21 @@
 //! **power-ladder bracket**: two-state vs three-state (low-RPM) drives
 //! under the fixed-timeout and lower-envelope policy families, replayed on
 //! the spin-up-heavy bursts and on a NERSC-style batched trace, and
-//! finally the **joint bracket**: the full (allocation × policy ×
+//! the **joint bracket**: the full (allocation × policy ×
 //! discipline × ladder) quadruple search of `spindown_core::joint` on the
 //! same two replays, with notes flagging the Pareto frontier and the
-//! energy×p95 winner per replay. This generalises the paper's two-way
+//! energy×p95 winner per replay, and finally the **cache bracket**: the
+//! joint grid's fifth leg in isolation — (policy × ladder) at a fixed
+//! fleet under three cache levels (none, a small DRAM front, a big one),
+//! showing that adding cache capacity to the hardware budget lengthens
+//! per-disk idle gaps enough to flip which (policy, ladder) pair wins the
+//! energy×p95 product. This generalises the paper's two-way
 //! Pack_Disks-vs-random comparison into the design-space study its §6
 //! hints at.
 
 use spindown_core::{
-    DisciplineChoice, JointConfig, JointOutcome, JointPlanner, LadderChoice, MetricsMode, Plan,
-    Planner, PlannerConfig, PolicyChoice,
+    CacheChoice, DisciplineChoice, JointConfig, JointOutcome, JointPlanner, LadderChoice,
+    MetricsMode, Plan, Planner, PlannerConfig, PolicyChoice,
 };
 use spindown_packing::Allocator;
 use spindown_workload::arrivals::BatchConfig;
@@ -78,6 +83,63 @@ pub fn ladder_policy_competitors() -> Vec<PolicyChoice> {
         PolicyChoice::EnvelopeDescent,
         PolicyChoice::lower_envelope(),
     ]
+}
+
+/// The cache levels of the cache bracket: no cache, the paper's 16 GB
+/// DRAM front, and an 8× bigger one. Table 1 couples popularity inversely
+/// to size, so the hot set is small in bytes and even the 16 GB front
+/// absorbs a large share of arrivals.
+pub fn cache_levels() -> Vec<CacheChoice> {
+    vec![
+        CacheChoice::None,
+        CacheChoice::parse("lru:16").expect("valid cache spec"),
+        CacheChoice::parse("lru:128").expect("valid cache spec"),
+    ]
+}
+
+/// The joint-grid restriction the cache bracket searches: Pack_Disks,
+/// FIFO and the fixed break-even threshold fixed (the paper's service
+/// model and policy), both ladders × [`cache_levels`], all at the same
+/// `fleet`. Holding the policy at the paper's own keeps the bracket a
+/// pure (cache × ladder) question: how much front-end capacity does it
+/// take before the low-RPM middle state pays for its spin-up detour?
+/// (The envelope policies are deliberately excluded: their 3-state
+/// descent dominates every cache level outright — see the ladder bracket
+/// — and would mask the flip this bracket pins.)
+pub fn cache_bracket_config(fleet: usize) -> JointConfig {
+    let mut cfg = JointConfig::default_grid();
+    cfg.allocators = vec![Allocator::PackDisks];
+    cfg.policies = vec![PolicyChoice::break_even()];
+    cfg.disciplines = vec![DisciplineChoice::Fifo];
+    cfg.caches = cache_levels();
+    cfg.fleet = Some(fleet);
+    cfg
+}
+
+/// Arrival rate of the cache bracket's replay. Chosen to sit just on the
+/// two-state side of the ladder crossover: without a cache the per-disk
+/// idle gaps are short enough that the three-state ladder's low-RPM
+/// detour costs more than it saves, while a big front absorbing the hot
+/// head stretches the gaps past the crossover and flips the winning
+/// ladder. (At the shootout's R = 4 the gaps are too short for any cache
+/// to close the difference; well below R ≈ 2 the three-state ladder wins
+/// even cache-free.)
+pub(crate) const CACHE_BRACKET_RATE: f64 = 2.5;
+
+/// The Poisson replay the cache bracket runs at [`CACHE_BRACKET_RATE`].
+pub(crate) fn cache_bracket_trace(catalog: &FileCatalog, scale: Scale) -> Trace {
+    Trace::poisson(
+        catalog,
+        CACHE_BRACKET_RATE,
+        scale.sim_time(),
+        grid_seed(97, 0, 0),
+    )
+}
+
+/// `label` with any cache suffix stripped — the (allocation, policy,
+/// discipline, ladder) quadruple shared by every cell of one cache level.
+fn quadruple_of(label: &str) -> String {
+    label.split('+').take(4).collect::<Vec<_>>().join("+")
 }
 
 /// The spin-up-heavy burst workload the discipline rows replay: sparse
@@ -295,6 +357,55 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice, base_ladder: LadderCh
         })
         .collect();
 
+    // Part 6: the cache bracket — the joint grid's fifth (cache) leg in
+    // isolation: both ladders at the fixed fleet, Pack_Disks allocation
+    // and break-even policy under three cache levels, replayed on its own
+    // Poisson trace at R = 2.5 (Table 1's popularity skew gives the front
+    // real reuse to absorb, and the rate sits just on the two-state side
+    // of the ladder crossover — see [`CACHE_BRACKET_RATE`]). Every cell
+    // runs the same fleet; a cache level adds its GB to the hardware
+    // budget, and the per-level winners show the bigger front lengthening
+    // idle gaps enough to flip the winning ladder.
+    let cache_trace = cache_bracket_trace(&catalog, scale);
+    let cache_random_energy = run_sweep(
+        &catalog,
+        &cache_trace,
+        &random_plan.assignment,
+        &base_cfg,
+        fleet,
+        &policy_cache_grid(&[PolicyChoice::break_even()], &[None]),
+    )[0]
+    .energy
+    .total_joules();
+    let cache_cfg = cache_bracket_config(fleet);
+    let cache_objective = cache_cfg.objective;
+    let cache_outcome = run_joint(
+        &JointPlanner::new(cache_cfg),
+        &catalog,
+        &cache_trace,
+        CACHE_BRACKET_RATE,
+    )
+    .expect("cache bracket simulates");
+    assert_eq!(
+        cache_outcome.fleet, fleet,
+        "cache bracket fleet diverged from the random baseline's"
+    );
+    let cache_level_winners: Vec<(CacheChoice, usize)> = cache_levels()
+        .into_iter()
+        .map(|level| {
+            let idx = (0..cache_outcome.cells.len())
+                .filter(|&i| cache_outcome.cells[i].candidate.cache == level)
+                .min_by(|&a, &b| {
+                    let cell = |i: usize| &cache_outcome.cells[i];
+                    cache_objective
+                        .score(cell(a).energy_j, cell(a).p95_s)
+                        .total_cmp(&cache_objective.score(cell(b).energy_j, cell(b).p95_s))
+                })
+                .expect("every cache level has cells");
+            (level, idx)
+        })
+        .collect();
+
     let mut fig = Figure::new(
         "shootout",
         "Allocator, policy and queue-discipline shootout at R = 4, L = 0.7 \
@@ -361,6 +472,34 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice, base_ladder: LadderCh
             }
         }
     }
+    let cache_rows_base =
+        joint_rows_base + joint_outcomes.iter().map(|o| o.cells.len()).sum::<usize>();
+    {
+        for (row, (j, cell)) in (cache_rows_base..).zip(cache_outcome.cells.iter().enumerate()) {
+            let mut tags = String::new();
+            if let Some((level, _)) = cache_level_winners.iter().find(|&&(_, w)| w == j) {
+                tags = format!(", winner@{}", level.label());
+            }
+            fig.notes.push(format!(
+                "row {row} = cache {} (R=2.5 poisson replay{tags})",
+                cell.candidate.label()
+            ));
+        }
+        fig.notes.push(format!(
+            "cache bracket winners (energy×p95, equal fleet {fleet}, R=2.5 poisson): {}",
+            cache_level_winners
+                .iter()
+                .map(|&(level, w)| {
+                    format!(
+                        "{}→{}",
+                        level.label(),
+                        quadruple_of(&cache_outcome.cells[w].candidate.label())
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
     for (idx, (disks, energy, resp, p95, _)) in alloc_results.iter().enumerate() {
         fig.push_row(vec![
             idx as f64,
@@ -414,6 +553,16 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice, base_ladder: LadderCh
             row += 1;
         }
     }
+    for cell in &cache_outcome.cells {
+        fig.push_row(vec![
+            row as f64,
+            cell.disks_used as f64,
+            1.0 - cell.energy_j / cache_random_energy,
+            cell.mean_resp_s,
+            cell.p95_s,
+        ]);
+        row += 1;
+    }
     fig
 }
 
@@ -424,6 +573,11 @@ mod tests {
     /// Joint-bracket rows per replay (the default quadruple grid size).
     fn n_joint_cells() -> usize {
         JointConfig::default_grid().candidates().len()
+    }
+
+    /// Cache-bracket rows (one replay).
+    fn n_cache_cells() -> usize {
+        cache_bracket_config(100).candidates().len()
     }
 
     #[test]
@@ -437,7 +591,7 @@ mod tests {
         let n_joint = 2 * n_joint_cells();
         assert_eq!(
             fig.rows.len(),
-            n_alloc + n_policy + n_disc + n_ladder + n_joint
+            n_alloc + n_policy + n_disc + n_ladder + n_joint + n_cache_cells()
         );
         let savings = fig.series("saving_vs_rnd").unwrap();
         let disks = fig.series("disks_used").unwrap();
@@ -586,7 +740,8 @@ mod tests {
             + policy_competitors().len()
             + discipline_competitors().len()
             + 2 * grid.len()
-            + 2 * n_joint_cells();
+            + 2 * n_joint_cells()
+            + n_cache_cells();
         assert_eq!(fig.rows.len(), n_rows);
         for name in ["bursts replay", "nersc_style replay"] {
             assert!(
@@ -686,6 +841,60 @@ mod tests {
                 .count();
             assert!(frontier >= 1, "{replay} has no frontier rows");
         }
+    }
+
+    #[test]
+    fn cache_bracket_a_bigger_cache_flips_the_winning_policy_ladder_pair() {
+        let fig = shootout(Scale::Quick);
+        let summary = fig
+            .notes
+            .iter()
+            .find(|n| n.starts_with("cache bracket winners"))
+            .expect("cache bracket summarises its per-level winners");
+        // `none→quad, lru:16→quad, lru:128→quad` — one winner per level.
+        let winners: Vec<(&str, &str)> = summary
+            .split(": ")
+            .nth(1)
+            .expect("summary lists winners")
+            .split(", ")
+            .map(|entry| {
+                let (level, quad) = entry.split_once('→').expect("level→winner");
+                (level, quad)
+            })
+            .collect();
+        assert_eq!(winners.len(), cache_levels().len());
+        assert_eq!(winners[0].0, "none");
+        // Acceptance criterion: changing only the cache size flips the
+        // winning (policy, ladder) pair on this seeded replay — in
+        // particular the biggest front must pick a different quadruple
+        // than running cache-free.
+        let distinct: std::collections::BTreeSet<&str> = winners.iter().map(|&(_, q)| q).collect();
+        assert!(
+            distinct.len() >= 2,
+            "cache size never flipped the winner: {summary}"
+        );
+        let (_, bare_quad) = winners[0];
+        let (_, big_quad) = winners[winners.len() - 1];
+        assert_ne!(
+            bare_quad, big_quad,
+            "the biggest cache must flip the cache-free winner: {summary}"
+        );
+        // Every cache-bracket row is annotated, and each level flags
+        // exactly one winner.
+        for (level, _) in &winners {
+            assert_eq!(
+                fig.notes
+                    .iter()
+                    .filter(|n| n.contains(&format!("winner@{level}")))
+                    .count(),
+                1,
+                "level {level} must flag exactly one winner"
+            );
+        }
+        assert_eq!(
+            fig.notes.iter().filter(|n| n.contains("= cache ")).count(),
+            n_cache_cells()
+        );
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //!   order-preserving parallel map over a slice, work-stealing via an
 //!   atomic cursor.
 //! - [`SweepSpec`]/[`run_sweep`]/[`policy_cache_grid`]/
-//!   [`policy_discipline_grid`]/[`ladder_policy_grid`] — the (policy ×
-//!   discipline × ladder × cache) grid runner: each grid point names a
-//!   [`PolicyChoice`] (fixed thresholds are policies too), a queue
-//!   [`DisciplineChoice`], a power-state [`LadderChoice`] and an optional
-//!   cache, and is simulated against a shared workload/assignment on its
-//!   own thread.
+//!   [`policy_discipline_grid`]/[`ladder_policy_grid`]/
+//!   [`cache_policy_grid`] — the (policy × discipline × ladder × cache)
+//!   grid runner: each grid point names a [`PolicyChoice`] (fixed
+//!   thresholds are policies too), a queue [`DisciplineChoice`], a
+//!   power-state [`LadderChoice`] and an optional cache — the legacy flat
+//!   LRU or a multi-tier [`CacheChoice`] hierarchy — and is simulated
+//!   against a shared workload/assignment on its own thread.
 //!   Determinism holds because every simulation is seeded by its grid
 //!   point, never by thread scheduling. Grid points aggregate responses in
 //!   [`MetricsMode::Histogram`], so a full grid run holds O(buckets) per
@@ -32,6 +33,7 @@ use spindown_core::{
 use spindown_packing::Assignment;
 use spindown_sim::config::{CacheConfig, SimConfig};
 use spindown_sim::engine::Simulator;
+use spindown_sim::hierarchy::CacheChoice;
 use spindown_sim::metrics::{MetricsMode, SimReport};
 use spindown_workload::{FileCatalog, Trace};
 
@@ -94,8 +96,14 @@ pub struct SweepSpec {
     /// The power-state ladder the fleet's drives descend through
     /// (two-state by default — the paper's model).
     pub ladder: LadderChoice,
-    /// Optional LRU cache in front of the dispatcher.
+    /// Optional LRU cache in front of the dispatcher (the legacy
+    /// single-tier knob; [`SweepSpec::tiers`] supersedes it — setting both
+    /// is a [`spindown_sim::engine::SimError::ConflictingCacheConfig`]).
     pub cache: Option<CacheConfig>,
+    /// Multi-tier cache hierarchy in front of the dispatcher
+    /// ([`CacheChoice::None`] for no tiers — the grid constructors'
+    /// default).
+    pub tiers: CacheChoice,
     /// Response aggregation per grid point. The grid constructors pick
     /// [`MetricsMode::Histogram`] so a full grid holds O(buckets) per cell
     /// instead of one response vector per cell; means stay exact, quantiles
@@ -118,6 +126,9 @@ impl SweepSpec {
         if self.cache.is_some() {
             label = format!("{label}+lru");
         }
+        if self.tiers != CacheChoice::None {
+            label = format!("{label}+{}", self.tiers.label());
+        }
         label
     }
 }
@@ -136,6 +147,7 @@ pub fn policy_cache_grid(
                 discipline: DisciplineChoice::Fifo,
                 ladder: LadderChoice::TwoState,
                 cache,
+                tiers: CacheChoice::None,
                 metrics: MetricsMode::Histogram,
             })
         })
@@ -156,6 +168,7 @@ pub fn policy_discipline_grid(
                 discipline,
                 ladder: LadderChoice::TwoState,
                 cache: None,
+                tiers: CacheChoice::None,
                 metrics: MetricsMode::Histogram,
             })
         })
@@ -173,6 +186,26 @@ pub fn ladder_policy_grid(ladders: &[LadderChoice], policies: &[PolicyChoice]) -
                 discipline: DisciplineChoice::Fifo,
                 ladder,
                 cache: None,
+                tiers: CacheChoice::None,
+                metrics: MetricsMode::Histogram,
+            })
+        })
+        .collect()
+}
+
+/// The cross product of cache hierarchies and policies (FIFO discipline,
+/// two-state ladder), in row-major (cache-outer) order — the shootout's
+/// cache bracket.
+pub fn cache_policy_grid(tiers: &[CacheChoice], policies: &[PolicyChoice]) -> Vec<SweepSpec> {
+    tiers
+        .iter()
+        .flat_map(|&tiers| {
+            policies.iter().map(move |&policy| SweepSpec {
+                policy,
+                discipline: DisciplineChoice::Fifo,
+                ladder: LadderChoice::TwoState,
+                cache: None,
+                tiers,
                 metrics: MetricsMode::Histogram,
             })
         })
@@ -183,8 +216,8 @@ pub fn ladder_policy_grid(ladders: &[LadderChoice], policies: &[PolicyChoice]) -
 /// `fleet` disks spin regardless of how many the assignment loads.
 ///
 /// `base` is the caller's simulation configuration: the grid only
-/// overrides its own dimensions (ladder, cache, discipline, metrics —
-/// plus the policy, built per point), so everything else the caller set —
+/// overrides its own dimensions (ladder, cache, tiers, discipline,
+/// metrics — plus the policy, built per point), so everything else the caller set —
 /// drive model, arrival mode, completion log — survives into every cell.
 /// Earlier versions rebuilt `SimConfig::paper_default()` internally and
 /// silently discarded such overrides.
@@ -200,6 +233,7 @@ pub fn run_sweep(
         let mut cfg = base.clone();
         spec.ladder.apply(&mut cfg.disk);
         cfg.cache = spec.cache;
+        cfg.cache_hierarchy = spec.tiers.hierarchy();
         cfg.discipline = spec.discipline;
         cfg.metrics = spec.metrics;
         // Ladder-aware policies must see the ladder the run uses: the
@@ -421,6 +455,25 @@ mod tests {
         assert_eq!(grid[2].label(), "break_even+3state");
         assert_eq!(grid[3].label(), "lower_env+3state");
         assert!(grid.iter().all(|s| s.cache.is_none()));
+    }
+
+    #[test]
+    fn cache_grid_is_cache_outer_and_labels_the_tiers() {
+        let tiers = [
+            CacheChoice::None,
+            CacheChoice::parse("lru:16").unwrap(),
+            CacheChoice::parse("lru:2+lru:16").unwrap(),
+        ];
+        let grid = cache_policy_grid(&tiers, &[PolicyChoice::break_even(), PolicyChoice::never()]);
+        assert_eq!(grid.len(), 6);
+        assert_eq!(grid[0].label(), "break_even");
+        assert_eq!(grid[1].label(), "never");
+        assert_eq!(grid[2].label(), "break_even+lru:16");
+        assert_eq!(grid[4].label(), "break_even+lru:2+lru:16");
+        // The hierarchy rides `tiers`; the legacy single-tier knob stays
+        // clear so no cell trips the conflicting-cache-config error.
+        assert!(grid.iter().all(|s| s.cache.is_none()));
+        assert_eq!(grid[4].tiers.hierarchy().unwrap().tiers.len(), 2);
     }
 
     #[test]

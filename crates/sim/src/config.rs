@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use spindown_disk::{break_even_threshold, DiskSpec, PowerLadder};
 
 use crate::discipline::DisciplineChoice;
+use crate::hierarchy::{CacheHierarchyConfig, CacheScope};
 use crate::metrics::MetricsMode;
 
 /// When (if ever) an idle disk spins down.
@@ -76,8 +77,17 @@ pub struct SimConfig {
     pub disk: DiskSpec,
     /// Spin-down policy.
     pub threshold: ThresholdPolicy,
-    /// Optional LRU cache in front of the dispatcher.
+    /// Optional LRU cache in front of the dispatcher — the legacy §5.1
+    /// flat-cache knob, equivalent to a single-tier global LRU
+    /// [`cache_hierarchy`](Self::cache_hierarchy) (and internally run as
+    /// one). At most one of `cache` / `cache_hierarchy` may be set.
     pub cache: Option<CacheConfig>,
+    /// Optional multi-tier cache hierarchy in front of the fleet
+    /// (DRAM→SSD…; see [`crate::hierarchy`]). Takes the general shape the
+    /// legacy `cache` field cannot express: several tiers, per-tier
+    /// replacement policies and bandwidths, and a per-disk scope that
+    /// composes with sharding bit-identically.
+    pub cache_hierarchy: Option<CacheHierarchyConfig>,
     /// Arrival scheduling strategy (streamed by default).
     pub arrivals: ArrivalMode,
     /// Per-disk queue discipline (FIFO by default — the paper's §4 model).
@@ -102,7 +112,8 @@ pub struct SimConfig {
     /// today's single-threaded engine, unchanged. Histogram-mode metrics
     /// and all energy totals are bit-identical across shard counts; the
     /// engine falls back to one shard when a configuration couples disks
-    /// globally (cache, completion log, preloaded arrivals).
+    /// globally (a global-scope cache, the completion log, preloaded
+    /// arrivals; a per-disk-scope cache hierarchy shards freely).
     pub shards: usize,
 }
 
@@ -114,6 +125,7 @@ impl SimConfig {
             disk: DiskSpec::seagate_st3500630as(),
             threshold: ThresholdPolicy::BreakEven,
             cache: None,
+            cache_hierarchy: None,
             arrivals: ArrivalMode::Streamed,
             discipline: DisciplineChoice::Fifo,
             metrics: MetricsMode::Exact,
@@ -141,6 +153,33 @@ impl SimConfig {
     pub fn with_cache(mut self, cache: CacheConfig) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attach (or clear) a multi-tier cache hierarchy. The engine rejects
+    /// configurations that set both this and the legacy `cache` field.
+    pub fn with_cache_hierarchy(mut self, hierarchy: Option<CacheHierarchyConfig>) -> Self {
+        self.cache_hierarchy = hierarchy;
+        self
+    }
+
+    /// The hierarchy the engine actually runs: the explicit
+    /// `cache_hierarchy` if set, else the legacy `cache` field lowered to
+    /// its single-tier global-LRU equivalent.
+    pub(crate) fn effective_cache_hierarchy(&self) -> Option<CacheHierarchyConfig> {
+        self.cache_hierarchy
+            .clone()
+            .or_else(|| self.cache.as_ref().map(CacheHierarchyConfig::from_legacy))
+    }
+
+    /// Whether the configured cache couples disks globally (and therefore
+    /// forces the sharded engine down to one shard). Per-disk-scope
+    /// hierarchies do not.
+    pub(crate) fn cache_couples_disks(&self) -> bool {
+        match (&self.cache, &self.cache_hierarchy) {
+            (Some(_), _) => true,
+            (None, Some(h)) => h.scope == CacheScope::Global,
+            (None, None) => false,
+        }
     }
 
     /// Select the arrival scheduling strategy.
@@ -239,6 +278,36 @@ mod tests {
         assert_eq!(cfg.cache.unwrap().capacity_bytes, 16 * 1_000_000_000);
         assert_eq!(cfg.arrivals, ArrivalMode::Preloaded);
         assert_eq!(cfg.disk.model, DiskSpec::archival_5400().model);
+    }
+
+    #[test]
+    fn cache_hierarchy_builder_and_legacy_lowering() {
+        use crate::hierarchy::{CachePolicyChoice, CacheTierConfig};
+        let cfg = SimConfig::paper_default();
+        assert!(cfg.cache_hierarchy.is_none());
+        assert!(cfg.effective_cache_hierarchy().is_none());
+        assert!(!cfg.cache_couples_disks());
+
+        // The legacy field lowers to its single-tier LRU equivalent…
+        let legacy = cfg.clone().with_cache(CacheConfig::paper_16gb());
+        let lowered = legacy.effective_cache_hierarchy().unwrap();
+        assert_eq!(lowered.tiers.len(), 1);
+        assert_eq!(lowered.tiers[0].capacity_bytes, 16 * 1_000_000_000);
+        assert_eq!(lowered.tiers[0].policy, CachePolicyChoice::Lru);
+        assert_eq!(lowered.scope, CacheScope::Global);
+        assert!(legacy.cache_couples_disks());
+
+        // …and an explicit hierarchy takes precedence over nothing.
+        let tier = CacheTierConfig::dram(4_000_000_000, CachePolicyChoice::Lfu);
+        let cfg = cfg.with_cache_hierarchy(Some(
+            CacheHierarchyConfig::single(tier).with_scope(CacheScope::PerDisk),
+        ));
+        let eff = cfg.effective_cache_hierarchy().unwrap();
+        assert_eq!(eff.tiers[0].policy, CachePolicyChoice::Lfu);
+        assert!(
+            !cfg.cache_couples_disks(),
+            "per-disk scope composes with sharding"
+        );
     }
 
     #[test]

@@ -1,13 +1,17 @@
-//! The simulation engine: ties the trace, the dispatcher (with optional LRU
-//! cache), the per-disk actors, the power policy and the event queue
-//! together.
+//! The simulation engine: ties the trace, the dispatcher (with an optional
+//! cache hierarchy in front), the per-disk actors, the power policy and the
+//! event queue together.
 //!
 //! ## Semantics (matching §4 of the paper)
 //!
 //! - A request is dispatched to the disk holding its file. If a cache is
-//!   configured, the whole file is looked up first; hits are served at cache
-//!   bandwidth without touching the disk, misses are admitted to the cache
-//!   *and* forwarded to the disk.
+//!   configured — the legacy flat LRU or a multi-tier
+//!   [`CacheHierarchy`](crate::hierarchy::CacheHierarchy) — the whole file
+//!   is looked up first, tier by tier; a hit is served at the hit tier's
+//!   bandwidth without touching the disk (in particular the disk's idle
+//!   clock keeps running — a cache's entire contribution to the power
+//!   model is lengthening idle gaps), and a miss is admitted to every tier
+//!   probed *and* forwarded to the disk.
 //! - Disks serve their queue per the configured
 //!   [`DisciplineChoice`](crate::discipline::DisciplineChoice) — FIFO by
 //!   default, matching the paper. Service = seek + rotation + transfer;
@@ -59,8 +63,9 @@
 //! ## Sharded replay
 //!
 //! After allocation every disk's request stream is independent (absent a
-//! cache, the completion log, or preloaded arrivals — all of which force
-//! one shard), so `cfg.shards > 1` partitions the fleet by disk id
+//! global-scope cache, the completion log, or preloaded arrivals — all of
+//! which force one shard; per-disk-scope cache hierarchies shard freely),
+//! so `cfg.shards > 1` partitions the fleet by disk id
 //! (`disk % shards`), runs one event loop per shard on its own thread and
 //! merges the per-shard reports — see [`crate::shard`] for the merge rules
 //! and the determinism argument. Histogram-mode metrics and all energy
@@ -72,9 +77,9 @@ use spindown_workload::trace::TraceIoError;
 use spindown_workload::{FileCatalog, FileId, InMemorySource, Request, Trace, TraceSource};
 
 use crate::actor::{DiskActor, Phase};
-use crate::cache::LruCache;
 use crate::config::{ArrivalMode, SimConfig};
 use crate::event::{Event, EventQueue};
+use crate::hierarchy::{CacheHierarchy, CacheScope};
 use crate::metrics::{Completion, MetricsMode, ResponseStats, SimReport};
 use crate::policy::{DescentStep, PowerPolicy, TimeoutPolicy};
 
@@ -98,6 +103,10 @@ pub enum SimError {
     /// The streaming trace source failed mid-replay (I/O error, malformed
     /// or out-of-order row).
     Source(TraceIoError),
+    /// Both the legacy `cache` field and a `cache_hierarchy` were set —
+    /// the configuration is ambiguous (the legacy field *is* a single-tier
+    /// hierarchy; pick one representation).
+    ConflictingCacheConfig,
 }
 
 impl std::fmt::Display for SimError {
@@ -109,6 +118,10 @@ impl std::fmt::Display for SimError {
             }
             SimError::Transition(e) => write!(f, "disk state machine error: {e}"),
             SimError::Source(e) => write!(f, "trace source failed: {e}"),
+            SimError::ConflictingCacheConfig => write!(
+                f,
+                "both `cache` and `cache_hierarchy` are set; configure one"
+            ),
         }
     }
 }
@@ -153,6 +166,25 @@ struct TimerState {
     scheduled: Vec<f64>,
 }
 
+/// The cache stack fronting this engine instance, in the deployment shape
+/// the configuration asked for. A cache hit serves the request at the hit
+/// tier's bandwidth and — deliberately — never touches the disk's actor or
+/// timers: hits must not reset the idle clock, because lengthening the
+/// disks' idle gaps is precisely what a cache tier contributes to the
+/// power model.
+#[derive(Debug)]
+enum CacheFront {
+    /// No cache configured.
+    None,
+    /// One shared hierarchy in front of the dispatcher (the legacy flat
+    /// LRU lowers to a single-tier instance of this).
+    Global(CacheHierarchy),
+    /// One private slice per *local* disk, each `capacity / global fleet`
+    /// of the configured budgets — indexed by actor, so a shard only holds
+    /// slices for its own disks.
+    PerDisk(Vec<CacheHierarchy>),
+}
+
 /// The discrete-event simulator, generic over the arrival feed so the
 /// in-memory hot path stays monomorphised (no per-arrival dynamic
 /// dispatch) while CSV readers and synthetic generators plug in through
@@ -169,7 +201,7 @@ pub struct Simulator<'a, S: TraceSource> {
     actors: Vec<DiskActor>,
     timers: Vec<TimerState>,
     events: EventQueue,
-    cache: Option<LruCache>,
+    cache: CacheFront,
     /// In exact mode: the live global response collector (disk completions
     /// and cache hits, recorded in completion order). In histogram mode:
     /// only cache hits are recorded here live — the global collector is
@@ -227,8 +259,10 @@ impl<'a> Simulator<'a, InMemorySource<'a>> {
     /// Run with a per-shard [`PowerPolicy`] factory, sharding the fleet
     /// over `cfg.shards` threads (disk `d` → shard `d % shards`; the count
     /// is clamped to the fleet, and configurations that couple disks
-    /// globally — a cache, the completion log, preloaded arrivals — fall
-    /// back to one shard). `factory(s)` builds shard `s`'s policy instance;
+    /// globally — a global-scope cache, the completion log, preloaded
+    /// arrivals — fall back to one shard; per-disk-scope cache
+    /// hierarchies shard freely). `factory(s)` builds shard `s`'s policy
+    /// instance;
     /// it is called once per shard in shard order and each instance sees
     /// *global* disk ids, so per-disk-state policies behave identically at
     /// any shard count. (Policies sharing randomness *across* disks — e.g.
@@ -432,7 +466,16 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         if fleet < required {
             return Err(SimError::FleetTooSmall { required, fleet });
         }
-        let sim = Self::run_drained(catalog, source, trace, file_to_disk, cfg, fleet, policy)?;
+        let sim = Self::run_drained(
+            catalog,
+            source,
+            trace,
+            file_to_disk,
+            cfg,
+            fleet,
+            fleet,
+            policy,
+        )?;
         let t_end = sim.horizon.max(sim.last_event_time);
         sim.finish_at(t_end)
     }
@@ -442,7 +485,12 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
     /// the sharded driver needs every shard drained before the common end
     /// time (`horizon.max(`max over shards of [`Self::last_event_time`]`)`)
     /// is known. `file_to_disk` maps file index → actor index (possibly a
-    /// shard-local index); `usize::MAX` marks unmapped files.
+    /// shard-local index); `usize::MAX` marks unmapped files. `fleet` is
+    /// the number of actors *this* engine instance simulates;
+    /// `global_fleet` is the whole fleet (they differ only in a sharded
+    /// run) and sizes each per-disk cache slice at `capacity /
+    /// global_fleet`, so the slices partition the same configured budget
+    /// at every shard count.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_drained(
         catalog: &'a FileCatalog,
@@ -451,8 +499,21 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         file_to_disk: Vec<usize>,
         cfg: &'a SimConfig,
         fleet: usize,
+        global_fleet: usize,
         policy: Box<dyn PowerPolicy>,
     ) -> Result<Self, SimError> {
+        if cfg.cache.is_some() && cfg.cache_hierarchy.is_some() {
+            return Err(SimError::ConflictingCacheConfig);
+        }
+        let cache = match cfg.effective_cache_hierarchy() {
+            None => CacheFront::None,
+            Some(h) => match h.scope {
+                CacheScope::Global => CacheFront::Global(h.build(1)),
+                CacheScope::PerDisk => {
+                    CacheFront::PerDisk((0..fleet).map(|_| h.build(global_fleet as u64)).collect())
+                }
+            },
+        };
         let horizon = source.horizon();
         let mut sim = Simulator {
             catalog,
@@ -465,7 +526,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                 .collect(),
             timers: vec![TimerState::default(); fleet],
             events: EventQueue::new(),
-            cache: cfg.cache.as_ref().map(|c| LruCache::new(c.capacity_bytes)),
+            cache,
             responses: ResponseStats::with_mode(cfg.metrics),
             record_global: cfg.metrics == MetricsMode::Exact,
             per_disk_responses: vec![ResponseStats::with_mode(cfg.metrics); fleet],
@@ -617,17 +678,32 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             _ => return Err(SimError::UnmappedFile { file: r.file }),
         };
         let size = self.catalog.file(r.file).size_bytes;
-        if let Some(cache) = self.cache.as_mut() {
-            if cache.access(r.file, size) {
-                // Cache hit: served without disk involvement.
-                let bw = self
-                    .cfg
-                    .cache
-                    .as_ref()
-                    .expect("cache config present when cache exists")
-                    .bandwidth_bps;
-                self.responses.record(size as f64 / bw);
-                return Ok(());
+        // A hit returns before the policy or actor hear about the request:
+        // served without disk involvement, idle clock untouched.
+        match &mut self.cache {
+            CacheFront::None => {}
+            CacheFront::Global(hierarchy) => {
+                if let Some(latency) = hierarchy.access(r.file, size) {
+                    // Legacy recording shape: global-scope hits belong to
+                    // the dispatcher, not any disk, so they enter only the
+                    // global collector — live in both metrics modes.
+                    self.responses.record(latency);
+                    return Ok(());
+                }
+            }
+            CacheFront::PerDisk(slices) => {
+                if let Some(latency) = slices[disk].access(r.file, size) {
+                    // Per-disk hits belong to the disk's slice: they record
+                    // into the per-disk collector (which the histogram-mode
+                    // finish and the sharded merge both derive the global
+                    // statistics from), plus the live global collector in
+                    // exact mode — mirroring disk completions exactly.
+                    if self.record_global {
+                        self.responses.record(latency);
+                    }
+                    self.per_disk_responses[disk].record(latency);
+                    return Ok(());
+                }
             }
         }
         self.policy.request_arrived(disk, t);
@@ -773,6 +849,28 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             fleet.merge(&b);
             per_disk.push(b);
         }
+        let (cache, cache_tiers) = match self.cache {
+            CacheFront::None => (None, None),
+            CacheFront::Global(h) => (Some(h.aggregate_stats()), Some(h.tier_stats())),
+            CacheFront::PerDisk(slices) => {
+                // Sum the slices tier-wise (and in aggregate): integer
+                // counters commute, so this matches the sharded merge's
+                // cross-shard absorption bit for bit.
+                let depth = self
+                    .cfg
+                    .effective_cache_hierarchy()
+                    .map_or(0, |h| h.tiers.len());
+                let mut agg = crate::cache::CacheStats::default();
+                let mut tiers = vec![crate::cache::CacheStats::default(); depth];
+                for slice in &slices {
+                    agg.absorb(&slice.aggregate_stats());
+                    for (t, s) in tiers.iter_mut().zip(slice.tier_stats()) {
+                        t.absorb(&s);
+                    }
+                }
+                (Some(agg), Some(tiers))
+            }
+        };
         Ok(SimReport {
             sim_time_s: t_end,
             energy: fleet,
@@ -782,7 +880,8 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             completions: self.completions,
             spin_downs,
             spin_ups,
-            cache: self.cache.map(|c| c.stats()),
+            cache,
+            cache_tiers,
             disks,
             per_disk_served,
             peak_event_queue: self.peak_events,

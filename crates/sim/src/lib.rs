@@ -6,7 +6,8 @@
 //! SimPy environment (§4).
 //!
 //! The simulated system is the paper's: a workload generator produces file
-//! requests; a dispatcher (optionally fronted by a byte-budget LRU cache)
+//! requests; a dispatcher (optionally fronted by a byte-budget cache — the
+//! paper's flat LRU or a multi-tier DRAM→SSD hierarchy)
 //! forwards each request to the disk holding the file, per a file→disk
 //! mapping produced by an allocator from `spindown-packing`; each disk
 //! serves its FIFO queue with seek + rotation + transfer timing from
@@ -16,7 +17,12 @@
 //!
 //! Modules:
 //! - [`event`] — the time-ordered event queue.
-//! - [`cache`] — the 16 GB LRU front of §5.1.
+//! - [`cache`] — byte-budget whole-file replacement policies (LRU —
+//!   the 16 GB front of §5.1 — plus segmented LRU and LFU) behind the
+//!   [`cache::CachePolicy`] trait.
+//! - [`hierarchy`] — ordered cache tiers ([`hierarchy::CacheHierarchy`]):
+//!   DRAM→SSD with per-tier capacity, policy and hit bandwidth, global or
+//!   per-disk scope.
 //! - [`config`] — [`config::SimConfig`], the idleness-threshold
 //!   configuration and the arrival scheduling mode.
 //! - [`policy`] — the pluggable [`policy::PowerPolicy`] trait and the
@@ -90,13 +96,18 @@ pub mod config;
 pub mod discipline;
 pub mod engine;
 pub mod event;
+pub mod hierarchy;
 pub mod metrics;
 pub mod policy;
 mod shard;
 
-pub use cache::LruCache;
+pub use cache::{CachePolicy, CacheStats, LfuCache, LruCache, SegmentedLru};
 pub use config::{ArrivalMode, CacheConfig, SimConfig, ThresholdPolicy};
 pub use discipline::DisciplineChoice;
 pub use engine::{SimError, Simulator};
+pub use hierarchy::{
+    CacheChoice, CacheHierarchy, CacheHierarchyConfig, CachePolicyChoice, CacheScope,
+    CacheTierConfig,
+};
 pub use metrics::{MetricsMode, ResponseStats, SimReport, StreamingHistogram};
 pub use policy::{PowerPolicy, TimeoutPolicy};

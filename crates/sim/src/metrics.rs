@@ -499,8 +499,10 @@ pub struct SimReport {
     /// order (sharded exact runs concatenate per-disk samples in disk
     /// order instead: same multiset, bit-identical quantiles).
     pub responses: ResponseStats,
-    /// Response-time samples per disk, in disk order (cache hits excluded —
-    /// they never reach a disk).
+    /// Response-time samples per disk, in disk order. Global-scope cache
+    /// hits are excluded (they belong to the shared dispatcher front, not
+    /// any disk); per-disk-scope hits are served by the disk's own cache
+    /// slice and recorded here.
     pub per_disk_responses: Vec<ResponseStats>,
     /// Per-request completion log, when `SimConfig::completion_log` is on.
     /// Appended in completion order, so per-disk subsequences are the
@@ -510,8 +512,17 @@ pub struct SimReport {
     pub spin_downs: u64,
     /// Total completed spin-up transitions across the fleet.
     pub spin_ups: u64,
-    /// Cache statistics, when a cache was configured.
+    /// Cache statistics, when a cache was configured. For a multi-tier
+    /// hierarchy this is the aggregate view (hits summed over tiers,
+    /// misses = requests missing *every* tier, so `hits + misses` still
+    /// counts every probed request); for the legacy flat LRU it is exactly
+    /// that cache's counters. Per-disk-scope runs sum over disk slices.
     pub cache: Option<CacheStats>,
+    /// Per-tier cache statistics, shallowest tier first, when a cache was
+    /// configured (a single row for the legacy flat LRU). Oversize
+    /// rejections are counted per tier — a file can fit the SSD tier while
+    /// exceeding the DRAM tier.
+    pub cache_tiers: Option<Vec<CacheStats>>,
     /// Number of disks simulated (fleet size).
     pub disks: usize,
     /// Requests served per disk, in disk order (excludes cache hits).

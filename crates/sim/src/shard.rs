@@ -12,11 +12,12 @@
 //!
 //! ## Why the merged report is bit-identical
 //!
-//! Without a cache, a completion log or preloaded arrivals, disks interact
-//! through *nothing*: each disk's service, queueing, power-transition and
-//! energy trajectory is a function of its own arrival subsequence, which
-//! sharding preserves in order. The merge then reproduces the unsharded
-//! report's exact float operations:
+//! Without a global-scope cache, a completion log or preloaded arrivals,
+//! disks interact through *nothing*: each disk's service, queueing,
+//! power-transition, energy — and, under a per-disk-scope cache
+//! hierarchy, cache-slice — trajectory is a function of its own arrival
+//! subsequence, which sharding preserves in order. The merge then
+//! reproduces the unsharded report's exact float operations:
 //!
 //! - every shard drains, then all shards finish at the common end time
 //!   `horizon.max(max over shards of last event time)` — exactly the
@@ -52,12 +53,15 @@ use crate::policy::{DescentStep, PowerPolicy};
 
 /// The shard count a run actually uses: `cfg.shards` clamped to at least 1
 /// and at most the fleet (no empty shards), with a forced fallback to 1
-/// whenever the configuration couples disks globally — an LRU cache (hits
-/// depend on the interleaved global request order), the completion log
-/// (one globally ordered O(requests) vector), or preloaded arrivals (the
-/// materialised-heap legacy mode).
+/// whenever the configuration couples disks globally — a *global-scope*
+/// cache (hits depend on the interleaved global request order; the legacy
+/// flat LRU is always global), the completion log (one globally ordered
+/// O(requests) vector), or preloaded arrivals (the materialised-heap
+/// legacy mode). A per-disk-scope cache hierarchy does **not** couple
+/// disks — each disk's slice sees only its own arrivals — so it shards
+/// freely, with bit-identical merged reports.
 pub(crate) fn effective_shards(cfg: &SimConfig, fleet: usize) -> usize {
-    if cfg.cache.is_some() || cfg.completion_log || cfg.arrivals == ArrivalMode::Preloaded {
+    if cfg.cache_couples_disks() || cfg.completion_log || cfg.arrivals == ArrivalMode::Preloaded {
         return 1;
     }
     cfg.shards.max(1).min(fleet.max(1))
@@ -231,6 +235,7 @@ where
                         local_map,
                         cfg,
                         shard_fleet,
+                        fleet,
                         policy,
                     )
                 })
@@ -276,6 +281,12 @@ fn merge_reports(
     let mut spin_ups = 0u64;
     let mut peak_event_queue = 0usize;
     let mut peak_disk_queue = 0usize;
+    // Cache counters (only a per-disk-scope hierarchy reaches the sharded
+    // path): sum the shards' aggregate and per-tier counters field-wise —
+    // integer addition commutes, so the merged counters equal the
+    // unsharded run's whatever the shard count.
+    let mut cache: Option<crate::cache::CacheStats> = None;
+    let mut cache_tiers: Option<Vec<crate::cache::CacheStats>> = None;
     let mut parts: Vec<Parts> = Vec::with_capacity(shards);
     for r in reports {
         debug_assert_eq!(r.sim_time_s, sim_time_s, "shards share one end time");
@@ -283,6 +294,18 @@ fn merge_reports(
         spin_ups += r.spin_ups;
         peak_event_queue += r.peak_event_queue;
         peak_disk_queue = peak_disk_queue.max(r.peak_disk_queue);
+        if let Some(shard_cache) = r.cache {
+            cache
+                .get_or_insert_with(Default::default)
+                .absorb(&shard_cache);
+        }
+        if let Some(shard_tiers) = r.cache_tiers {
+            let merged =
+                cache_tiers.get_or_insert_with(|| vec![Default::default(); shard_tiers.len()]);
+            for (t, s) in merged.iter_mut().zip(shard_tiers) {
+                t.absorb(&s);
+            }
+        }
         parts.push(Parts {
             energy: r.per_disk_energy.into_iter(),
             responses: r.per_disk_responses.into_iter(),
@@ -317,7 +340,8 @@ fn merge_reports(
         completions: None,
         spin_downs,
         spin_ups,
-        cache: None,
+        cache,
+        cache_tiers,
         disks: fleet,
         per_disk_served,
         peak_event_queue,
@@ -329,6 +353,7 @@ fn merge_reports(
 mod tests {
     use super::*;
     use crate::config::CacheConfig;
+    use crate::hierarchy::{CacheHierarchyConfig, CacheScope};
 
     #[test]
     fn effective_shards_clamps_and_falls_back() {
@@ -338,7 +363,26 @@ mod tests {
         assert_eq!(effective_shards(&cfg, 0), 1, "zero fleet runs unsharded");
         assert_eq!(effective_shards(&SimConfig::paper_default(), 8), 1);
         let cached = cfg.clone().with_cache(CacheConfig::paper_16gb());
-        assert_eq!(effective_shards(&cached, 8), 1, "cache couples disks");
+        assert_eq!(effective_shards(&cached, 8), 1, "legacy cache is global");
+        let global = cfg
+            .clone()
+            .with_cache_hierarchy(Some(CacheHierarchyConfig::from_legacy(
+                &CacheConfig::paper_16gb(),
+            )));
+        assert_eq!(
+            effective_shards(&global, 8),
+            1,
+            "global-scope hierarchy couples disks"
+        );
+        let per_disk = cfg.clone().with_cache_hierarchy(Some(
+            CacheHierarchyConfig::from_legacy(&CacheConfig::paper_16gb())
+                .with_scope(CacheScope::PerDisk),
+        ));
+        assert_eq!(
+            effective_shards(&per_disk, 8),
+            4,
+            "per-disk slices shard freely"
+        );
         let logged = cfg.clone().with_completion_log();
         assert_eq!(effective_shards(&logged, 8), 1, "completion log is global");
         let preloaded = cfg.with_arrival_mode(ArrivalMode::Preloaded);
