@@ -47,12 +47,25 @@ use spindown_sim::policy::{DescentStep, PowerPolicy};
 
 use crate::{dpm, ski_rental};
 
+/// Spread constant mixing a disk id into the base seed (the 64-bit golden
+/// ratio, as used by splitmix64) so per-disk streams are decorrelated.
+const DISK_SEED_SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// The e/(e−1)-competitive randomised ski-rental spin-down policy.
+///
+/// Each disk draws from its own RNG stream, seeded from the policy seed
+/// and the *global* disk id, so a disk's threshold sequence depends only
+/// on its own idle history — a sharded replay (which partitions the
+/// `settled` callbacks across per-shard policy clones) draws exactly the
+/// same thresholds as the unsharded run. Disk 0's stream is seeded from
+/// the bare policy seed, matching the legacy shared-stream behaviour on
+/// single-disk fleets.
 #[derive(Debug, Clone)]
 pub struct SkiRentalPolicy {
     beta_s: f64,
-    rng: SmallRng,
     seed: u64,
+    /// Per-disk streams, lazily grown to the highest disk id seen.
+    rngs: Vec<SmallRng>,
 }
 
 impl SkiRentalPolicy {
@@ -62,8 +75,8 @@ impl SkiRentalPolicy {
         assert!(beta_s > 0.0 && beta_s.is_finite(), "bad beta {beta_s}");
         SkiRentalPolicy {
             beta_s,
-            rng: SmallRng::seed_from_u64(seed),
             seed,
+            rngs: Vec::new(),
         }
     }
 
@@ -77,11 +90,22 @@ impl SkiRentalPolicy {
         self.beta_s
     }
 
-    /// The threshold this policy would draw for the next idle period
-    /// (consumes the draw — test/inspection helper).
-    pub fn draw_threshold(&mut self) -> f64 {
-        let u: f64 = self.rng.random();
-        ski_rental::sample_threshold(self.beta_s, u)
+    fn rng_for(&mut self, disk: usize) -> &mut SmallRng {
+        while self.rngs.len() <= disk {
+            let d = self.rngs.len() as u64;
+            self.rngs.push(SmallRng::seed_from_u64(
+                self.seed.wrapping_add(d.wrapping_mul(DISK_SEED_SPREAD)),
+            ));
+        }
+        &mut self.rngs[disk]
+    }
+
+    /// The threshold `disk` would draw for its next idle period (consumes
+    /// the draw — test/inspection helper).
+    pub fn draw_threshold(&mut self, disk: usize) -> f64 {
+        let beta = self.beta_s;
+        let u: f64 = self.rng_for(disk).random();
+        ski_rental::sample_threshold(beta, u)
     }
 }
 
@@ -90,11 +114,11 @@ impl PowerPolicy for SkiRentalPolicy {
         format!("ski_rental(beta={:.1}s, seed={})", self.beta_s, self.seed)
     }
 
-    fn settled(&mut self, _disk: usize, level: u8, _t: f64) -> Option<DescentStep> {
+    fn settled(&mut self, disk: usize, level: u8, _t: f64) -> Option<DescentStep> {
         if level > 0 {
             return None;
         }
-        Some(DescentStep::to_deepest(self.draw_threshold()))
+        Some(DescentStep::to_deepest(self.draw_threshold(disk)))
     }
 }
 
@@ -426,6 +450,32 @@ mod tests {
         let mut c = SkiRentalPolicy::for_drive(&spec(), 8);
         let different = (0..20).any(|i| a.settled(0, 0, i as f64) != c.settled(0, 0, i as f64));
         assert!(different, "distinct seeds must give distinct streams");
+    }
+
+    #[test]
+    fn ski_rental_streams_are_per_disk_and_interleaving_invariant() {
+        // Draws for one disk must not depend on how other disks' draws
+        // interleave — the property that makes sharded replay (which
+        // splits the callbacks across per-shard clones) bit-identical.
+        let mut interleaved = SkiRentalPolicy::for_drive(&spec(), 42);
+        let mut sequential = SkiRentalPolicy::for_drive(&spec(), 42);
+        let mut want = vec![Vec::new(); 4];
+        for round in 0..8 {
+            for (d, stream) in want.iter_mut().enumerate() {
+                stream.push(interleaved.settled(d, 0, round as f64).unwrap().rest_s);
+            }
+        }
+        for (d, stream) in want.iter().enumerate() {
+            for (round, &expect) in stream.iter().enumerate() {
+                let got = sequential.settled(d, 0, round as f64).unwrap().rest_s;
+                assert_eq!(expect, got, "disk {d} round {round}");
+            }
+        }
+        // Distinct disks see distinct streams.
+        assert!(want[0] != want[1]);
+        // Disk 0's stream is the legacy bare-seed stream.
+        let mut legacy = SkiRentalPolicy::for_drive(&spec(), 42);
+        assert_eq!(legacy.draw_threshold(0), want[0][0]);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Fault-runtime hot path: replay cost of consulting the `FaultRuntime`
+//! at dispatch, spin-up completion and service completion, against the
+//! legacy no-fault path. The `none` row is the contract that fault
+//! injection is free when disabled (the engine never constructs a runtime
+//! behind `FaultPlan::none()`); the active rows price the per-event draws
+//! and retry bookkeeping under escalating regimes. A sparse Poisson trace
+//! over a fixed 20 s threshold keeps the fleet cycling through sleep and
+//! wake so every fault hook actually runs. `scripts/bench_diff.py` diffs
+//! the means against `BENCH_BASELINE.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spindown_packing::{Assignment, DiskBin};
+use spindown_sim::config::{SimConfig, ThresholdPolicy};
+use spindown_sim::engine::Simulator;
+use spindown_sim::metrics::MetricsMode;
+use spindown_workload::{FaultPlan, FileCatalog, Trace};
+use std::hint::black_box;
+
+const FILES: usize = 512;
+const DISKS: usize = 16;
+
+fn fixture() -> (FileCatalog, Assignment) {
+    let catalog = FileCatalog::paper_table1(FILES, 7);
+    let mut bins: Vec<DiskBin> = (0..DISKS).map(|_| DiskBin::default()).collect();
+    for file in 0..FILES {
+        bins[file % DISKS].items.push(file);
+    }
+    (catalog, Assignment { disks: bins })
+}
+
+fn bench(c: &mut Criterion) {
+    let (catalog, assignment) = fixture();
+    // Sparse arrivals spread over a wide fleet: per-disk gaps beat the
+    // fixed 20 s threshold, so disks sleep and wake all run long and the
+    // wake-failure / retry hooks see real traffic.
+    let trace = Trace::poisson(&catalog, 2.0, 5_000.0, 4242);
+    // (id, spec): the id avoids `:`/`|`/`+`, which `scripts/bench_diff.py`
+    // rejects from benchmark names.
+    let regimes = [
+        ("none", "none"),
+        ("transient", "transient:p=0.05"),
+        ("wakefail", "wakefail:p=0.3 | mttr=120"),
+        (
+            "combined",
+            "transient:p=0.05 | wakefail:p=0.3 | failslow:d3:x2@0..2500 | mttr=120",
+        ),
+    ];
+
+    let mut group = c.benchmark_group("fault_injection/sparse_poisson");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (id, spec) in regimes {
+        let mut cfg = SimConfig::paper_default()
+            .with_threshold(ThresholdPolicy::Fixed(20.0))
+            .with_metrics(MetricsMode::Histogram);
+        cfg.faults = match spec {
+            "none" => FaultPlan::none(),
+            s => FaultPlan::parse(s).expect("valid fault spec"),
+        };
+        group.bench_with_input(BenchmarkId::new("replay", id), &cfg, |b, cfg| {
+            b.iter(|| {
+                let report = Simulator::run(&catalog, &trace, &assignment, black_box(cfg)).unwrap();
+                black_box(report.energy.total_joules())
+            })
+        });
+    }
+    group.finish();
+
+    // One-shot availability report so `cargo bench` records the damage
+    // story alongside the timing story (what each regime actually costs
+    // the fleet, not just the host CPU).
+    for (id, spec) in regimes {
+        let mut cfg = SimConfig::paper_default()
+            .with_threshold(ThresholdPolicy::Fixed(20.0))
+            .with_metrics(MetricsMode::Histogram);
+        cfg.faults = match spec {
+            "none" => FaultPlan::none(),
+            s => FaultPlan::parse(s).expect("valid fault spec"),
+        };
+        let report = Simulator::run(&catalog, &trace, &assignment, &cfg).unwrap();
+        match report.availability {
+            Some(a) => println!(
+                "fault_injection/damage/{id}: availability {:.4}, {} retried, \
+                 {} wake failure(s), {} crash(es), {:.0} s downtime",
+                a.availability,
+                a.retried,
+                a.wake_failures,
+                a.crashes,
+                a.total_downtime_s(),
+            ),
+            None => println!(
+                "fault_injection/damage/{id}: no fault runtime (legacy path), {:.0} J",
+                report.energy.total_joules()
+            ),
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -38,7 +38,7 @@ use spindown_sim::discipline::DisciplineChoice;
 use spindown_sim::engine::SimError;
 use spindown_sim::hierarchy::CacheChoice;
 use spindown_sim::metrics::MetricsMode;
-use spindown_workload::{FileCatalog, Trace};
+use spindown_workload::{FaultPlan, FileCatalog, Trace};
 
 use crate::planner::{Plan, PlanError, Planner, PlannerConfig};
 use crate::policy::PolicyChoice;
@@ -78,6 +78,58 @@ impl JointObjective {
 impl Default for JointObjective {
     fn default() -> Self {
         Self::energy_p95()
+    }
+}
+
+/// The fault regime the whole grid evaluates under. Faults are a property
+/// of the *environment*, not of a candidate: every cell replays under the
+/// same injected faults, so the planner's winner is the quintuple that
+/// holds up best when disks crash, wakes fail and I/O flakes — the planner
+/// pays for availability through the same (energy, p95) objective, since
+/// retries and cold restarts inflate both.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum FaultChoice {
+    /// Fault-free replay — the legacy bit-identical fast path.
+    #[default]
+    None,
+    /// Inject this plan into every cell's replay.
+    Inject(FaultPlan),
+}
+
+impl FaultChoice {
+    /// Parse a fault spec; empty or `none` selects the fault-free regime,
+    /// anything else must parse as a [`FaultPlan`].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let trimmed = spec.trim();
+        if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("none") {
+            return Ok(FaultChoice::None);
+        }
+        let plan = FaultPlan::parse(trimmed)?;
+        if plan.is_none() {
+            return Ok(FaultChoice::None);
+        }
+        Ok(FaultChoice::Inject(plan))
+    }
+
+    /// True for the fault-free regime.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultChoice::None)
+    }
+
+    /// The plan to lower into a [`spindown_sim::config::SimConfig`].
+    pub fn plan(&self) -> FaultPlan {
+        match self {
+            FaultChoice::None => FaultPlan::none(),
+            FaultChoice::Inject(p) => p.clone(),
+        }
+    }
+
+    /// Short human label (`none`, or the plan's compact spec).
+    pub fn label(&self) -> String {
+        match self {
+            FaultChoice::None => "none".to_owned(),
+            FaultChoice::Inject(p) => p.label(),
+        }
     }
 }
 
@@ -149,6 +201,10 @@ pub struct JointConfig {
     /// Cache hierarchies to cross (≥ 1). Defaults to `[CacheChoice::None]`
     /// — the cache-free quadruple grid the earlier brackets ran.
     pub caches: Vec<CacheChoice>,
+    /// The fault regime every cell replays under (not crossed: faults are
+    /// the environment, not a knob). Defaults to fault-free.
+    #[serde(default)]
+    pub fault: FaultChoice,
     /// Scalarisation picking the winner among non-dominated cells.
     pub objective: JointObjective,
     /// Fleet-size floor every cell simulates (energy is only comparable
@@ -181,6 +237,7 @@ impl JointConfig {
             disciplines: vec![DisciplineChoice::Fifo, DisciplineChoice::ElevatorBatch],
             ladders: LadderChoice::all(),
             caches: vec![CacheChoice::None],
+            fault: FaultChoice::None,
             objective: JointObjective::energy_p95(),
             fleet: None,
         }
@@ -236,6 +293,10 @@ pub struct JointCell {
     pub mean_resp_s: f64,
     /// 95th-percentile response time, seconds.
     pub p95_s: f64,
+    /// Fleet availability fraction when the grid ran under a fault regime
+    /// (`None` on fault-free runs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub availability: Option<f64>,
 }
 
 impl JointCell {
@@ -424,13 +485,15 @@ impl JointPlanner {
     /// engine runs (the ordering `run_sweep` pins). Responses aggregate in
     /// [`MetricsMode::Histogram`]: a grid holds O(buckets) per cell. A
     /// non-`None` cache lowers to `sim.cache_hierarchy`, fronting the
-    /// fleet before any disk sees the request.
+    /// fleet before any disk sees the request; a non-`None` fault regime
+    /// lowers to `sim.faults`, so every cell replays under it.
     pub fn planner_for(&self, candidate: &JointCandidate) -> Planner {
         let mut cfg = self.cfg.base.clone();
         cfg.allocator = candidate.allocator;
         cfg.sim.discipline = candidate.discipline;
         cfg.sim.metrics = MetricsMode::Histogram;
         cfg.sim.cache_hierarchy = candidate.cache.hierarchy();
+        cfg.sim.faults = self.cfg.fault.plan();
         candidate.ladder.apply(&mut cfg.sim.disk);
         cfg.policy = Some(candidate.policy);
         Planner::new(cfg)
@@ -454,6 +517,7 @@ impl JointPlanner {
             energy_j: report.energy.total_joules(),
             mean_resp_s: report.responses.mean(),
             p95_s: report.response_p95(),
+            availability: report.availability.as_ref().map(|a| a.availability),
         })
     }
 
@@ -509,6 +573,7 @@ mod tests {
             energy_j,
             mean_resp_s: p95_s / 2.0,
             p95_s,
+            availability: None,
         }
     }
 
@@ -629,6 +694,46 @@ mod tests {
         let mut policy = p.power_policy();
         let step = policy.settled(0, 0, 0.0).expect("descends");
         assert!(policy.settled(0, 1, step.rest_s).is_some());
+    }
+
+    #[test]
+    fn fault_choice_parses_lowers_and_labels() {
+        assert!(FaultChoice::parse("").unwrap().is_none());
+        assert!(FaultChoice::parse("none").unwrap().is_none());
+        assert!(FaultChoice::parse("garbage!").is_err());
+        let choice = FaultChoice::parse("wakefail:p=0.02 | mttr=120").unwrap();
+        assert!(!choice.is_none());
+        assert_eq!(choice.plan().wakefail_p, 0.02);
+        assert!(choice.label().contains("wakefail"));
+        // The regime lowers into every cell's sim config…
+        let mut cfg = JointConfig::default_grid();
+        cfg.fault = choice;
+        let planner = JointPlanner::new(cfg);
+        let p = planner.planner_for(&JointCandidate::paper_default());
+        assert_eq!(p.config().sim.faults.wakefail_p, 0.02);
+        // …and the default regime leaves the fault-free fast path intact.
+        let p = JointPlanner::new(JointConfig::default_grid())
+            .planner_for(&JointCandidate::paper_default());
+        assert!(p.config().sim.faults.is_none());
+    }
+
+    #[test]
+    fn faulted_search_reports_availability_on_every_cell() {
+        let catalog = FileCatalog::paper_table1(200, 0);
+        let trace = Trace::poisson(&catalog, 0.1, 300.0, 9);
+        let mut cfg = JointConfig::default_grid();
+        cfg.allocators = vec![Allocator::PackDisks];
+        cfg.policies = vec![PolicyChoice::break_even()];
+        cfg.disciplines = vec![DisciplineChoice::Fifo];
+        cfg.ladders = vec![LadderChoice::TwoState];
+        cfg.fault = FaultChoice::parse("transient:p=0.01 | wakefail:p=0.1").unwrap();
+        let out = JointPlanner::new(cfg)
+            .search(&catalog, &trace, 0.1)
+            .unwrap();
+        for c in &out.cells {
+            let a = c.availability.expect("faulted cells carry availability");
+            assert!((0.0..=1.0).contains(&a), "availability {a}");
+        }
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub mod writes;
 
 pub use comparison::{compare, Comparison};
 pub use joint::{
-    pareto_frontier, JointCandidate, JointCell, JointConfig, JointError, JointObjective,
-    JointOutcome, JointPlanner,
+    pareto_frontier, FaultChoice, JointCandidate, JointCell, JointConfig, JointError,
+    JointObjective, JointOutcome, JointPlanner,
 };
 pub use planner::{Plan, PlanError, Planner, PlannerConfig, ServiceModel};
 pub use policy::PolicyChoice;
@@ -55,4 +55,8 @@ pub use spindown_disk::LadderChoice;
 // a DRAM→SSD hierarchy), the joint grid's fifth dimension; re-exported
 // with the policy picker so planner/sweep callers name tiers directly.
 pub use spindown_sim::hierarchy::{CacheChoice, CachePolicyChoice};
+// The fault plan picks *what goes wrong* during a replay (crashes,
+// transient errors, wake failures, fail-slow windows); re-exported so
+// planner callers build a `FaultChoice` regime without a workload import.
+pub use spindown_workload::FaultPlan;
 pub use writes::{WriteFit, WritePlacer};

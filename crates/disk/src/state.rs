@@ -169,6 +169,10 @@ impl DiskStateMachine {
             // Wake directly from any level back to Idle.
             (Sleeping(l), Waking(m)) => l == m,
             (Waking(_), Idle) => true,
+            // A failed spin-up: the drive could not come ready and falls
+            // back to the level it was waking from. The attempted exit
+            // transition's time and energy have already been charged.
+            (Waking(l), Sleeping(m)) => l == m,
             _ => false,
         }
     }
@@ -203,7 +207,11 @@ impl DiskStateMachine {
         }
         self.accountant.transition(now, next)?;
         match next {
-            PowerState::Sleeping(_) => self.spin_downs += 1,
+            // A failed wake falling back to its sleep level is not a new
+            // descent — only entries from a Descending transition count.
+            PowerState::Sleeping(_) if !matches!(self.state, PowerState::Waking(_)) => {
+                self.spin_downs += 1
+            }
             PowerState::Idle if matches!(self.state, PowerState::Waking(_)) => self.spin_ups += 1,
             _ => {}
         }
@@ -257,6 +265,26 @@ impl DiskStateMachine {
         };
         self.transition(now, PowerState::Waking(level))?;
         Ok(now + self.spec.level_exit_time_s(level))
+    }
+
+    /// Convenience: a spin-up attempt fails at its completion time — the
+    /// drive could not come ready and falls back to the sleep level it was
+    /// waking from (must currently be `Waking(l)`; `now` must be at or
+    /// past the transition's completion). The attempted exit transition's
+    /// time and energy remain charged; neither cycle counter moves.
+    /// Returns the level the drive fell back to.
+    pub fn fail_spin_up(&mut self, now: f64) -> Result<u8, TransitionError> {
+        let level = match self.state {
+            PowerState::Waking(l) => l,
+            other => {
+                return Err(TransitionError::IllegalEdge {
+                    from: other,
+                    to: PowerState::Sleeping(1),
+                })
+            }
+        };
+        self.transition(now, PowerState::Sleeping(level))?;
+        Ok(level)
     }
 
     /// Close the books at `now` and return the energy breakdown.
@@ -444,6 +472,36 @@ mod tests {
         let mut m = machine();
         m.transition(10.0, PowerState::Active).unwrap();
         assert!((m.breakdown_so_far().seconds_in(PowerState::Idle) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_spin_up_falls_back_to_the_sleep_level() {
+        let mut m = machine();
+        m.begin_spin_down(0.0).unwrap();
+        m.transition(10.0, PowerState::Standby).unwrap();
+        let up = m.begin_spin_up(100.0).unwrap();
+        // Failing early is still a transition-duration violation…
+        assert!(m.fail_spin_up(100.0 + 1.0).is_err());
+        // …but at the scheduled completion the drive may fall back.
+        assert_eq!(m.fail_spin_up(up).unwrap(), 1);
+        assert_eq!(m.state(), PowerState::Standby);
+        // The failed attempt counts neither a spin-up nor a fresh descent…
+        assert_eq!(m.spin_ups(), 0);
+        assert_eq!(m.spin_downs(), 1);
+        // …but its wake-transition time was charged at transition power.
+        assert!(m.breakdown_so_far().seconds_in(PowerState::Waking(1)) > 0.0);
+        // A second attempt can succeed.
+        let up2 = m.begin_spin_up(up + 5.0).unwrap();
+        m.transition(up2, PowerState::Idle).unwrap();
+        assert_eq!(m.spin_ups(), 1);
+    }
+
+    #[test]
+    fn fail_spin_up_requires_a_waking_state() {
+        let mut m = machine();
+        assert!(m.fail_spin_up(1.0).is_err());
+        m.begin_spin_down(0.0).unwrap();
+        assert!(m.fail_spin_up(10.0).is_err());
     }
 
     #[test]

@@ -169,6 +169,9 @@ proptest! {
             (PowerState::SpinningDown, PowerState::Standby),
             (PowerState::Standby, PowerState::SpinningUp),
             (PowerState::SpinningUp, PowerState::Idle),
+            // Failed spin-up: the drive falls back to the level it was
+            // waking from (SpinningUp = Waking(1), Standby = Sleeping(1)).
+            (PowerState::SpinningUp, PowerState::Standby),
         ];
         let legal = legal_edges.contains(&(from, to));
         // Attempt at a time far enough in the future that transitional

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick] [--out DIR] [--discipline D] [--ladder 2|3]
 //!             [--trace-file FILE] [--horizon S] [--requests N] [--shards S]
-//!             [--cache-tiers SPEC] CMD...
+//!             [--cache-tiers SPEC] [--faults SPEC] CMD...
 //!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity
 //!           shootout joint replay all }
 //! ```
@@ -33,12 +33,16 @@
 //! cache hierarchy: `none` (default), a flat tier like `lru:16` (policy ∈
 //! lru|slru|lfu, capacity in GB), or a two-tier DRAM→SSD stack like
 //! `lru:2+lru:16` — cache hits are served at the tier's bandwidth and
-//! never wake a disk.
+//! never wake a disk. `--faults SPEC` replays under a seeded deterministic
+//! fault regime (e.g. `'transient:p=1e-4 | wakefail:p=0.02 | mttr=300'`;
+//! `none` or omission keeps the fault-free path bit-identical to the
+//! legacy engine): `replay` appends availability columns and the shootout
+//! appends the spec as a fourth fault-bracket level.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spindown_core::{CacheChoice, DisciplineChoice, LadderChoice};
+use spindown_core::{CacheChoice, DisciplineChoice, FaultChoice, LadderChoice};
 use spindown_experiments::output::{render_table, write_csv};
 use spindown_experiments::{
     bounds_exp, fig23, fig4, fig56, joint_exp, replay, sensitivity, shootout, tables, vsweep,
@@ -49,7 +53,9 @@ fn usage() -> &'static str {
     "usage: experiments [--quick] [--out DIR] [--discipline fifo|sjf|sjf:SECONDS|elevator]\n\
      \u{20}                  [--ladder 2|3] [--trace-file FILE] [--horizon SECONDS]\n\
      \u{20}                  [--requests N] [--shards N]\n\
-     \u{20}                  [--cache-tiers none|POLICY:GB|POLICY:GB+POLICY:GB] CMD...\n\
+     \u{20}                  [--cache-tiers none|POLICY:GB|POLICY:GB+POLICY:GB]\n\
+     \u{20}                  [--faults none|SPEC] CMD...\n\
+     \u{20}    (SPEC e.g. 'transient:p=1e-4 | wakefail:p=0.02 | mttr=300')\n\
      CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout joint\n\
      \u{20}    replay all   (--joint is accepted as an alias for the joint command)"
 }
@@ -64,6 +70,7 @@ fn main() -> ExitCode {
     let mut requests: u64 = 1_000_000;
     let mut shards: usize = 1;
     let mut cache = CacheChoice::None;
+    let mut faults = FaultChoice::None;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -113,6 +120,23 @@ fn main() -> ExitCode {
                     eprintln!(
                         "--cache-tiers needs none, POLICY:GB or POLICY:GB+POLICY:GB \
                          (POLICY: lru|slru|lfu, e.g. lru:16 or lru:2+lru:16)\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--faults" => match args.next() {
+                Some(spec) => match FaultChoice::parse(&spec) {
+                    Ok(f) => faults = f,
+                    Err(e) => {
+                        eprintln!("--faults: {e}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!(
+                        "--faults needs a spec (e.g. 'transient:p=1e-4 | wakefail:p=0.02') \
+                         or none\n{}",
                         usage()
                     );
                     return ExitCode::FAILURE;
@@ -205,7 +229,12 @@ fn main() -> ExitCode {
             "vsweep" => vsweep::vsweep(scale),
             "bounds" => bounds_exp::bounds(scale),
             "sensitivity" => sensitivity::sensitivity(scale),
-            "shootout" => shootout::shootout_with(scale, discipline, ladder),
+            "shootout" => shootout::shootout_with_faults(
+                scale,
+                discipline,
+                ladder,
+                (!faults.is_none()).then(|| faults.clone()),
+            ),
             "joint" => joint_exp::joint(scale),
             "replay" => {
                 match replay::replay(
@@ -216,6 +245,7 @@ fn main() -> ExitCode {
                     ladder,
                     shards,
                     cache,
+                    faults.clone(),
                 ) {
                     Ok(fig) => fig,
                     Err(e) => {

@@ -17,7 +17,7 @@
 
 use std::path::Path;
 
-use spindown_core::{CacheChoice, LadderChoice, MetricsMode, Planner, PlannerConfig};
+use spindown_core::{CacheChoice, FaultChoice, LadderChoice, MetricsMode, Planner, PlannerConfig};
 use spindown_sim::engine::Simulator;
 use spindown_sim::metrics::SimReport;
 use spindown_workload::{CsvTraceSource, FileCatalog, SyntheticSource, TraceSource};
@@ -39,8 +39,14 @@ const SYNTHETIC_RATE: f64 = 4.0;
 /// the number of parallel replay shards (1 = the single-threaded engine;
 /// any count reports bit-identical histogram metrics and energy), and
 /// `cache` an optional cache hierarchy fronting the fleet
-/// ([`CacheChoice::None`] replays cache-free; note that a global-scope
-/// hierarchy pins the run to one shard).
+/// ([`CacheChoice::None`] replays cache-free), and `faults` a fault
+/// regime to replay under ([`FaultChoice::None`] keeps the legacy
+/// fault-free path and columns bit-identical).
+///
+/// An explicit `shards > 1` that the configuration cannot honour — a
+/// global-scope cache couples every disk — is an error naming the
+/// coupling, not a silent single-shard fallback.
+#[allow(clippy::too_many_arguments)]
 pub fn replay(
     scale: Scale,
     trace_file: Option<&Path>,
@@ -49,6 +55,7 @@ pub fn replay(
     ladder: LadderChoice,
     shards: usize,
     cache: CacheChoice,
+    faults: FaultChoice,
 ) -> Result<Figure, Box<dyn std::error::Error>> {
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
     let mut cfg = PlannerConfig::default();
@@ -57,8 +64,18 @@ pub fn replay(
         .with_metrics(MetricsMode::Histogram)
         .with_shards(shards)
         .with_cache_hierarchy(cache.hierarchy());
+    cfg.sim.faults = faults.plan();
     ladder.apply(&mut cfg.sim.disk);
     let planner = Planner::new(cfg);
+    if shards > 1 {
+        if let Some(coupling) = planner.config().sim.shard_fallback() {
+            return Err(format!(
+                "--shards {shards} is unsupported with {coupling}: the engine would fall \
+                 back to a single shard; rerun with --shards 1 or drop the coupling"
+            )
+            .into());
+        }
+    }
     let plan = planner.plan(&catalog, SYNTHETIC_RATE)?;
     let fleet = scale.fleet().max(plan.disks_used());
 
@@ -80,27 +97,53 @@ pub fn replay(
         }
     };
 
+    // The legacy (fault-free) CSV schema is pinned; availability columns
+    // exist only when a fault regime is active.
+    let mut columns: Vec<String> = vec![
+        "requests".into(),
+        "resp_s".into(),
+        "resp_p95_s".into(),
+        "resp_p99_s".into(),
+        "energy_j".into(),
+        "peak_event_queue".into(),
+    ];
+    if report.availability.is_some() {
+        for col in [
+            "completed",
+            "retried",
+            "shed",
+            "failed",
+            "availability",
+            "degraded_p95_s",
+        ] {
+            columns.push(col.into());
+        }
+    }
     let mut fig = Figure::new(
         "replay",
         "Streamed trace replay (histogram metrics: O(disks + buckets) resident)",
-        vec![
-            "requests".into(),
-            "resp_s".into(),
-            "resp_p95_s".into(),
-            "resp_p99_s".into(),
-            "energy_j".into(),
-            "peak_event_queue".into(),
-        ],
+        columns,
     );
     let quantiles = report.response_quantiles(&[0.95, 0.99]);
-    fig.push_row(vec![
+    let mut row = vec![
         report.responses.len() as f64,
         report.responses.mean(),
         quantiles[0],
         quantiles[1],
         report.energy.total_joules(),
         report.peak_event_queue as f64,
-    ]);
+    ];
+    if let Some(a) = report.availability.as_ref() {
+        row.extend([
+            a.completed as f64,
+            a.retried as f64,
+            a.shed as f64,
+            a.failed as f64,
+            a.availability,
+            a.degraded_p95(),
+        ]);
+    }
+    fig.push_row(row);
     fig.notes.push(source_note);
     fig.notes.push(format!(
         "fleet {fleet} disks, Pack_Disks allocation, break-even threshold, \
@@ -110,6 +153,15 @@ pub fn replay(
         shards.max(1),
         report.responses.quantile_error_bound()
     ));
+    if let Some(a) = report.availability.as_ref() {
+        fig.notes.push(format!(
+            "faults {}: {} wake failure(s), {} crash(es), {:.1} s total downtime",
+            faults.label(),
+            a.wake_failures,
+            a.crashes,
+            a.total_downtime_s(),
+        ));
+    }
     if cache != CacheChoice::None {
         let stats = report.cache.unwrap_or_default();
         fig.notes.push(format!(
@@ -155,6 +207,7 @@ mod tests {
             LadderChoice::TwoState,
             1,
             CacheChoice::None,
+            FaultChoice::None,
         )
         .expect("replay runs");
         assert_eq!(fig.rows.len(), 1);
@@ -187,6 +240,7 @@ mod tests {
             LadderChoice::TwoState,
             1,
             CacheChoice::None,
+            FaultChoice::None,
         )
         .expect("csv replay runs");
         assert_eq!(fig.rows[0][0] as usize, trace.len());
@@ -200,6 +254,7 @@ mod tests {
             LadderChoice::TwoState,
             1,
             CacheChoice::None,
+            FaultChoice::None,
         )
         .expect("pre-scan replay runs");
         assert_eq!(fig2.rows[0][0] as usize, trace.len());
@@ -216,6 +271,7 @@ mod tests {
             LadderChoice::TwoState,
             1,
             cache,
+            FaultChoice::None,
         )
         .expect("cached replay runs");
         let bare = replay(
@@ -226,6 +282,7 @@ mod tests {
             LadderChoice::TwoState,
             1,
             CacheChoice::None,
+            FaultChoice::None,
         )
         .expect("bare replay runs");
         // Same seeded trace either way; the 16 GB front absorbs reuse.
@@ -241,6 +298,100 @@ mod tests {
     }
 
     #[test]
+    fn fault_free_replay_keeps_the_legacy_columns() {
+        let fig = replay(
+            Scale::Quick,
+            None,
+            Some(200.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+            CacheChoice::None,
+            FaultChoice::None,
+        )
+        .expect("replay runs");
+        assert!(fig.column("availability").is_none());
+        assert!(fig.column("degraded_p95_s").is_none());
+        assert!(fig.notes.iter().all(|n| !n.starts_with("faults ")));
+    }
+
+    #[test]
+    fn faulted_replay_reports_availability_and_is_deterministic() {
+        let faults = FaultChoice::parse("transient:p=0.01 | wakefail:p=0.1").unwrap();
+        let run = || {
+            replay(
+                Scale::Quick,
+                None,
+                Some(500.0),
+                0,
+                LadderChoice::TwoState,
+                1,
+                CacheChoice::None,
+                faults.clone(),
+            )
+            .expect("faulted replay runs")
+        };
+        let fig = run();
+        let avail = fig.rows[0][fig.column("availability").unwrap()];
+        assert!((0.0..=1.0).contains(&avail), "availability {avail}");
+        let retried = fig.rows[0][fig.column("retried").unwrap()];
+        assert!(retried > 0.0, "1% flake over ~2000 requests must retry");
+        assert!(fig.notes.iter().any(|n| n.starts_with("faults ")));
+        // The seeded fault draws make the whole replay reproducible.
+        assert_eq!(fig.rows, run().rows);
+    }
+
+    #[test]
+    fn sharded_replay_under_faults_stays_deterministic() {
+        let faults = FaultChoice::parse("transient:p=0.01 | wakefail:p=0.1").unwrap();
+        let run = |shards| {
+            replay(
+                Scale::Quick,
+                None,
+                Some(500.0),
+                0,
+                LadderChoice::TwoState,
+                shards,
+                CacheChoice::None,
+                faults.clone(),
+            )
+            .expect("faulted replay runs")
+        };
+        // Per-disk fault streams are keyed by global disk id, so the
+        // merged sharded report is bit-identical to the solo run — except
+        // peak_event_queue, which measures each shard's own heap.
+        let (solo, sharded) = (run(1), run(4));
+        let peak = solo.column("peak_event_queue").unwrap();
+        let strip = |fig: &super::Figure| {
+            let mut row = fig.rows[0].clone();
+            row.remove(peak);
+            row
+        };
+        assert_eq!(strip(&solo), strip(&sharded));
+    }
+
+    #[test]
+    fn explicit_shards_with_a_global_cache_error_names_the_coupling() {
+        let err = replay(
+            Scale::Quick,
+            None,
+            Some(100.0),
+            0,
+            LadderChoice::TwoState,
+            4,
+            CacheChoice::parse("lru:16").unwrap(),
+            FaultChoice::None,
+        )
+        .expect_err("global cache cannot shard");
+        let msg = err.to_string();
+        assert!(msg.contains("--shards 4"), "names the flag: {msg}");
+        assert!(
+            msg.contains("global-scope cache"),
+            "names the coupling: {msg}"
+        );
+    }
+
+    #[test]
     fn missing_trace_file_is_a_clean_error() {
         let missing = Path::new("/nonexistent/spindown/trace.csv");
         assert!(replay(
@@ -251,6 +402,7 @@ mod tests {
             LadderChoice::TwoState,
             1,
             CacheChoice::None,
+            FaultChoice::None,
         )
         .is_err());
     }

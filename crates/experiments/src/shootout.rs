@@ -13,18 +13,23 @@
 //! the **joint bracket**: the full (allocation × policy ×
 //! discipline × ladder) quadruple search of `spindown_core::joint` on the
 //! same two replays, with notes flagging the Pareto frontier and the
-//! energy×p95 winner per replay, and finally the **cache bracket**: the
+//! energy×p95 winner per replay, then the **cache bracket**: the
 //! joint grid's fifth leg in isolation — (policy × ladder) at a fixed
 //! fleet under three cache levels (none, a small DRAM front, a big one),
 //! showing that adding cache capacity to the hardware budget lengthens
 //! per-disk idle gaps enough to flip which (policy, ladder) pair wins the
-//! energy×p95 product. This generalises the paper's two-way
+//! energy×p95 product, and finally the **fault bracket**: (policy ×
+//! ladder) on the spin-up-heavy bursts under escalating fault regimes
+//! (none, transient I/O errors, heavy wake failures) — the deep-sleep
+//! quadruple that wins the fault-free replay stops winning once spin-ups
+//! can fail, because every wake retries through backoff and charges its
+//! transition energy again. This generalises the paper's two-way
 //! Pack_Disks-vs-random comparison into the design-space study its §6
 //! hints at.
 
 use spindown_core::{
-    CacheChoice, DisciplineChoice, JointConfig, JointOutcome, JointPlanner, LadderChoice,
-    MetricsMode, Plan, Planner, PlannerConfig, PolicyChoice,
+    CacheChoice, DisciplineChoice, FaultChoice, JointConfig, JointOutcome, JointPlanner,
+    LadderChoice, MetricsMode, Plan, Planner, PlannerConfig, PolicyChoice,
 };
 use spindown_packing::Allocator;
 use spindown_workload::arrivals::BatchConfig;
@@ -142,6 +147,43 @@ fn quadruple_of(label: &str) -> String {
     label.split('+').take(4).collect::<Vec<_>>().join("+")
 }
 
+/// The escalating fault regimes of the fault bracket: fault-free, a
+/// transient-I/O flake rate (one attempt in twenty discards its result
+/// and retries), and heavy wake failures (three quarters of spin-up
+/// attempts fall back asleep and retry through capped backoff, each
+/// attempt charging its transition energy; a drive that exhausts its
+/// budget fail-stops until repair). All regimes share one seed so the
+/// bracket is deterministic.
+pub fn fault_levels() -> Vec<(&'static str, FaultChoice)> {
+    vec![
+        ("none", FaultChoice::None),
+        (
+            "transient",
+            FaultChoice::parse("transient:p=0.05").expect("valid fault spec"),
+        ),
+        (
+            "wakefail",
+            FaultChoice::parse("wakefail:p=0.75 | backoff=8 | mttr=300").expect("valid fault spec"),
+        ),
+    ]
+}
+
+/// The joint-grid restriction the fault bracket searches at one fault
+/// level: Pack_Disks and FIFO fixed, (break-even vs never-spin-down) ×
+/// both ladders at the same `fleet`. Holding the allocation and
+/// discipline keeps the bracket a pure availability question: how hard do
+/// faults have to bite before *not sleeping* beats the deep-sleep cell
+/// that wins the fault-free replay?
+pub fn fault_bracket_config(fleet: usize, fault: FaultChoice) -> JointConfig {
+    let mut cfg = JointConfig::default_grid();
+    cfg.allocators = vec![Allocator::PackDisks];
+    cfg.policies = vec![PolicyChoice::break_even(), PolicyChoice::never()];
+    cfg.disciplines = vec![DisciplineChoice::Fifo];
+    cfg.fleet = Some(fleet);
+    cfg.fault = fault;
+    cfg
+}
+
 /// The spin-up-heavy burst workload the discipline rows replay: sparse
 /// bursts (disks sleep out the gaps under the aggressive threshold) of
 /// several near-simultaneous requests each, so most service happens right
@@ -154,6 +196,26 @@ pub(crate) fn spin_up_heavy_trace(catalog: &FileCatalog, scale: Scale) -> Trace 
         intra_batch_gap_s: 0.5,
     };
     Trace::batched(catalog, &cfg, scale.sim_time(), grid_seed(91, 0, 0))
+}
+
+/// The fault bracket's replay: the same spin-up-heavy burst shape as
+/// [`spin_up_heavy_trace`] but with inter-burst gaps comfortably past the
+/// 53.3 s break-even threshold and a horizon long enough for dozens of
+/// sleep/wake cycles — wake failures need repeated spin-ups to tax, and
+/// the quick-scale 600 s window holds only one or two.
+pub(crate) fn fault_bracket_trace(catalog: &FileCatalog, scale: Scale) -> Trace {
+    let cfg = BatchConfig {
+        burst_rate: 1.0 / 120.0,
+        min_batch: 4,
+        max_batch: 8,
+        intra_batch_gap_s: 0.5,
+    };
+    Trace::batched(
+        catalog,
+        &cfg,
+        scale.sim_time().max(6_000.0),
+        grid_seed(97, 0, 0),
+    )
 }
 
 /// A NERSC-style batched replay (§3.2's bursts of related requests):
@@ -197,6 +259,17 @@ pub fn shootout(scale: Scale) -> Figure {
 /// in the CLI); the discipline rows always compare the whole discipline
 /// family and the ladder bracket always compares every ladder.
 pub fn shootout_with(scale: Scale, base: DisciplineChoice, base_ladder: LadderChoice) -> Figure {
+    shootout_with_faults(scale, base, base_ladder, None)
+}
+
+/// [`shootout_with`], with an optional extra fault regime (`--faults` in
+/// the CLI) appended to the fault bracket as a fourth `custom` level.
+pub fn shootout_with_faults(
+    scale: Scale,
+    base: DisciplineChoice,
+    base_ladder: LadderChoice,
+    custom_fault: Option<FaultChoice>,
+) -> Figure {
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
     let rate = 4.0;
     let fleet = scale.fleet();
@@ -406,6 +479,47 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice, base_ladder: LadderCh
         })
         .collect();
 
+    // Part 7: the fault bracket — (break-even vs never) × both ladders on
+    // the spin-up-heavy bursts (shared with parts 3/4: disks sleep out the
+    // inter-burst gaps, so the fault-free winner is a deep-sleep cell),
+    // replayed under each fault regime of [`fault_levels`]. Wake failures
+    // tax exactly what the deep-sleep cell does most — spin up — so the
+    // heavy level dethrones the fault-free winner; the saving column keeps
+    // the bursty random-placement reference, and a fault level is an
+    // environment, not hardware, so cross-level savings stay comparable.
+    let mut fault_grid = fault_levels();
+    if let Some(custom) = custom_fault {
+        fault_grid.push(("custom", custom));
+    }
+    let fault_trace = fault_bracket_trace(&catalog, scale);
+    let fault_random_energy = run_sweep(
+        &catalog,
+        &fault_trace,
+        &random_plan.assignment,
+        &base_cfg,
+        fleet,
+        &policy_cache_grid(&[PolicyChoice::break_even()], &[None]),
+    )[0]
+    .energy
+    .total_joules();
+    let fault_outcomes: Vec<(&str, JointOutcome)> = fault_grid
+        .iter()
+        .map(|(name, choice)| {
+            let outcome = run_joint(
+                &JointPlanner::new(fault_bracket_config(fleet, choice.clone())),
+                &catalog,
+                &fault_trace,
+                rate,
+            )
+            .expect("fault bracket simulates");
+            assert_eq!(
+                outcome.fleet, fleet,
+                "fault bracket fleet diverged from the random baseline's"
+            );
+            (*name, outcome)
+        })
+        .collect();
+
     let mut fig = Figure::new(
         "shootout",
         "Allocator, policy and queue-discipline shootout at R = 4, L = 0.7 \
@@ -500,6 +614,39 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice, base_ladder: LadderCh
                 .join(", ")
         ));
     }
+    let fault_rows_base = cache_rows_base + cache_outcome.cells.len();
+    {
+        let mut row = fault_rows_base;
+        for (name, outcome) in &fault_outcomes {
+            for (j, cell) in outcome.cells.iter().enumerate() {
+                let mut tags = String::new();
+                if j == outcome.winner {
+                    tags.push_str(", winner");
+                }
+                if let Some(a) = cell.availability {
+                    tags.push_str(&format!(", avail={a:.4}"));
+                }
+                fig.notes.push(format!(
+                    "row {row} = fault {} @{name} (wake-cycle bursts replay{tags})",
+                    cell.candidate.label()
+                ));
+                row += 1;
+            }
+        }
+        fig.notes.push(format!(
+            "fault bracket winners (energy×p95, equal fleet {fleet}, wake-cycle bursts): {}",
+            fault_outcomes
+                .iter()
+                .map(|(name, o)| {
+                    format!(
+                        "{name}→{}",
+                        quadruple_of(&o.winner_cell().candidate.label())
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
     for (idx, (disks, energy, resp, p95, _)) in alloc_results.iter().enumerate() {
         fig.push_row(vec![
             idx as f64,
@@ -563,6 +710,18 @@ pub fn shootout_with(scale: Scale, base: DisciplineChoice, base_ladder: LadderCh
         ]);
         row += 1;
     }
+    for (_, outcome) in &fault_outcomes {
+        for cell in &outcome.cells {
+            fig.push_row(vec![
+                row as f64,
+                cell.disks_used as f64,
+                1.0 - cell.energy_j / fault_random_energy,
+                cell.mean_resp_s,
+                cell.p95_s,
+            ]);
+            row += 1;
+        }
+    }
     fig
 }
 
@@ -580,6 +739,14 @@ mod tests {
         cache_bracket_config(100).candidates().len()
     }
 
+    /// Fault-bracket rows: one (policy × ladder) grid per fault level.
+    fn n_fault_rows() -> usize {
+        fault_levels().len()
+            * fault_bracket_config(100, FaultChoice::None)
+                .candidates()
+                .len()
+    }
+
     #[test]
     fn shootout_covers_all_allocators_and_pack_wins_energy() {
         let fig = shootout(Scale::Quick);
@@ -591,7 +758,7 @@ mod tests {
         let n_joint = 2 * n_joint_cells();
         assert_eq!(
             fig.rows.len(),
-            n_alloc + n_policy + n_disc + n_ladder + n_joint + n_cache_cells()
+            n_alloc + n_policy + n_disc + n_ladder + n_joint + n_cache_cells() + n_fault_rows()
         );
         let savings = fig.series("saving_vs_rnd").unwrap();
         let disks = fig.series("disks_used").unwrap();
@@ -741,7 +908,8 @@ mod tests {
             + discipline_competitors().len()
             + 2 * grid.len()
             + 2 * n_joint_cells()
-            + n_cache_cells();
+            + n_cache_cells()
+            + n_fault_rows();
         assert_eq!(fig.rows.len(), n_rows);
         for name in ["bursts replay", "nersc_style replay"] {
             assert!(
@@ -894,6 +1062,78 @@ mod tests {
         assert_eq!(
             fig.notes.iter().filter(|n| n.contains("= cache ")).count(),
             n_cache_cells()
+        );
+    }
+
+    #[test]
+    fn fault_bracket_wake_failures_dethrone_the_no_fault_winner() {
+        let fig = shootout(Scale::Quick);
+        let summary = fig
+            .notes
+            .iter()
+            .find(|n| n.starts_with("fault bracket winners"))
+            .expect("fault bracket summarises its per-level winners");
+        let winners: Vec<(&str, &str)> = summary
+            .split(": ")
+            .nth(1)
+            .expect("summary lists winners")
+            .split(", ")
+            .map(|entry| entry.split_once('→').expect("level→winner"))
+            .collect();
+        assert_eq!(winners.len(), fault_levels().len());
+        assert_eq!(winners[0].0, "none");
+        // The fault-free winner is a deep-sleep cell (it spins down;
+        // never-spin-down can't win a sparse bursty replay on energy×p95)…
+        let (_, no_fault_quad) = winners[0];
+        assert!(
+            no_fault_quad.contains("break_even"),
+            "fault-free winner must sleep: {summary}"
+        );
+        // …and the acceptance criterion: heavy wake failures dethrone it —
+        // the same quadruple no longer wins once spin-ups can fail.
+        let (_, wakefail_quad) = *winners
+            .iter()
+            .find(|(l, _)| *l == "wakefail")
+            .expect("wakefail level present");
+        assert_ne!(
+            no_fault_quad, wakefail_quad,
+            "wake failures must flip the no-fault winner: {summary}"
+        );
+        // Faulted rows annotate availability; the fault-free rows don't.
+        assert!(
+            fig.notes
+                .iter()
+                .any(|n| n.contains("@wakefail") && n.contains("avail=")),
+            "wakefail rows must carry availability"
+        );
+        assert!(
+            fig.notes
+                .iter()
+                .all(|n| !n.contains("@none") || !n.contains("avail=")),
+            "fault-free rows must not carry availability"
+        );
+    }
+
+    #[test]
+    fn custom_fault_level_appends_to_the_bracket() {
+        let fig = shootout_with_faults(
+            Scale::Quick,
+            DisciplineChoice::Fifo,
+            LadderChoice::TwoState,
+            Some(FaultChoice::parse("transient:p=0.05").unwrap()),
+        );
+        assert!(
+            fig.notes.iter().any(|n| n.contains("@custom")),
+            "custom fault level must add annotated rows"
+        );
+        let summary = fig
+            .notes
+            .iter()
+            .find(|n| n.starts_with("fault bracket winners"))
+            .unwrap();
+        assert!(
+            summary.contains("custom→"),
+            "summary covers the custom level"
         );
     }
 

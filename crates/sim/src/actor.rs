@@ -52,6 +52,12 @@ pub struct DiskActor {
     /// compute its response time without indexing back into a materialised
     /// trace (streamed sources have none). Set by [`DiskActor::serve_next`].
     current_arrival: Option<f64>,
+    /// Size of the in-flight request, kept so the engine's fault retry
+    /// path can re-enqueue it verbatim. Set by [`DiskActor::serve_next`].
+    current_bytes: u64,
+    /// Platter-position proxy of the in-flight request (see
+    /// `current_bytes`).
+    current_pos: u64,
     /// The level the in-flight descent is heading for (meaningful only
     /// while `phase` is `Descending(_)`).
     descent_target: u8,
@@ -77,6 +83,8 @@ impl DiskActor {
             queue: RequestQueue::new(discipline),
             current: None,
             current_arrival: None,
+            current_bytes: 0,
+            current_pos: 0,
             descent_target: 0,
             idle_generation: 0,
             served: 0,
@@ -138,6 +146,8 @@ impl DiskActor {
         };
         let done = self.start_service(t, entry.req, entry.bytes, amortised)?;
         self.current_arrival = Some(entry.arrival_s);
+        self.current_bytes = entry.bytes;
+        self.current_pos = entry.pos;
         Ok(Some(done))
     }
 
@@ -146,6 +156,18 @@ impl DiskActor {
     /// callers bypass the queue and carry no arrival).
     pub fn current_arrival(&self) -> Option<f64> {
         self.current_arrival
+    }
+
+    /// Size of the in-flight request (meaningful while `Busy`, for the
+    /// engine's fault retry path).
+    pub fn current_bytes(&self) -> u64 {
+        self.current_bytes
+    }
+
+    /// Platter-position proxy of the in-flight request (meaningful while
+    /// `Busy`, for the engine's fault retry path).
+    pub fn current_pos(&self) -> u64 {
+        self.current_pos
     }
 
     /// Begin serving request `req` for `bytes` bytes at time `t`; returns
@@ -256,6 +278,22 @@ impl DiskActor {
         self.idle_generation += 1;
         self.queue.freeze_wake_batch();
         Ok(())
+    }
+
+    /// A spin-up attempt failed at its completion time `t`: the drive
+    /// falls back asleep at the level it was waking from. Energy for the
+    /// attempted exit transition stays charged; the wake batch is *not*
+    /// frozen and the idle generation does not move (the disk never became
+    /// idle). Returns the level fallen back to.
+    pub fn fail_spin_up(&mut self, t: f64) -> Result<u8, TransitionError> {
+        assert!(
+            matches!(self.phase, Phase::Waking(_)),
+            "fail_spin_up in phase {:?}",
+            self.phase
+        );
+        let level = self.machine.fail_spin_up(t)?;
+        self.phase = Phase::Asleep(level);
+        Ok(level)
     }
 
     /// Close the books at `t_end` and return the energy breakdown.

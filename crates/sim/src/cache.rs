@@ -48,6 +48,10 @@ pub trait CachePolicy: std::fmt::Debug + Send {
     }
     /// The running statistics.
     fn stats(&self) -> CacheStats;
+    /// Drop every resident file (fault injection: a crashed disk's cache
+    /// comes back empty). The hit/miss history survives and the dropped
+    /// bytes count as evicted.
+    fn flush(&mut self);
 }
 
 /// Running cache statistics.
@@ -162,6 +166,15 @@ impl LruCache {
         self.stats
     }
 
+    /// Drop every resident file, keeping the hit/miss history (the
+    /// dropped bytes count as evicted).
+    pub fn flush(&mut self) {
+        self.stats.evicted_bytes += self.stats.resident_bytes;
+        self.stats.resident_bytes = 0;
+        self.entries.clear();
+        self.by_stamp.clear();
+    }
+
     fn bump(&mut self) -> u64 {
         let s = self.next_stamp;
         self.next_stamp += 1;
@@ -193,6 +206,9 @@ impl CachePolicy for LruCache {
     }
     fn stats(&self) -> CacheStats {
         LruCache::stats(self)
+    }
+    fn flush(&mut self) {
+        LruCache::flush(self)
     }
 }
 
@@ -354,6 +370,16 @@ impl CachePolicy for SegmentedLru {
     fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    fn flush(&mut self) {
+        self.stats.evicted_bytes += self.stats.resident_bytes;
+        self.stats.resident_bytes = 0;
+        for seg in [&mut self.probation, &mut self.protected] {
+            seg.entries.clear();
+            seg.by_stamp.clear();
+            seg.resident = 0;
+        }
+    }
 }
 
 /// Byte-budget LFU over whole files: evict the resident file with the
@@ -437,6 +463,13 @@ impl CachePolicy for LfuCache {
 
     fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    fn flush(&mut self) {
+        self.stats.evicted_bytes += self.stats.resident_bytes;
+        self.stats.resident_bytes = 0;
+        self.entries.clear();
+        self.by_freq.clear();
     }
 }
 

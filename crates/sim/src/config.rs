@@ -2,10 +2,37 @@
 
 use serde::{Deserialize, Serialize};
 use spindown_disk::{break_even_threshold, DiskSpec, PowerLadder};
+use spindown_workload::FaultPlan;
 
 use crate::discipline::DisciplineChoice;
 use crate::hierarchy::{CacheHierarchyConfig, CacheScope};
 use crate::metrics::MetricsMode;
+
+/// Why a sharded run fell back to a single shard: each variant names a
+/// configuration feature that couples disks (or requests) globally and is
+/// therefore not yet supported by the per-shard event loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardFallback {
+    /// A global-scope cache (the legacy flat cache, or a hierarchy with
+    /// [`CacheScope::Global`]) is shared by every disk.
+    GlobalCache,
+    /// The per-request completion log interleaves completions across the
+    /// whole fleet.
+    CompletionLog,
+    /// Preloaded arrivals push the entire trace into one event heap.
+    PreloadedArrivals,
+}
+
+impl std::fmt::Display for ShardFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            ShardFallback::GlobalCache => "a global-scope cache",
+            ShardFallback::CompletionLog => "the per-request completion log",
+            ShardFallback::PreloadedArrivals => "preloaded arrival scheduling",
+        };
+        write!(f, "{what}")
+    }
+}
 
 /// When (if ever) an idle disk spins down.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -115,6 +142,13 @@ pub struct SimConfig {
     /// globally (a global-scope cache, the completion log, preloaded
     /// arrivals; a per-disk-scope cache hierarchy shards freely).
     pub shards: usize,
+    /// Seeded deterministic fault injection (crashes, transient I/O
+    /// errors, wake failures, fail-slow windows, load shedding — see
+    /// [`FaultPlan`]). The default, [`FaultPlan::none()`], leaves the
+    /// engine on a fast path that is bit-identical to the pre-fault
+    /// engine.
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -131,6 +165,7 @@ impl SimConfig {
             metrics: MetricsMode::Exact,
             completion_log: false,
             shards: 1,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -224,6 +259,29 @@ impl SimConfig {
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
+    }
+
+    /// Attach a fault-injection plan. [`FaultPlan::none()`] restores the
+    /// bit-identical no-fault fast path.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Why a multi-shard run of this configuration would fall back to one
+    /// shard (`None` — the common case — means it shards freely). The
+    /// first coupling feature wins, in the order global cache →
+    /// completion log → preloaded arrivals.
+    pub fn shard_fallback(&self) -> Option<ShardFallback> {
+        if self.cache_couples_disks() {
+            Some(ShardFallback::GlobalCache)
+        } else if self.completion_log {
+            Some(ShardFallback::CompletionLog)
+        } else if self.arrivals == ArrivalMode::Preloaded {
+            Some(ShardFallback::PreloadedArrivals)
+        } else {
+            None
+        }
     }
 }
 
@@ -330,6 +388,41 @@ mod tests {
         assert_eq!(cfg.shards, 1);
         assert_eq!(cfg.clone().with_shards(8).shards, 8);
         assert_eq!(cfg.with_shards(0).shards, 1, "zero clamps to one");
+    }
+
+    #[test]
+    fn faults_default_to_none_and_build() {
+        let cfg = SimConfig::paper_default();
+        assert!(cfg.faults.is_none());
+        let plan = FaultPlan::parse("transient:p=1e-4 | wakefail:p=0.02").unwrap();
+        let cfg = cfg.with_faults(plan.clone());
+        assert_eq!(cfg.faults, plan);
+        assert!(!cfg.faults.is_none());
+    }
+
+    #[test]
+    fn shard_fallback_names_the_coupling_feature() {
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.shard_fallback(), None);
+        assert_eq!(
+            cfg.clone()
+                .with_cache(CacheConfig::paper_16gb())
+                .shard_fallback(),
+            Some(ShardFallback::GlobalCache)
+        );
+        assert_eq!(
+            cfg.clone().with_completion_log().shard_fallback(),
+            Some(ShardFallback::CompletionLog)
+        );
+        assert_eq!(
+            cfg.with_arrival_mode(ArrivalMode::Preloaded)
+                .shard_fallback(),
+            Some(ShardFallback::PreloadedArrivals)
+        );
+        assert_eq!(
+            ShardFallback::GlobalCache.to_string(),
+            "a global-scope cache"
+        );
     }
 
     #[test]

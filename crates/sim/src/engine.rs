@@ -79,6 +79,7 @@ use spindown_workload::{FileCatalog, FileId, InMemorySource, Request, Trace, Tra
 use crate::actor::{DiskActor, Phase};
 use crate::config::{ArrivalMode, SimConfig};
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultRuntime, PendingRetry};
 use crate::hierarchy::{CacheHierarchy, CacheScope};
 use crate::metrics::{Completion, MetricsMode, ResponseStats, SimReport};
 use crate::policy::{DescentStep, PowerPolicy, TimeoutPolicy};
@@ -220,6 +221,9 @@ pub struct Simulator<'a, S: TraceSource> {
     arrived: usize,
     peak_events: usize,
     peak_disk_queue: usize,
+    /// Live fault-injection state; `None` (no fault plan) keeps every hook
+    /// on the bit-identical legacy path.
+    fault: Option<FaultRuntime>,
 }
 
 impl<'a> Simulator<'a, InMemorySource<'a>> {
@@ -474,6 +478,8 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             cfg,
             fleet,
             fleet,
+            0,
+            1,
             policy,
         )?;
         let t_end = sim.horizon.max(sim.last_event_time);
@@ -490,7 +496,10 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
     /// `global_fleet` is the whole fleet (they differ only in a sharded
     /// run) and sizes each per-disk cache slice at `capacity /
     /// global_fleet`, so the slices partition the same configured budget
-    /// at every shard count.
+    /// at every shard count. `shard`/`stride` position this engine's
+    /// actors in the global fleet (local `d` = global `d * stride +
+    /// shard`; `0`/`1` unsharded) — the fault injector keys its per-disk
+    /// RNG streams off global ids so fault draws are shard-invariant.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_drained(
         catalog: &'a FileCatalog,
@@ -500,6 +509,8 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         cfg: &'a SimConfig,
         fleet: usize,
         global_fleet: usize,
+        shard: usize,
+        stride: usize,
         policy: Box<dyn PowerPolicy>,
     ) -> Result<Self, SimError> {
         if cfg.cache.is_some() && cfg.cache_hierarchy.is_some() {
@@ -537,6 +548,8 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             arrived: 0,
             peak_events: 0,
             peak_disk_queue: 0,
+            fault: (!cfg.faults.is_none())
+                .then(|| FaultRuntime::new(&cfg.faults, fleet, shard, stride, cfg.metrics)),
         };
         sim.prime();
         sim.drive()?;
@@ -567,6 +580,21 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         }
         for disk in 0..self.actors.len() {
             self.arm_timer(disk, 0, 0.0);
+        }
+        // Scheduled fail-stop crashes (crashes beyond the horizon never
+        // happen — end effects must not depend on the drain order).
+        if let Some(f) = &self.fault {
+            let mut crashes = Vec::new();
+            for (disk, times) in f.crash_times.iter().enumerate() {
+                for &t in times {
+                    if t <= self.horizon {
+                        crashes.push((t, disk));
+                    }
+                }
+            }
+            for (t, disk) in crashes {
+                self.events.schedule(t, Event::Crash { disk });
+            }
         }
         self.peak_events = self.peak_events.max(self.events.len());
     }
@@ -664,6 +692,9 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                 }
                 Event::PhaseDone { disk } => self.on_phase_done(t, disk)?,
                 Event::SpinDownTimer { disk, generation } => self.on_timer(t, disk, generation)?,
+                Event::Crash { disk } => self.on_crash(t, disk)?,
+                Event::Repair { disk } => self.on_repair(t, disk)?,
+                Event::Retry { disk } => self.on_retry(t, disk)?,
             }
         }
         Ok(())
@@ -677,6 +708,9 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             Some(d) if d != usize::MAX => d,
             _ => return Err(SimError::UnmappedFile { file: r.file }),
         };
+        if let Some(f) = &mut self.fault {
+            f.arrivals += 1;
+        }
         let size = self.catalog.file(r.file).size_bytes;
         // A hit returns before the policy or actor hear about the request:
         // served without disk involvement, idle clock untouched.
@@ -688,6 +722,9 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                     // the dispatcher, not any disk, so they enter only the
                     // global collector — live in both metrics modes.
                     self.responses.record(latency);
+                    if let Some(f) = &mut self.fault {
+                        f.completed += 1;
+                    }
                     return Ok(());
                 }
             }
@@ -702,8 +739,20 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                         self.responses.record(latency);
                     }
                     self.per_disk_responses[disk].record(latency);
+                    if let Some(f) = &mut self.fault {
+                        f.completed += 1;
+                    }
                     return Ok(());
                 }
+            }
+        }
+        // Admission control: past the backlog watermark the request is
+        // shed (counted, never queued) so a degraded fleet saturates
+        // gracefully instead of queueing unboundedly.
+        if let Some(f) = &mut self.fault {
+            if f.sheds(self.actors[disk].queue_len()) {
+                f.shed += 1;
+                return Ok(());
             }
         }
         self.policy.request_arrived(disk, t);
@@ -714,13 +763,43 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
 
     /// Make progress on a disk that has (or may have) pending work.
     fn kick(&mut self, t: f64, disk: usize) -> Result<(), SimError> {
+        if let Some(f) = &self.fault {
+            // An offline disk neither serves nor wakes; its backlog waits
+            // for the repair.
+            if f.down[disk] {
+                return Ok(());
+            }
+        }
         match self.actors[disk].phase() {
             Phase::Idle => {
                 if let Some(done) = self.actors[disk].serve_next(t)? {
+                    // Fail-slow windows stretch this dispatch's service
+                    // time; the no-fault path passes `done` through with
+                    // zero extra float operations.
+                    let done = match &mut self.fault {
+                        Some(f) => match f.failslow_factor(disk, t) {
+                            Some(factor) => {
+                                f.current_scaled[disk] = true;
+                                t + (done - t) * factor
+                            }
+                            None => {
+                                f.current_scaled[disk] = false;
+                                done
+                            }
+                        },
+                        None => done,
+                    };
                     self.events.schedule(done, Event::PhaseDone { disk });
                 }
             }
             Phase::Asleep(_) => {
+                // A failed spin-up holds the disk down for its backoff;
+                // the Retry event scheduled at the hold expiry re-kicks.
+                if let Some(f) = &self.fault {
+                    if t < f.wake_hold_until[disk] {
+                        return Ok(());
+                    }
+                }
                 // Wake directly from whatever level the disk rests at.
                 let done = self.actors[disk].begin_spin_up(t)?;
                 self.events.schedule(done, Event::PhaseDone { disk });
@@ -739,17 +818,73 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                 let arrival = self.actors[disk]
                     .current_arrival()
                     .expect("engine dispatch always goes through serve_next");
-                let req = self.actors[disk].complete_service(t)?;
-                if self.record_global {
-                    self.responses.record(t - arrival);
-                }
-                self.per_disk_responses[disk].record(t - arrival);
-                if let Some(log) = self.completions.as_mut() {
-                    log.push(Completion {
-                        req,
-                        disk,
-                        time_s: t,
-                    });
+                if self.fault.is_some() {
+                    // Retry metadata must be read before the completion
+                    // clears the in-flight request.
+                    let bytes = self.actors[disk].current_bytes();
+                    let pos = self.actors[disk].current_pos();
+                    let req = self.actors[disk].complete_service(t)?;
+                    let f = self.fault.as_mut().expect("checked above");
+                    if f.draw_transient(disk) {
+                        // Transient I/O error: the attempt's time and
+                        // energy are spent, the result is discarded. The
+                        // request re-queues after backoff — or is dropped
+                        // once its retry budget runs out.
+                        let n = {
+                            let attempts = f.attempts[disk].entry(req).or_insert(0);
+                            *attempts += 1;
+                            *attempts
+                        };
+                        if n > f.plan().retry_budget {
+                            f.attempts[disk].remove(&req);
+                            f.failed += 1;
+                        } else {
+                            f.retried += 1;
+                            let fire = t + f.plan().backoff_s(n - 1);
+                            f.pending_retries[disk].push(PendingRetry {
+                                fire,
+                                req,
+                                bytes,
+                                arrival,
+                                pos,
+                            });
+                            self.events.schedule(fire, Event::Retry { disk });
+                        }
+                    } else {
+                        let degraded = f.is_degraded(disk, req, arrival);
+                        f.attempts[disk].remove(&req);
+                        f.completed += 1;
+                        if degraded {
+                            f.degraded[disk].record(t - arrival);
+                        }
+                        if self.record_global {
+                            self.responses.record(t - arrival);
+                        }
+                        self.per_disk_responses[disk].record(t - arrival);
+                        if let Some(log) = self.completions.as_mut() {
+                            log.push(Completion {
+                                req,
+                                disk,
+                                time_s: t,
+                            });
+                        }
+                    }
+                    if self.fault.as_ref().expect("checked above").pending_crash[disk] {
+                        return self.apply_crash(t, disk);
+                    }
+                } else {
+                    let req = self.actors[disk].complete_service(t)?;
+                    if self.record_global {
+                        self.responses.record(t - arrival);
+                    }
+                    self.per_disk_responses[disk].record(t - arrival);
+                    if let Some(log) = self.completions.as_mut() {
+                        log.push(Completion {
+                            req,
+                            disk,
+                            time_s: t,
+                        });
+                    }
                 }
                 if self.actors[disk].queue_is_empty() {
                     self.arm_timer(disk, 0, t);
@@ -758,6 +893,36 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                 }
             }
             Phase::Waking(_) => {
+                if self.fault.is_some() {
+                    if self.fault.as_ref().expect("checked above").pending_crash[disk] {
+                        // The crash that landed mid-wake applies at this
+                        // boundary: the spin-up's energy is charged, then
+                        // the disk goes offline.
+                        self.actors[disk].complete_spin_up(t)?;
+                        return self.apply_crash(t, disk);
+                    }
+                    let f = self.fault.as_mut().expect("checked above");
+                    if f.draw_wakefail(disk) {
+                        // Failed spin-up: the attempt's transition energy
+                        // is charged, the drive falls back asleep, and the
+                        // next attempt waits out an exponential backoff.
+                        // Past the retry budget the drive is declared
+                        // fail-stop dead until repair.
+                        f.wake_failures += 1;
+                        f.wake_attempts[disk] += 1;
+                        let n = f.wake_attempts[disk];
+                        if n > f.plan().retry_budget {
+                            self.actors[disk].complete_spin_up(t)?;
+                            return self.apply_crash(t, disk);
+                        }
+                        let hold = t + f.plan().backoff_s(n - 1);
+                        f.wake_hold_until[disk] = hold;
+                        self.actors[disk].fail_spin_up(t)?;
+                        self.events.schedule(hold, Event::Retry { disk });
+                        return Ok(());
+                    }
+                    f.wake_attempts[disk] = 0;
+                }
                 self.actors[disk].complete_spin_up(t)?;
                 if self.actors[disk].queue_is_empty() {
                     // Rare: the waiting request was served from elsewhere —
@@ -769,6 +934,25 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             }
             Phase::Descending(_) => {
                 let level = self.actors[disk].complete_descend(t)?;
+                if let Some(f) = &self.fault {
+                    if f.pending_crash[disk] {
+                        // Settled now: the deferred crash applies (and
+                        // continues the park to the deepest level).
+                        return self.apply_crash(t, disk);
+                    }
+                    if f.down[disk] {
+                        // A crashed disk parks all the way down regardless
+                        // of its backlog, then waits for repair.
+                        let deepest = self.actors[disk].deepest_level();
+                        if level < deepest {
+                            let done = self.actors[disk].begin_descend(t, deepest)?;
+                            self.events.schedule(done, Event::PhaseDone { disk });
+                        } else if f.pending_repair[disk] {
+                            return self.apply_repair(t, disk);
+                        }
+                        return Ok(());
+                    }
+                }
                 if !self.actors[disk].queue_is_empty() {
                     // Work arrived mid-descent; wake from the level just
                     // reached (transitions cannot be aborted).
@@ -824,6 +1008,126 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         Ok(())
     }
 
+    /// A scheduled fail-stop crash fires. Settled disks go offline now;
+    /// a crash landing mid-phase (service, wake or descent in flight) is
+    /// deferred to the next phase boundary — transitions cannot be
+    /// aborted, and the in-flight attempt's energy stays charged.
+    fn on_crash(&mut self, t: f64, disk: usize) -> Result<(), SimError> {
+        let phase = self.actors[disk].phase();
+        let f = self
+            .fault
+            .as_mut()
+            .expect("Crash event without a fault plan");
+        if f.down[disk] {
+            return Ok(()); // already offline; a second crash is moot
+        }
+        match phase {
+            Phase::Idle | Phase::Asleep(_) => self.apply_crash(t, disk),
+            Phase::Busy | Phase::Waking(_) | Phase::Descending(_) => {
+                f.pending_crash[disk] = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Take `disk` offline at `t` (it is settled: idle or asleep). The
+    /// disk's cache slice is flushed — it will return cold — and from
+    /// idle it parks to the deepest sleep level (the descent chain in
+    /// `on_phase_done` keeps going while the disk is down). Repair is
+    /// scheduled `mttr` later unless that falls beyond the horizon, in
+    /// which case the disk stays down to the end of the run.
+    fn apply_crash(&mut self, t: f64, disk: usize) -> Result<(), SimError> {
+        let f = self.fault.as_mut().expect("crash without a fault plan");
+        f.pending_crash[disk] = false;
+        if f.down[disk] {
+            return Ok(());
+        }
+        f.down[disk] = true;
+        f.down_since[disk] = t;
+        f.crashes += 1;
+        f.wake_attempts[disk] = 0;
+        f.wake_hold_until[disk] = 0.0;
+        let repair = t + f.plan().mttr_s;
+        self.timers[disk].deadline = None;
+        if let CacheFront::PerDisk(slices) = &mut self.cache {
+            slices[disk].flush();
+        }
+        if self.actors[disk].phase() == Phase::Idle {
+            let deepest = self.actors[disk].deepest_level();
+            if deepest > 0 {
+                let done = self.actors[disk].begin_descend(t, deepest)?;
+                self.events.schedule(done, Event::PhaseDone { disk });
+            }
+        }
+        if repair <= self.horizon {
+            self.events.schedule(repair, Event::Repair { disk });
+        }
+        Ok(())
+    }
+
+    /// A repair completes. A disk still descending defers to the settle
+    /// point; otherwise it comes back cold — parked at whatever sleep
+    /// level it reached — and any backlog wakes it immediately.
+    fn on_repair(&mut self, t: f64, disk: usize) -> Result<(), SimError> {
+        let f = self
+            .fault
+            .as_mut()
+            .expect("Repair event without a fault plan");
+        if !f.down[disk] {
+            return Ok(());
+        }
+        if matches!(self.actors[disk].phase(), Phase::Descending(_)) {
+            f.pending_repair[disk] = true;
+            return Ok(());
+        }
+        self.apply_repair(t, disk)
+    }
+
+    /// Bring `disk` back online at `t` (it is settled, cold).
+    fn apply_repair(&mut self, t: f64, disk: usize) -> Result<(), SimError> {
+        let f = self.fault.as_mut().expect("repair without a fault plan");
+        f.pending_repair[disk] = false;
+        f.down[disk] = false;
+        f.downtime[disk] += (t - f.down_since[disk]).max(0.0);
+        f.last_repair[disk] = t;
+        if !self.actors[disk].queue_is_empty() {
+            self.kick(t, disk)
+        } else {
+            if let Some(level) = self.actors[disk].phase().settled_level() {
+                self.arm_timer(disk, level, t);
+            }
+            Ok(())
+        }
+    }
+
+    /// A retry backoff expires: due transient retries re-enter the queue
+    /// with their original arrival stamps, and a held wake attempt is
+    /// allowed again (the kick re-tries the spin-up).
+    fn on_retry(&mut self, t: f64, disk: usize) -> Result<(), SimError> {
+        let f = self
+            .fault
+            .as_mut()
+            .expect("Retry event without a fault plan");
+        let pending = &mut f.pending_retries[disk];
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].fire <= t {
+                due.push(pending.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for r in &due {
+            self.policy.request_arrived(disk, t);
+            self.actors[disk].enqueue(r.req, r.bytes, r.arrival, r.pos);
+        }
+        if !due.is_empty() {
+            self.peak_disk_queue = self.peak_disk_queue.max(self.actors[disk].queue_len());
+        }
+        self.kick(t, disk)
+    }
+
     /// Integrate energy to `t_end` and assemble the report. In histogram
     /// mode the global response collector is derived here — cache-hit
     /// collector first, then the per-disk collectors merged in ascending
@@ -835,6 +1139,20 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                 self.responses.merge(per_disk);
             }
         }
+        let availability = self.fault.take().map(|f| {
+            let queued: u64 = self.actors.iter().map(|a| a.queue_len() as u64).sum();
+            let stats = f.into_stats(t_end, queued, self.actors.len(), self.cfg.metrics);
+            debug_assert!(
+                stats.conservation_holds(),
+                "fault conservation violated: {} arrivals vs {} completed + {} shed + {} failed + {} in-flight",
+                stats.arrivals,
+                stats.completed,
+                stats.shed,
+                stats.failed,
+                stats.in_flight
+            );
+            stats
+        });
         let mut fleet = spindown_disk::energy::EnergyBreakdown::default();
         let mut per_disk = Vec::with_capacity(self.actors.len());
         let mut per_disk_served = Vec::with_capacity(self.actors.len());
@@ -886,6 +1204,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             per_disk_served,
             peak_event_queue: self.peak_events,
             peak_disk_queue: self.peak_disk_queue,
+            availability,
         })
     }
 }
@@ -901,12 +1220,12 @@ mod tests {
 
     /// Catalog of `n` equally popular files of `size` bytes, one per disk or
     /// per explicit layout.
-    fn catalog(n: usize, size: u64) -> FileCatalog {
+    pub(super) fn catalog(n: usize, size: u64) -> FileCatalog {
         FileCatalog::from_parts(vec![size; n], vec![1.0 / n as f64; n])
     }
 
     /// Assignment placing file i on disk `layout[i]`.
-    fn assignment(layout: &[usize]) -> Assignment {
+    pub(super) fn assignment(layout: &[usize]) -> Assignment {
         let disks = layout.iter().copied().max().map_or(0, |m| m + 1);
         let mut bins: Vec<DiskBin> = (0..disks).map(|_| DiskBin::default()).collect();
         for (file, &d) in layout.iter().enumerate() {
@@ -915,7 +1234,7 @@ mod tests {
         Assignment { disks: bins }
     }
 
-    fn trace(reqs: &[(f64, u32)], horizon: f64) -> Trace {
+    pub(super) fn trace(reqs: &[(f64, u32)], horizon: f64) -> Trace {
         Trace::new(
             reqs.iter()
                 .map(|&(time, f)| Request {
@@ -1557,5 +1876,176 @@ mod tests {
         let s = service_time_72mb();
         assert!((report.response_quantile(0.0) - (15.0 + s)).abs() < 1e-9);
         assert!((report.response_quantile(1.0) - (15.0 + 2.0 * s)).abs() < 1e-9);
+    }
+}
+
+/// Integration tests for the fault injector: the [`FaultRuntime`] hooks in
+/// dispatch, spin-up completion and service completion, exercised through
+/// full engine runs (the unit-level draw/state tests live in `fault.rs`).
+#[cfg(test)]
+mod fault_tests {
+    use super::tests::{assignment, catalog, trace};
+    use super::*;
+    use crate::config::ThresholdPolicy;
+    use spindown_workload::{FaultPlan, MB};
+
+    fn sleepy(spec: &str) -> SimConfig {
+        let mut cfg = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(10.0));
+        cfg.faults = FaultPlan::parse(spec).unwrap();
+        cfg
+    }
+
+    /// Five widely spaced requests each find the disk in standby; at a 90 %
+    /// wake-failure rate the retry chains overflow the budget, the drive
+    /// fail-stops, and the repair downtime shows up in availability.
+    #[test]
+    fn wake_failures_retry_then_fail_stop_and_repair() {
+        let cat = catalog(1, 72 * MB);
+        let cfg = sleepy("wakefail:p=0.9 | mttr=300 | seed=3");
+        let tr = trace(
+            &[(100.0, 0), (400.0, 0), (700.0, 0), (1000.0, 0), (1300.0, 0)],
+            2000.0,
+        );
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        let a = report.availability.as_ref().expect("faults produce stats");
+        assert_eq!(a.arrivals, 5);
+        // Every request eventually completes: a crash repairs after the
+        // MTTR and the queued request wakes the returned drive.
+        assert_eq!(a.completed, 5);
+        assert_eq!(a.failed, 0);
+        assert!(a.wake_failures > 5, "repeated retries: {}", a.wake_failures);
+        assert!(a.crashes >= 1, "budget exhaustion fail-stops the drive");
+        let downtime = a.per_disk_downtime_s[0];
+        assert!(
+            (downtime - a.crashes as f64 * 300.0).abs() < 1e-6,
+            "each crash is down for one MTTR: {downtime}"
+        );
+        assert!(a.availability < 1.0 && a.availability > 0.0);
+        assert!(a.conservation_holds());
+    }
+
+    /// Each failed spin-up charges its transition energy: the same seed
+    /// with wake failures must burn strictly more than the fault-free run,
+    /// and the tail response absorbs the backoff + repeated spin-up time.
+    #[test]
+    fn failed_spin_ups_charge_transition_energy_and_delay() {
+        let cat = catalog(1, 72 * MB);
+        // Horizon far past the arrivals: every retry chain (and any
+        // fail-stop repair) lands inside the run, so all three complete.
+        let tr = trace(&[(100.0, 0), (250.0, 0), (400.0, 0)], 3000.0);
+        let clean = SimConfig::paper_default().with_threshold(ThresholdPolicy::Fixed(10.0));
+        let faulty = sleepy("wakefail:p=0.9 | seed=3");
+        let clean_report = Simulator::run(&cat, &tr, &assignment(&[0]), &clean).unwrap();
+        let fault_report = Simulator::run(&cat, &tr, &assignment(&[0]), &faulty).unwrap();
+        let extra = fault_report
+            .availability
+            .as_ref()
+            .map(|a| a.wake_failures + a.crashes)
+            .unwrap();
+        assert!(
+            extra > 0,
+            "seed 3 at p=0.9 fails at least one of three wakes"
+        );
+        assert_eq!(fault_report.availability.as_ref().unwrap().completed, 3);
+        assert!(
+            fault_report.energy.total_joules() > clean_report.energy.total_joules(),
+            "failed attempts still pay the transition"
+        );
+        assert!(fault_report.response_quantile(1.0) > clean_report.response_quantile(1.0));
+    }
+
+    /// Transient I/O errors re-serve the request after backoff: time and
+    /// energy are spent, the completion count stays exact, and the retried
+    /// counter records every discarded attempt.
+    #[test]
+    fn transient_errors_retry_and_complete() {
+        let cat = catalog(1, 72 * MB);
+        let mut cfg = SimConfig::paper_default();
+        cfg.faults = FaultPlan::parse("transient:p=0.4 | seed=11").unwrap();
+        let reqs: Vec<(f64, u32)> = (0..20).map(|i| (i as f64 * 30.0, 0)).collect();
+        let tr = trace(&reqs, 700.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        let a = report.availability.as_ref().unwrap();
+        assert_eq!(a.arrivals, 20);
+        assert_eq!(a.completed, 20, "budget 5 at p=0.4 outlasts every flake");
+        assert!(a.retried > 0, "p=0.4 over 20 requests flakes some attempt");
+        assert_eq!(report.responses.len(), 20);
+        assert!(a.conservation_holds());
+    }
+
+    /// A retry budget of zero turns every transient flake into a counted
+    /// failure — the request leaves the system without a response sample,
+    /// and conservation still balances through the failed bucket.
+    #[test]
+    fn exhausted_retry_budget_counts_failures_not_panics() {
+        let cat = catalog(1, 72 * MB);
+        let mut cfg = SimConfig::paper_default();
+        cfg.faults = FaultPlan::parse("transient:p=0.5 | retries=0 | seed=7").unwrap();
+        let reqs: Vec<(f64, u32)> = (0..40).map(|i| (i as f64 * 10.0, 0)).collect();
+        let tr = trace(&reqs, 500.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        let a = report.availability.as_ref().unwrap();
+        assert_eq!(a.arrivals, 40);
+        assert!(a.failed > 0, "p=0.5 with no retries drops requests");
+        assert_eq!(a.completed + a.failed, 40);
+        assert_eq!(report.responses.len() as u64, a.completed);
+        assert!(a.conservation_holds());
+    }
+
+    /// A scheduled crash takes the disk offline mid-run: requests arriving
+    /// during the outage wait for the repair, the disk returns cold, and
+    /// the downtime equals the MTTR.
+    #[test]
+    fn scheduled_crash_queues_work_until_repair() {
+        let cat = catalog(1, 72 * MB);
+        let mut cfg = SimConfig::paper_default();
+        cfg.faults = FaultPlan::parse("crash@t=50:d0 | mttr=200").unwrap();
+        let tr = trace(&[(10.0, 0), (100.0, 0)], 600.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        let a = report.availability.as_ref().unwrap();
+        assert_eq!(a.crashes, 1);
+        assert_eq!(a.completed, 2);
+        assert!((a.per_disk_downtime_s[0] - 200.0).abs() < 1e-6);
+        // The t=100 request arrived mid-outage (50..250) and waited for
+        // the repair plus the cold spin-up.
+        assert!(
+            report.response_quantile(1.0) > 150.0,
+            "p100 {}",
+            report.response_quantile(1.0)
+        );
+        assert!(a.availability < 1.0);
+    }
+
+    /// The no-fault configuration leaves no availability stats and the
+    /// legacy report untouched — the `FaultPlan::none()` path never
+    /// constructs a runtime.
+    #[test]
+    fn no_fault_plan_reports_no_availability() {
+        let cat = catalog(1, 72 * MB);
+        let cfg = SimConfig::paper_default();
+        let tr = trace(&[(5.0, 0)], 100.0);
+        let report = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        assert!(report.availability.is_none());
+    }
+
+    /// A fail-slow window stretches service: the same trace takes longer
+    /// wall-clock inside the window than without the fault plan.
+    #[test]
+    fn failslow_window_stretches_service() {
+        let cat = catalog(1, 72 * MB);
+        let mut cfg = SimConfig::paper_default();
+        // 4× slower service on disk 0 between t=0 and t=1000.
+        cfg.faults = FaultPlan::parse("failslow:d0:x4@0..1000").unwrap();
+        let tr = trace(&[(5.0, 0)], 100.0);
+        let slow = Simulator::run(&cat, &tr, &assignment(&[0]), &cfg).unwrap();
+        let clean =
+            Simulator::run(&cat, &tr, &assignment(&[0]), &SimConfig::paper_default()).unwrap();
+        assert!(
+            slow.response_quantile(1.0) > 2.0 * clean.response_quantile(1.0),
+            "slow {} vs clean {}",
+            slow.response_quantile(1.0),
+            clean.response_quantile(1.0)
+        );
+        assert!(slow.availability.as_ref().unwrap().conservation_holds());
     }
 }

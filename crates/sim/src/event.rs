@@ -29,6 +29,27 @@ pub enum Event {
         /// Idle-period generation the timer was armed in.
         generation: u64,
     },
+    /// Disk `disk` fail-stops (fault injection): it goes offline until its
+    /// repair completes. Crashes landing mid-phase are deferred to the next
+    /// phase boundary by the engine.
+    Crash {
+        /// Disk index.
+        disk: usize,
+    },
+    /// Disk `disk`'s repair completes (fault injection): it comes back
+    /// *cold* — parked at the deepest sleep level with its per-disk cache
+    /// tiers flushed.
+    Repair {
+        /// Disk index.
+        disk: usize,
+    },
+    /// A retry backoff for disk `disk` expires (fault injection): due
+    /// retried requests re-enter its queue, or a held wake attempt is
+    /// allowed again.
+    Retry {
+        /// Disk index.
+        disk: usize,
+    },
 }
 
 #[derive(Debug)]

@@ -1,0 +1,354 @@
+//! Runtime state for seeded deterministic fault injection.
+//!
+//! The [`FaultPlan`](spindown_workload::FaultPlan) (parsed in
+//! `spindown_workload::fault`) *describes* a failure regime; this module
+//! holds the *live* per-engine state the event loop consults — per-disk RNG
+//! streams, crash schedules, retry ledgers, downtime clocks and the
+//! availability counters that end up in
+//! [`AvailabilityStats`](crate::metrics::AvailabilityStats).
+//!
+//! ## Determinism and shard invariance
+//!
+//! Every random draw comes from a per-disk `SmallRng` seeded from the
+//! plan's seed combined with the disk's **global** id, and every draw
+//! happens at an event on that disk's own timeline (a spin-up completion,
+//! a service completion). Disk trajectories are independent of each other,
+//! so a sharded run — where each shard owns a strided subset of the fleet
+//! — makes exactly the same draws at exactly the same simulated times as
+//! the unsharded run, and merged reports stay bit-identical across shard
+//! counts.
+//!
+//! ## The no-fault fast path
+//!
+//! An engine whose config carries `FaultPlan::none()` never constructs a
+//! `FaultRuntime` at all: every hook in the event loop is behind an
+//! `Option` check, so the no-fault replay executes the identical sequence
+//! of floating-point operations it did before fault injection existed.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use spindown_workload::FaultPlan;
+
+use crate::metrics::{AvailabilityStats, MetricsMode, ResponseStats};
+
+/// Per-disk seed spread: the same golden-ratio multiplier the stochastic
+/// policies use to derive independent per-disk streams from one seed.
+pub(crate) const DISK_SEED_SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A transiently-failed request waiting out its backoff before re-entering
+/// its disk's queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingRetry {
+    /// When the backoff expires.
+    pub fire: f64,
+    /// Trace index of the request.
+    pub req: usize,
+    /// Request size, bytes.
+    pub bytes: u64,
+    /// The *original* arrival stamp — response time spans every retry.
+    pub arrival: f64,
+    /// Platter-position proxy (file index).
+    pub pos: u64,
+}
+
+/// Live fault-injection state for one engine instance (one shard, or the
+/// whole fleet unsharded). All vectors are indexed by *local* disk id;
+/// local disk `d` is global disk `d * stride + shard` (0/1 unsharded).
+#[derive(Debug)]
+pub(crate) struct FaultRuntime {
+    plan: FaultPlan,
+    /// One independent stream per local disk, seeded from the plan seed
+    /// and the disk's global id.
+    rngs: Vec<SmallRng>,
+    /// Scheduled crash times per local disk, ascending.
+    pub crash_times: Vec<Vec<f64>>,
+    /// Fail-slow windows per local disk: `(factor, from_s, to_s)`.
+    failslow: Vec<Vec<(f64, f64, f64)>>,
+    /// Whether the disk is currently offline.
+    pub down: Vec<bool>,
+    /// When the current outage started (meaningful while `down`).
+    pub down_since: Vec<f64>,
+    /// Completed outage seconds per disk.
+    pub downtime: Vec<f64>,
+    /// A crash landed mid-phase and waits for the next phase boundary.
+    pub pending_crash: Vec<bool>,
+    /// A repair completed mid-descent and waits for the disk to settle.
+    pub pending_repair: Vec<bool>,
+    /// Consecutive failed spin-up attempts on the current wake pile-up.
+    pub wake_attempts: Vec<u32>,
+    /// Do not retry a wake before this time (backoff hold).
+    pub wake_hold_until: Vec<f64>,
+    /// Completion time of the disk's last repair (0 if never crashed).
+    pub last_repair: Vec<f64>,
+    /// Whether the in-flight service was stretched by a fail-slow window.
+    pub current_scaled: Vec<bool>,
+    /// Transient-retry attempts per in-flight request, keyed by trace
+    /// index (entries are dropped on completion or budget exhaustion).
+    pub attempts: Vec<HashMap<usize, u32>>,
+    /// Requests waiting out a transient backoff, per disk.
+    pub pending_retries: Vec<Vec<PendingRetry>>,
+    /// Degraded-mode response collectors, one per local disk, merged in
+    /// global disk order at finish so the statistic is shard-stable.
+    pub degraded: Vec<ResponseStats>,
+    /// Counter: requests that arrived (mapped), including cache hits.
+    pub arrivals: u64,
+    /// Counter: completions (cache hits included).
+    pub completed: u64,
+    /// Counter: transient retries performed.
+    pub retried: u64,
+    /// Counter: requests shed at admission.
+    pub shed: u64,
+    /// Counter: requests dropped after exhausting the retry budget.
+    pub failed: u64,
+    /// Counter: failed spin-up attempts.
+    pub wake_failures: u64,
+    /// Counter: fail-stop crashes applied.
+    pub crashes: u64,
+}
+
+impl FaultRuntime {
+    /// Build the runtime for `fleet` local disks of a (possibly sharded)
+    /// engine. `shard`/`stride` position the local disks in the global
+    /// fleet (`0`/`1` unsharded).
+    pub fn new(
+        plan: &FaultPlan,
+        fleet: usize,
+        shard: usize,
+        stride: usize,
+        mode: MetricsMode,
+    ) -> Self {
+        let stride = stride.max(1);
+        let global = |local: usize| local * stride + shard;
+        let rngs = (0..fleet)
+            .map(|d| {
+                SmallRng::seed_from_u64(
+                    plan.seed
+                        .wrapping_add((global(d) as u64).wrapping_mul(DISK_SEED_SPREAD)),
+                )
+            })
+            .collect();
+        let mut crash_times = vec![Vec::new(); fleet];
+        for c in &plan.crashes {
+            if fleet > 0 && c.disk % stride == shard {
+                let local = c.disk / stride;
+                if local < fleet {
+                    crash_times[local].push(c.at_s);
+                }
+            }
+        }
+        for times in &mut crash_times {
+            times.sort_by(f64::total_cmp);
+        }
+        let mut failslow = vec![Vec::new(); fleet];
+        for f in &plan.failslow {
+            if fleet > 0 && f.disk % stride == shard {
+                let local = f.disk / stride;
+                if local < fleet {
+                    failslow[local].push((f.factor, f.from_s, f.to_s));
+                }
+            }
+        }
+        FaultRuntime {
+            plan: plan.clone(),
+            rngs,
+            crash_times,
+            failslow,
+            down: vec![false; fleet],
+            down_since: vec![0.0; fleet],
+            downtime: vec![0.0; fleet],
+            pending_crash: vec![false; fleet],
+            pending_repair: vec![false; fleet],
+            wake_attempts: vec![0; fleet],
+            wake_hold_until: vec![0.0; fleet],
+            last_repair: vec![0.0; fleet],
+            current_scaled: vec![false; fleet],
+            attempts: vec![HashMap::new(); fleet],
+            pending_retries: vec![Vec::new(); fleet],
+            degraded: vec![ResponseStats::with_mode(mode); fleet],
+            arrivals: 0,
+            completed: 0,
+            retried: 0,
+            shed: 0,
+            failed: 0,
+            wake_failures: 0,
+            crashes: 0,
+        }
+    }
+
+    /// The plan this runtime executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draw whether this service completion suffers a transient I/O error.
+    pub fn draw_transient(&mut self, d: usize) -> bool {
+        self.plan.transient_p > 0.0 && self.rngs[d].random_bool(self.plan.transient_p)
+    }
+
+    /// Draw whether this spin-up attempt fails.
+    pub fn draw_wakefail(&mut self, d: usize) -> bool {
+        self.plan.wakefail_p > 0.0 && self.rngs[d].random_bool(self.plan.wakefail_p)
+    }
+
+    /// The fail-slow factor covering time `t` on disk `d`, if any (the
+    /// first matching window wins; factors do not compose).
+    pub fn failslow_factor(&self, d: usize, t: f64) -> Option<f64> {
+        self.failslow[d]
+            .iter()
+            .find(|&&(_, from, to)| t >= from && t < to)
+            .map(|&(factor, _, _)| factor)
+    }
+
+    /// Whether admission control sheds an arrival given the disk's
+    /// current queue length.
+    pub fn sheds(&self, queue_len: usize) -> bool {
+        self.plan.shed_watermark > 0 && queue_len >= self.plan.shed_watermark
+    }
+
+    /// Classify a completion as degraded: it was retried, stretched by a
+    /// fail-slow window, or arrived before the disk's last repair
+    /// completed (i.e. waited through an outage).
+    pub fn is_degraded(&self, d: usize, req: usize, arrival: f64) -> bool {
+        self.current_scaled[d]
+            || arrival < self.last_repair[d]
+            || self.attempts[d].contains_key(&req)
+    }
+
+    /// Requests still queued nowhere visible to the actors: transient
+    /// retries waiting out their backoff.
+    pub fn pending_retry_count(&self) -> u64 {
+        self.pending_retries.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// Assemble the availability block at `t_end`. `queued` counts
+    /// requests still sitting in disk queues (a crashed-and-never-repaired
+    /// disk keeps its backlog). The caller merges shard blocks and then
+    /// recomputes the availability fraction over the global fleet.
+    pub fn into_stats(
+        mut self,
+        t_end: f64,
+        queued: u64,
+        disks: usize,
+        mode: MetricsMode,
+    ) -> AvailabilityStats {
+        let mut per_disk_downtime_s = Vec::with_capacity(self.down.len());
+        for d in 0..self.down.len() {
+            let open = if self.down[d] {
+                (t_end - self.down_since[d]).max(0.0)
+            } else {
+                0.0
+            };
+            per_disk_downtime_s.push(self.downtime[d] + open);
+        }
+        let mut degraded = ResponseStats::with_mode(mode);
+        for per_disk in &self.degraded {
+            degraded.merge(per_disk);
+        }
+        let in_flight = queued + self.pending_retry_count();
+        self.pending_retries.clear();
+        let mut stats = AvailabilityStats {
+            arrivals: self.arrivals,
+            completed: self.completed,
+            retried: self.retried,
+            shed: self.shed,
+            failed: self.failed,
+            wake_failures: self.wake_failures,
+            crashes: self.crashes,
+            in_flight,
+            per_disk_downtime_s,
+            availability: 1.0,
+            degraded,
+        };
+        stats.recompute_availability(disks, t_end);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindown_workload::FaultPlan;
+
+    fn plan(spec: &str) -> FaultPlan {
+        FaultPlan::parse(spec).unwrap()
+    }
+
+    #[test]
+    fn crash_and_failslow_specs_land_on_the_owning_shard() {
+        let p = plan("crash@t=500:d7 | failslow:d3:x4@200..900");
+        // Unsharded: disk 7 crashes, disk 3 slows.
+        let rt = FaultRuntime::new(&p, 10, 0, 1, MetricsMode::Exact);
+        assert_eq!(rt.crash_times[7], vec![500.0]);
+        assert!(rt.crash_times[3].is_empty());
+        assert_eq!(rt.failslow_factor(3, 200.0), Some(4.0));
+        assert_eq!(rt.failslow_factor(3, 900.0), None, "half-open window");
+        assert_eq!(rt.failslow_factor(7, 500.0), None);
+        // Sharded S=2: global disk 7 lives on shard 1 as local 3; global
+        // disk 3 on shard 1 as local 1.
+        let s1 = FaultRuntime::new(&p, 5, 1, 2, MetricsMode::Exact);
+        assert_eq!(s1.crash_times[3], vec![500.0]);
+        assert_eq!(s1.failslow_factor(1, 300.0), Some(4.0));
+        let s0 = FaultRuntime::new(&p, 5, 0, 2, MetricsMode::Exact);
+        assert!(s0.crash_times.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn per_disk_streams_are_shard_invariant() {
+        let p = plan("wakefail:p=0.5 | seed=42");
+        let mut unsharded = FaultRuntime::new(&p, 8, 0, 1, MetricsMode::Exact);
+        let mut shard0 = FaultRuntime::new(&p, 4, 0, 2, MetricsMode::Exact);
+        let mut shard1 = FaultRuntime::new(&p, 4, 1, 2, MetricsMode::Exact);
+        for d in 0..8usize {
+            let want: Vec<bool> = (0..16).map(|_| unsharded.draw_wakefail(d)).collect();
+            let sharded = if d % 2 == 0 { &mut shard0 } else { &mut shard1 };
+            let got: Vec<bool> = (0..16).map(|_| sharded.draw_wakefail(d / 2)).collect();
+            assert_eq!(want, got, "disk {d}");
+        }
+    }
+
+    #[test]
+    fn zero_probability_draws_never_touch_the_rng() {
+        let p = plan("crash@t=10:d0");
+        let mut rt = FaultRuntime::new(&p, 1, 0, 1, MetricsMode::Exact);
+        assert!(!rt.draw_transient(0));
+        assert!(!rt.draw_wakefail(0));
+    }
+
+    #[test]
+    fn shed_watermark_gates_admission() {
+        let p = plan("transient:p=0.1 | shed=4");
+        let rt = FaultRuntime::new(&p, 1, 0, 1, MetricsMode::Exact);
+        assert!(!rt.sheds(3));
+        assert!(rt.sheds(4));
+        let no_shed = FaultRuntime::new(&plan("transient:p=0.1"), 1, 0, 1, MetricsMode::Exact);
+        assert!(!no_shed.sheds(1_000_000));
+    }
+
+    #[test]
+    fn into_stats_accounts_open_outages_and_in_flight() {
+        let p = plan("crash@t=100:d0 | mttr=300");
+        let mut rt = FaultRuntime::new(&p, 2, 0, 1, MetricsMode::Exact);
+        rt.arrivals = 10;
+        rt.completed = 6;
+        rt.shed = 1;
+        rt.failed = 1;
+        rt.down[0] = true;
+        rt.down_since[0] = 100.0;
+        rt.downtime[1] = 50.0;
+        rt.pending_retries[1].push(PendingRetry {
+            fire: 500.0,
+            req: 9,
+            bytes: 1,
+            arrival: 400.0,
+            pos: 0,
+        });
+        let stats = rt.into_stats(400.0, 1, 2, MetricsMode::Exact);
+        assert_eq!(stats.per_disk_downtime_s, vec![300.0, 50.0]);
+        assert_eq!(stats.in_flight, 2, "one queued + one pending retry");
+        assert!(stats.conservation_holds());
+        // 350 s of downtime over 2 disks × 400 s.
+        assert!((stats.availability - (1.0 - 350.0 / 800.0)).abs() < 1e-12);
+    }
+}

@@ -254,6 +254,14 @@ impl CacheHierarchy {
     pub fn depth(&self) -> usize {
         self.tiers.len()
     }
+
+    /// Flush every tier (fault injection: the disk this slice fronts
+    /// crashed). Statistics survive; resident bytes count as evicted.
+    pub fn flush(&mut self) {
+        for tier in &mut self.tiers {
+            tier.policy.flush();
+        }
+    }
 }
 
 /// A compact, `Copy` cache-sizing choice — the fifth joint-planning leg

@@ -34,6 +34,11 @@
 //!   spin-up.
 //! - [`actor`] — per-disk actor bridging queueing and the state machine.
 //! - [`metrics`] — response-time statistics and the simulation report.
+//! - `fault` (internal) — the seeded deterministic fault injector behind
+//!   `SimConfig::with_faults`: fail-stop crashes with timed repair,
+//!   transient I/O retries with capped exponential backoff, wake
+//!   failures, fail-slow windows and watermark load shedding, surfaced as
+//!   [`metrics::AvailabilityStats`] on the report.
 //! - [`engine`] — the [`engine::Simulator`] main loop (streamed arrivals by
 //!   default: O(disks) peak event-queue size).
 //! - `shard` (internal) — the sharded parallel replay driver behind
@@ -96,18 +101,19 @@ pub mod config;
 pub mod discipline;
 pub mod engine;
 pub mod event;
+mod fault;
 pub mod hierarchy;
 pub mod metrics;
 pub mod policy;
 mod shard;
 
 pub use cache::{CachePolicy, CacheStats, LfuCache, LruCache, SegmentedLru};
-pub use config::{ArrivalMode, CacheConfig, SimConfig, ThresholdPolicy};
+pub use config::{ArrivalMode, CacheConfig, ShardFallback, SimConfig, ThresholdPolicy};
 pub use discipline::DisciplineChoice;
 pub use engine::{SimError, Simulator};
 pub use hierarchy::{
     CacheChoice, CacheHierarchy, CacheHierarchyConfig, CachePolicyChoice, CacheScope,
     CacheTierConfig,
 };
-pub use metrics::{MetricsMode, ResponseStats, SimReport, StreamingHistogram};
+pub use metrics::{AvailabilityStats, MetricsMode, ResponseStats, SimReport, StreamingHistogram};
 pub use policy::{PowerPolicy, TimeoutPolicy};

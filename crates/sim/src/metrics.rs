@@ -469,6 +469,77 @@ impl ResponseStats {
     }
 }
 
+/// Availability accounting for a fault-injected run (carried on
+/// [`SimReport::availability`]; `None` when the run had no fault plan, so
+/// no-fault reports are untouched).
+///
+/// Counters obey the conservation invariant
+/// `arrivals == completed + shed + failed + in_flight`: every arriving
+/// request is eventually served, shed at admission, or dropped after its
+/// retry budget is exhausted — or is still queued/backed-off when the
+/// horizon closes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AvailabilityStats {
+    /// Requests that arrived (mapped to a simulated disk), including
+    /// cache hits.
+    pub arrivals: u64,
+    /// Requests that completed service (cache hits included).
+    pub completed: u64,
+    /// Retry attempts performed (transient-error re-queues; a request
+    /// retried three times counts three).
+    pub retried: u64,
+    /// Requests shed at admission by the backlog watermark.
+    pub shed: u64,
+    /// Requests dropped after exhausting their retry budget.
+    pub failed: u64,
+    /// Spin-up attempts that failed (the disk fell back asleep and the
+    /// wake was retried after backoff).
+    pub wake_failures: u64,
+    /// Fail-stop crashes applied (scheduled crashes plus wake-failure
+    /// escalations past the retry budget).
+    pub crashes: u64,
+    /// Requests still queued or awaiting a retry when the run closed.
+    pub in_flight: u64,
+    /// Seconds each disk spent offline (crashed, pre-repair), disk order.
+    pub per_disk_downtime_s: Vec<f64>,
+    /// Fleet availability fraction:
+    /// `1 − Σ downtime / (disks · sim_time)`. 1.0 for a zero-length run.
+    pub availability: f64,
+    /// Response times of *degraded* completions only: requests that were
+    /// retried, served in a fail-slow window, or arrived while their disk
+    /// was down/repairing. Aggregated per `SimConfig::metrics`.
+    pub degraded: ResponseStats,
+}
+
+impl AvailabilityStats {
+    /// True when the conservation invariant holds.
+    pub fn conservation_holds(&self) -> bool {
+        self.arrivals == self.completed + self.shed + self.failed + self.in_flight
+    }
+
+    /// Total downtime summed over the fleet, seconds.
+    pub fn total_downtime_s(&self) -> f64 {
+        self.per_disk_downtime_s.iter().sum()
+    }
+
+    /// 95th percentile of the degraded-mode response distribution (0 when
+    /// no completion was degraded).
+    pub fn degraded_p95(&self) -> f64 {
+        self.degraded.clone().quantile(0.95)
+    }
+
+    /// Recompute the availability fraction from the per-disk downtimes
+    /// and the run's dimensions (used after a shard merge).
+    pub fn recompute_availability(&mut self, disks: usize, sim_time_s: f64) {
+        let span = disks as f64 * sim_time_s;
+        self.availability = if span > 0.0 {
+            (1.0 - self.total_downtime_s() / span).max(0.0)
+        } else {
+            1.0
+        };
+    }
+}
+
 /// One served request, for the optional completion log
 /// (`SimConfig::with_completion_log`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -545,6 +616,11 @@ pub struct SimReport {
     /// cross-shard **max** (never a sum), which equals the unsharded peak
     /// exactly.
     pub peak_disk_queue: usize,
+    /// Availability accounting, present iff the run had a fault plan
+    /// (`SimConfig::faults`). `None` on every no-fault run, so legacy
+    /// reports — including the golden fixture — are byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub availability: Option<AvailabilityStats>,
 }
 
 impl SimReport {
@@ -853,6 +929,35 @@ mod tests {
         let mut c = StreamingHistogram::new();
         c.record(1.0);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn availability_stats_conservation_and_fraction() {
+        let mut a = AvailabilityStats {
+            arrivals: 100,
+            completed: 90,
+            retried: 7,
+            shed: 4,
+            failed: 2,
+            wake_failures: 3,
+            crashes: 1,
+            in_flight: 4,
+            per_disk_downtime_s: vec![0.0, 30.0, 0.0, 70.0],
+            availability: 0.0,
+            degraded: ResponseStats::exact(),
+        };
+        assert!(a.conservation_holds());
+        assert_eq!(a.total_downtime_s(), 100.0);
+        a.recompute_availability(4, 250.0);
+        assert!((a.availability - 0.9).abs() < 1e-12);
+        assert_eq!(a.degraded_p95(), 0.0, "no degraded completions yet");
+        a.degraded.record(2.5);
+        assert_eq!(a.degraded_p95(), 2.5);
+        a.failed += 1;
+        assert!(!a.conservation_holds());
+        // Zero-length runs are vacuously fully available.
+        a.recompute_availability(0, 0.0);
+        assert_eq!(a.availability, 1.0);
     }
 
     #[test]

@@ -46,9 +46,9 @@ use spindown_disk::energy::EnergyBreakdown;
 use spindown_workload::shard::{demux, ShardedTraceView};
 use spindown_workload::{FileCatalog, Trace, TraceSource};
 
-use crate::config::{ArrivalMode, SimConfig};
+use crate::config::SimConfig;
 use crate::engine::{SimError, Simulator};
-use crate::metrics::{ResponseStats, SimReport};
+use crate::metrics::{AvailabilityStats, ResponseStats, SimReport};
 use crate::policy::{DescentStep, PowerPolicy};
 
 /// The shard count a run actually uses: `cfg.shards` clamped to at least 1
@@ -61,7 +61,7 @@ use crate::policy::{DescentStep, PowerPolicy};
 /// disks — each disk's slice sees only its own arrivals — so it shards
 /// freely, with bit-identical merged reports.
 pub(crate) fn effective_shards(cfg: &SimConfig, fleet: usize) -> usize {
-    if cfg.cache_couples_disks() || cfg.completion_log || cfg.arrivals == ArrivalMode::Preloaded {
+    if cfg.shard_fallback().is_some() {
         return 1;
     }
     cfg.shards.max(1).min(fleet.max(1))
@@ -199,9 +199,9 @@ where
     Src: TraceSource + Send,
     P: FnOnce(&[usize]) + Send,
 {
-    /// One shard's inputs: (source, wrapped policy, local file map,
-    /// local fleet size).
-    type ShardJob<Src> = (Src, Box<dyn PowerPolicy>, Vec<usize>, usize);
+    /// One shard's inputs: (shard index, source, wrapped policy, local
+    /// file map, local fleet size).
+    type ShardJob<Src> = (usize, Src, Box<dyn PowerPolicy>, Vec<usize>, usize);
     let plan = ShardPlan { shards, fleet };
     let jobs: Vec<ShardJob<Src>> = sources
         .into_iter()
@@ -213,6 +213,7 @@ where
                 stride: shards,
             }) as Box<dyn PowerPolicy>;
             (
+                s,
                 source,
                 policy,
                 plan.local_map(file_to_disk, s),
@@ -226,7 +227,7 @@ where
         }
         let handles: Vec<_> = jobs
             .into_iter()
-            .map(|(source, policy, local_map, shard_fleet)| {
+            .map(|(s, source, policy, local_map, shard_fleet)| {
                 scope.spawn(move || {
                     Simulator::run_drained(
                         catalog,
@@ -236,6 +237,8 @@ where
                         cfg,
                         shard_fleet,
                         fleet,
+                        s,
+                        shards,
                         policy,
                     )
                 })
@@ -287,6 +290,12 @@ fn merge_reports(
     // unsharded run's whatever the shard count.
     let mut cache: Option<crate::cache::CacheStats> = None;
     let mut cache_tiers: Option<Vec<crate::cache::CacheStats>> = None;
+    // Availability counters are exact integer sums; per-disk downtimes are
+    // reassembled in global disk order below (like the energy breakdowns);
+    // degraded-response collectors merge in shard order — bucket counts
+    // commute, so histogram-mode quantiles are shard-invariant.
+    let mut availability: Option<AvailabilityStats> = None;
+    let mut downtime_parts: Vec<std::vec::IntoIter<f64>> = Vec::new();
     let mut parts: Vec<Parts> = Vec::with_capacity(shards);
     for r in reports {
         debug_assert_eq!(r.sim_time_s, sim_time_s, "shards share one end time");
@@ -306,11 +315,38 @@ fn merge_reports(
                 t.absorb(&s);
             }
         }
+        if let Some(a) = r.availability {
+            let merged = availability.get_or_insert_with(|| AvailabilityStats {
+                degraded: ResponseStats::with_mode(cfg.metrics),
+                ..Default::default()
+            });
+            merged.arrivals += a.arrivals;
+            merged.completed += a.completed;
+            merged.retried += a.retried;
+            merged.shed += a.shed;
+            merged.failed += a.failed;
+            merged.wake_failures += a.wake_failures;
+            merged.crashes += a.crashes;
+            merged.in_flight += a.in_flight;
+            merged.degraded.merge(&a.degraded);
+            downtime_parts.push(a.per_disk_downtime_s.into_iter());
+        }
         parts.push(Parts {
             energy: r.per_disk_energy.into_iter(),
             responses: r.per_disk_responses.into_iter(),
             served: r.per_disk_served.into_iter(),
         });
+    }
+    if let Some(a) = availability.as_mut() {
+        debug_assert_eq!(downtime_parts.len(), shards, "faults run on every shard");
+        a.per_disk_downtime_s = (0..fleet)
+            .map(|d| {
+                downtime_parts[d % shards]
+                    .next()
+                    .expect("shard tracked its disk's downtime")
+            })
+            .collect();
+        a.recompute_availability(fleet, sim_time_s);
     }
     let mut fleet_energy = EnergyBreakdown::default();
     let mut per_disk_energy = Vec::with_capacity(fleet);
@@ -346,13 +382,14 @@ fn merge_reports(
         per_disk_served,
         peak_event_queue,
         peak_disk_queue,
+        availability,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::CacheConfig;
+    use crate::config::{ArrivalMode, CacheConfig};
     use crate::hierarchy::{CacheHierarchyConfig, CacheScope};
 
     #[test]

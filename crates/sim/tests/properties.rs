@@ -7,8 +7,10 @@ use spindown_disk::mechanics::ServiceTimer;
 use spindown_disk::{DiskSpec, PowerState};
 use spindown_packing::{Assignment, DiskBin};
 use spindown_sim::config::{ArrivalMode, SimConfig, ThresholdPolicy};
+use spindown_sim::discipline::DisciplineChoice;
 use spindown_sim::engine::Simulator;
 use spindown_workload::trace::Request;
+use spindown_workload::FaultPlan;
 use spindown_workload::{FileCatalog, FileId, Trace};
 
 /// A randomized mini-workload: n files (1–6 disks), m requests in [0, 500 s].
@@ -51,6 +53,37 @@ fn mini_workload() -> impl Strategy<Value = MiniWorkload> {
                 assignment,
             }
         })
+}
+
+/// A randomized *active* fault plan: independent transient / wake-failure
+/// rates, a retry budget down to zero (exhaustion → counted failures), an
+/// optional backlog watermark (0 disables shedding) and a free seed.
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0f64..0.5,
+        0.0f64..0.5,
+        0u32..4,
+        prop_oneof![Just(0usize), 1usize..6],
+        any::<u64>(),
+    )
+        .prop_map(|(tp, wp, retries, shed, seed)| {
+            let mut spec = format!(
+                "transient:p={tp} | wakefail:p={wp} | retries={retries} | mttr=60 | seed={seed}"
+            );
+            if shed > 0 {
+                spec.push_str(&format!(" | shed={shed}"));
+            }
+            FaultPlan::parse(&spec).expect("generated spec parses")
+        })
+}
+
+fn discipline_strategy() -> impl Strategy<Value = DisciplineChoice> {
+    prop_oneof![
+        Just(DisciplineChoice::Fifo),
+        (1.0f64..120.0)
+            .prop_map(|aging_bound_s| DisciplineChoice::ShortestJobFirst { aging_bound_s }),
+        Just(DisciplineChoice::ElevatorBatch),
+    ]
 }
 
 fn threshold_strategy() -> impl Strategy<Value = ThresholdPolicy> {
@@ -182,6 +215,43 @@ proptest! {
             "peak {} for {} disks and {} requests",
             report.peak_event_queue, report.disks, w.trace.len()
         );
+    }
+
+    // Fault conservation: whatever goes wrong, every arrival is
+    // accounted for exactly once — completed, shed, failed, or stranded
+    // in flight by an unrepaired outage — under every queue discipline
+    // and every shard count, with the sharded counters merging exactly.
+    #[test]
+    fn fault_conservation_arrivals_balance_outcomes(
+        w in mini_workload(),
+        th in threshold_strategy(),
+        plan in fault_plan_strategy(),
+        discipline in discipline_strategy(),
+        shards in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let mut cfg = SimConfig::paper_default()
+            .with_threshold(th)
+            .with_shards(shards);
+        cfg.discipline = discipline;
+        cfg.faults = plan;
+        let report = Simulator::run(&w.catalog, &w.trace, &w.assignment, &cfg).unwrap();
+        let a = report.availability.as_ref().expect("active plan has stats");
+        prop_assert_eq!(a.arrivals as usize, w.trace.len(), "every request arrives");
+        prop_assert!(
+            a.conservation_holds(),
+            "arrivals {} != completed {} + shed {} + failed {} + in-flight {}",
+            a.arrivals, a.completed, a.shed, a.failed, a.in_flight
+        );
+        // Only completions carry a response sample.
+        prop_assert_eq!(report.responses.len() as u64, a.completed);
+        // Downtime can never exceed the per-disk wall clock.
+        for (d, &down) in a.per_disk_downtime_s.iter().enumerate() {
+            prop_assert!(
+                (0.0..=report.sim_time_s + 1e-9).contains(&down),
+                "disk {} downtime {} vs sim time {}", d, down, report.sim_time_s
+            );
+        }
+        prop_assert!((0.0..=1.0).contains(&a.availability));
     }
 
     #[test]

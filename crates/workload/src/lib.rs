@@ -22,6 +22,9 @@
 //! - [`zipf`] — Zipf-like distribution with explicit pmf/cdf and sampling.
 //! - [`sizes`] — rank–size power laws and calibration utilities.
 //! - [`catalog`] — [`catalog::FileCatalog`]: the file population.
+//! - [`fault`] — [`fault::FaultPlan`]: the seeded deterministic failure
+//!   model (crashes, transient errors, wake failures, fail-slow windows,
+//!   load shedding) the simulation engine injects during a replay.
 //! - [`arrivals`] — Poisson and batched arrival processes.
 //! - [`trace`] — request traces, generation, serde I/O and statistics.
 //! - [`source`] — streaming request sources ([`source::TraceSource`]):
@@ -36,6 +39,7 @@
 pub mod arrivals;
 pub mod bins;
 pub mod catalog;
+pub mod fault;
 pub mod nersc;
 pub mod shard;
 pub mod sizes;
@@ -44,6 +48,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use catalog::{FileCatalog, FileId, FileSpec};
+pub use fault::{CrashSpec, FailSlowSpec, FaultPlan};
 pub use shard::{demux, DemuxPump, ShardReceiver, ShardedTraceView};
 pub use source::{CsvTraceSource, InMemorySource, SyntheticSource, TraceSource};
 pub use trace::{Request, Trace};

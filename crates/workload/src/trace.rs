@@ -298,6 +298,12 @@ impl Trace {
                 .trim()
                 .parse()
                 .map_err(|_| TraceIoError::Malformed(lineno + 1, text.to_owned()))?;
+            // `"nan"` and `"-5"` both parse as f64, so they slip past the
+            // parse error above — reject them here as malformed rather than
+            // letting them reach the `Trace::new` ordering asserts.
+            if !time.is_finite() || time < 0.0 {
+                return Err(TraceIoError::Malformed(lineno + 1, text.to_owned()));
+            }
             if let Some(prev) = requests.last() {
                 if time < prev.time {
                     return Err(TraceIoError::OutOfOrder(lineno + 1));

@@ -1,0 +1,151 @@
+//! Malformed-input hardening for the CSV trace parsers: every way a trace
+//! file can be broken is pinned to a typed [`TraceIoError`] carrying the
+//! 1-based line number of the offending row — never a panic, never a
+//! silently skipped line. Each variant has its own fixture under
+//! `tests/fixtures/malformed/` and is driven through both parsers: the
+//! streaming [`CsvTraceSource`] (the replay path) and the batch
+//! [`Trace::read_csv`] (the materialising path).
+
+use std::io::BufReader;
+use std::path::PathBuf;
+
+use spindown_workload::source::{CsvTraceSource, TraceSource};
+use spindown_workload::trace::TraceIoError;
+use spindown_workload::Trace;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/malformed")
+        .join(name)
+}
+
+/// Drain the streaming source until it errors; panics if it never does.
+fn stream_error(name: &str, horizon: f64) -> TraceIoError {
+    let mut src = CsvTraceSource::open(fixture(name), Some(horizon)).expect("fixture opens");
+    loop {
+        match src.next_request() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("{name}: streaming parser accepted a malformed fixture"),
+            Err(e) => return e,
+        }
+    }
+}
+
+fn batch_error(name: &str) -> TraceIoError {
+    let raw = std::fs::File::open(fixture(name)).expect("fixture opens");
+    Trace::read_csv(BufReader::new(raw), Some(100.0))
+        .err()
+        .unwrap_or_else(|| panic!("{name}: batch parser accepted a malformed fixture"))
+}
+
+/// Both parsers must report `Malformed` at `line`, quoting the row text in
+/// the error message so the user can find it without opening the file.
+fn assert_malformed_both(name: &str, line: usize, quoted: &str) {
+    for (parser, err) in [
+        ("stream", stream_error(name, 100.0)),
+        ("batch", batch_error(name)),
+    ] {
+        match &err {
+            TraceIoError::Malformed(at, text) => {
+                assert_eq!(*at, line, "{name}/{parser}: wrong line number");
+                assert_eq!(text, quoted, "{name}/{parser}: wrong quoted row");
+            }
+            other => panic!("{name}/{parser}: expected Malformed, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("line {line}")),
+            "{name}/{parser}: message {msg:?} must name the line"
+        );
+    }
+}
+
+#[test]
+fn garbage_row_is_malformed_at_its_line() {
+    // A JSON-ish line: splits on ',' into one comma-free field, so the
+    // "two fields" check itself rejects it.
+    assert_malformed_both("garbage.csv", 3, "{\"time\": 2.0}");
+}
+
+#[test]
+fn missing_field_is_malformed_at_its_line() {
+    assert_malformed_both("missing_field.csv", 3, "2.5");
+}
+
+#[test]
+fn non_numeric_time_is_malformed_at_its_line() {
+    assert_malformed_both("bad_time.csv", 3, "two,4");
+}
+
+#[test]
+fn non_numeric_file_id_is_malformed_at_its_line() {
+    assert_malformed_both("bad_file_id.csv", 3, "2.0,banana");
+}
+
+#[test]
+fn negative_file_id_is_malformed_at_its_line() {
+    // u32 parse rejects the sign; file ids are indices, not offsets.
+    assert_malformed_both("negative_file_id.csv", 3, "2.0,-7");
+}
+
+#[test]
+fn nan_time_is_malformed_at_its_line() {
+    // "nan" *parses* as f64, so this exercises the finiteness check, not
+    // the parse error.
+    assert_malformed_both("nan_time.csv", 3, "nan,4");
+}
+
+#[test]
+fn negative_time_is_malformed_at_its_line() {
+    assert_malformed_both("negative_time.csv", 3, "-5.0,4");
+}
+
+#[test]
+fn out_of_order_row_is_typed_at_its_line() {
+    match stream_error("out_of_order.csv", 100.0) {
+        TraceIoError::OutOfOrder(3) => {}
+        other => panic!("stream: expected OutOfOrder(3), got {other:?}"),
+    }
+    match batch_error("out_of_order.csv") {
+        TraceIoError::OutOfOrder(3) => {}
+        other => panic!("batch: expected OutOfOrder(3), got {other:?}"),
+    }
+    let msg = stream_error("out_of_order.csv", 100.0).to_string();
+    assert!(msg.contains("line 3"), "message {msg:?} must name the line");
+}
+
+#[test]
+fn row_beyond_a_declared_horizon_is_typed_at_its_line() {
+    // Streaming-only by design: `read_csv` holds the whole file and grows
+    // the horizon to fit, so the batch parser accepts this fixture.
+    match stream_error("beyond_horizon.csv", 10.0) {
+        TraceIoError::BeyondHorizon(3) => {}
+        other => panic!("stream: expected BeyondHorizon(3), got {other:?}"),
+    }
+    let raw = std::fs::File::open(fixture("beyond_horizon.csv")).unwrap();
+    let trace = Trace::read_csv(BufReader::new(raw), None).expect("batch grows the horizon");
+    assert_eq!(trace.horizon(), 20.0);
+}
+
+#[test]
+fn open_with_prescan_surfaces_the_malformed_row_too() {
+    // `open(path, None)` pre-scans for the horizon; the scan must report
+    // the same typed error instead of caching garbage.
+    let err = CsvTraceSource::open(fixture("nan_time.csv"), None)
+        .err()
+        .expect("prescan rejects the fixture");
+    assert!(
+        matches!(err, TraceIoError::Malformed(3, _)),
+        "expected Malformed(3, _), got {err:?}"
+    );
+}
+
+#[test]
+fn rows_before_the_malformed_one_still_stream() {
+    // The streaming parser is lazy: valid prefix rows are yielded before
+    // the error surfaces, so a replay fails at the bad row, not at open.
+    let mut src = CsvTraceSource::open(fixture("bad_time.csv"), Some(100.0)).unwrap();
+    let first = src.next_request().unwrap().expect("valid first row");
+    assert_eq!(first.time, 1.0);
+    assert!(src.next_request().is_err());
+}

@@ -306,6 +306,33 @@ fn csv_demux_run_from_source_is_bit_identical_across_shard_counts() {
     }
 }
 
+// The randomised ski-rental policy draws each disk's thresholds from a
+// per-disk stream keyed by the *global* disk id, so the per-shard policy
+// clones reproduce the unsharded draw sequences exactly and the merged
+// report stays bit-identical — the satellite contract of the fault PR.
+#[test]
+fn ski_rental_policy_shards_bit_identically() {
+    use spindown::analysis::online::SkiRentalPolicy;
+    let cat = catalog(48);
+    let tr = Trace::poisson(&cat, 0.6, 600.0, 0x5EED);
+    let layout = assignment(48, 12);
+    let base = SimConfig::paper_default().with_metrics(MetricsMode::Histogram);
+    let spec = DiskSpec::seagate_st3500630as();
+    let run = |shards: usize| {
+        let cfg = base.clone().with_shards(shards);
+        Simulator::run_sharded(&cat, &tr, &layout, &cfg, 12, |_| {
+            Box::new(SkiRentalPolicy::for_drive(&spec, 77))
+        })
+        .unwrap()
+    };
+    let solo = run(1);
+    assert!(solo.spin_downs > 0, "policy must actually spin disks down");
+    for shards in [2usize, 3, 8] {
+        let sharded = run(shards);
+        assert_reports_bit_identical(&solo, &sharded, &format!("ski-rental S={shards}"));
+    }
+}
+
 // The planner/sweep drivers thread `shards` through `run_sharded`, so a
 // planner evaluation is deterministic in the shard count too.
 #[test]
