@@ -46,7 +46,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("1M_requests", label), &cfg, |b, cfg| {
             b.iter(|| {
                 let report = Simulator::run(&catalog, &trace, &assignment, black_box(cfg)).unwrap();
-                black_box((report.responses.len(), report.peak_event_queue))
+                black_box((report.responses.len(), report.peak_event_queue_max()))
             })
         });
     }
@@ -62,7 +62,7 @@ fn bench(c: &mut Criterion) {
         let report = Simulator::run(&catalog, &trace, &assignment, &cfg).unwrap();
         println!(
             "arrival_scheduling/peak_event_queue/{label}: {} entries ({} requests, {} disks)",
-            report.peak_event_queue,
+            report.peak_event_queue_max(),
             trace.len(),
             report.disks
         );

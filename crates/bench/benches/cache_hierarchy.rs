@@ -2,14 +2,16 @@
 //! engine — no cache vs a flat 16 GB front (one per replacement policy)
 //! vs a two-tier DRAM→SSD stack — on a Zipf-skewed Poisson trace where
 //! the Table 1 popularity/size coupling gives the front real reuse to
-//! absorb. Guards the `CachePolicy` dispatch and the per-tier promote
-//! path; `scripts/bench_diff.py` diffs the means against
-//! `BENCH_BASELINE.json`.
+//! absorb. A second group replays the two-tier stack across 1/2/4/8
+//! event-loop shards with the global budget partitioned by file
+//! residency. Guards the `CachePolicy` dispatch, the per-tier promote
+//! path and the sharded build/merge; `scripts/bench_diff.py` diffs the
+//! means against `BENCH_BASELINE.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spindown_core::PolicyChoice;
 use spindown_packing::{Assignment, DiskBin};
-use spindown_sim::config::SimConfig;
+use spindown_sim::config::{SimConfig, ThresholdPolicy};
 use spindown_sim::engine::Simulator;
 use spindown_sim::hierarchy::CacheChoice;
 use spindown_sim::metrics::MetricsMode;
@@ -67,6 +69,36 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The sharded-global tier walk: the same two-tier DRAM→SSD front with
+    // its byte budget partitioned across 1/2/4/8 event-loop shards (each
+    // shard owns the slice covering its own disks' files — no hot-path
+    // locks). Guards the partitioned build and the merge of per-tier
+    // counters; the merged report is bit-identical at every count (see
+    // tests/cached_shard_equivalence.rs), so this measures wall clock.
+    let mut sharded_group = c.benchmark_group("cache_hierarchy/sharded");
+    sharded_group.sample_size(10);
+    sharded_group.throughput(Throughput::Elements(trace.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        let cache = CacheChoice::parse("lru:2+lru:16").expect("valid cache spec");
+        let cfg = SimConfig::paper_default()
+            .with_threshold(ThresholdPolicy::BreakEven)
+            .with_metrics(MetricsMode::Histogram)
+            .with_cache_hierarchy(cache.hierarchy())
+            .with_shards(shards);
+        sharded_group.bench_with_input(
+            BenchmarkId::new("lru2_lru16", format!("{shards}_shards")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let report =
+                        Simulator::run(&catalog, &trace, &assignment, black_box(cfg)).unwrap();
+                    black_box((report.energy.total_joules(), report.cache))
+                })
+            },
+        );
+    }
+    sharded_group.finish();
 
     // One-shot hit-ratio report so `cargo bench` records the absorption
     // story alongside the timing story (the tier walk only earns its cost

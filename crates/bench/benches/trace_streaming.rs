@@ -5,16 +5,17 @@
 //! 10M-request generator replay, a 1M-request CSV file replay, and the
 //! same generator replay across 1/2/4/8 shards (the `--shards` scaling
 //! curve — wall clock tracks the host's core count, the report is
-//! bit-identical); a one-shot 100M-request replay (10M under
-//! `CRITERION_QUICK=1`) records wall time, throughput and the
-//! tracked-structure sizes alongside. Results are tracked in
-//! BENCHMARKS.md.
+//! bit-identical), and the 10M replay with the streaming completion log
+//! in digest mode (the per-completion canonicalise/hash overhead); a
+//! one-shot 100M-request replay (10M under `CRITERION_QUICK=1`) records
+//! wall time, throughput and the tracked-structure sizes alongside.
+//! Results are tracked in BENCHMARKS.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spindown_packing::{Assignment, DiskBin};
 use spindown_sim::config::{SimConfig, ThresholdPolicy};
 use spindown_sim::engine::Simulator;
-use spindown_sim::{MetricsMode, StreamingHistogram};
+use spindown_sim::{CompletionLogMode, MetricsMode, StreamingHistogram};
 use spindown_workload::{CsvTraceSource, FileCatalog, SyntheticSource, Trace};
 use std::hint::black_box;
 
@@ -68,7 +69,7 @@ fn bench(c: &mut Criterion) {
                     DISKS,
                 )
                 .unwrap();
-                black_box((report.responses.len(), report.peak_event_queue))
+                black_box((report.responses.len(), report.peak_event_queue_max()))
             })
         },
     );
@@ -131,6 +132,35 @@ fn bench(c: &mut Criterion) {
             },
         );
     }
+    // Criterion-timed: the same 10M-request generator replay with the
+    // streaming completion log on in digest mode — every completion
+    // canonicalised, hashed and counted without materialising any of them.
+    // Measures the writer/tie-buffer overhead on the engine hot path.
+    {
+        let logged_cfg = cfg
+            .clone()
+            .with_completion_log_mode(CompletionLogMode::Digest);
+        group.throughput(Throughput::Elements(requests_10m as u64));
+        group.bench_with_input(
+            BenchmarkId::new("completion_log", "digest_10M"),
+            &logged_cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let source =
+                        SyntheticSource::poisson(&catalog, RATE, requests_10m / RATE, SEED);
+                    let report = Simulator::run_from_source(
+                        &catalog,
+                        source,
+                        &assignment,
+                        black_box(cfg),
+                        DISKS,
+                    )
+                    .unwrap();
+                    black_box(report.completion_log.map(|l| l.fnv1a))
+                })
+            },
+        );
+    }
     group.finish();
     let _ = std::fs::remove_file(&csv_path);
 
@@ -149,7 +179,7 @@ fn bench(c: &mut Criterion) {
         requests / 1e6,
         dt,
         report.responses.len() as f64 / dt / 1e6,
-        report.peak_event_queue,
+        report.peak_event_queue_max(),
         report.disks,
         report.peak_disk_queue,
         StreamingHistogram::max_buckets(),

@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [--quick] [--out DIR] [--discipline D] [--ladder 2|3]
 //!             [--trace-file FILE] [--horizon S] [--requests N] [--shards S]
-//!             [--cache-tiers SPEC] [--faults SPEC] CMD...
+//!             [--cache-tiers SPEC] [--completion-log FILE] [--faults SPEC]
+//!             CMD...
 //!   CMD ∈ { table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity
 //!           shootout joint replay all }
 //! ```
@@ -33,7 +34,14 @@
 //! cache hierarchy: `none` (default), a flat tier like `lru:16` (policy ∈
 //! lru|slru|lfu, capacity in GB), or a two-tier DRAM→SSD stack like
 //! `lru:2+lru:16` — cache hits are served at the tier's bandwidth and
-//! never wake a disk. `--faults SPEC` replays under a seeded deterministic
+//! never wake a disk. `--completion-log FILE` streams every completion
+//! record to FILE as `request,disk,time_s` CSV rows in canonical
+//! `(time, request)` order — O(buffer) resident and byte-identical at any
+//! shard count, since per-shard streams k-way merge on the fly. Both the
+//! cache and the log compose with `--shards`: the global cache's byte
+//! budget partitions across shards by file residency, and the merged
+//! counters and log are bit-identical to the unsharded run.
+//! `--faults SPEC` replays under a seeded deterministic
 //! fault regime (e.g. `'transient:p=1e-4 | wakefail:p=0.02 | mttr=300'`;
 //! `none` or omission keeps the fault-free path bit-identical to the
 //! legacy engine): `replay` appends availability columns and the shootout
@@ -54,7 +62,7 @@ fn usage() -> &'static str {
      \u{20}                  [--ladder 2|3] [--trace-file FILE] [--horizon SECONDS]\n\
      \u{20}                  [--requests N] [--shards N]\n\
      \u{20}                  [--cache-tiers none|POLICY:GB|POLICY:GB+POLICY:GB]\n\
-     \u{20}                  [--faults none|SPEC] CMD...\n\
+     \u{20}                  [--completion-log FILE] [--faults none|SPEC] CMD...\n\
      \u{20}    (SPEC e.g. 'transient:p=1e-4 | wakefail:p=0.02 | mttr=300')\n\
      CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout joint\n\
      \u{20}    replay all   (--joint is accepted as an alias for the joint command)"
@@ -71,6 +79,7 @@ fn main() -> ExitCode {
     let mut shards: usize = 1;
     let mut cache = CacheChoice::None;
     let mut faults = FaultChoice::None;
+    let mut completion_log: Option<PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -111,6 +120,13 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => shards = n,
                 _ => {
                     eprintln!("--shards needs a positive count\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--completion-log" => match args.next() {
+                Some(path) => completion_log = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--completion-log needs a CSV path\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -246,6 +262,7 @@ fn main() -> ExitCode {
                     shards,
                     cache,
                     faults.clone(),
+                    completion_log.as_deref(),
                 ) {
                     Ok(fig) => fig,
                     Err(e) => {

@@ -20,6 +20,7 @@ use std::path::Path;
 use spindown_core::{CacheChoice, FaultChoice, LadderChoice, MetricsMode, Planner, PlannerConfig};
 use spindown_sim::engine::Simulator;
 use spindown_sim::metrics::SimReport;
+use spindown_sim::CompletionLogMode;
 use spindown_workload::{CsvTraceSource, FileCatalog, SyntheticSource, TraceSource};
 
 use crate::{grid_seed, Figure, Scale};
@@ -39,13 +40,17 @@ const SYNTHETIC_RATE: f64 = 4.0;
 /// the number of parallel replay shards (1 = the single-threaded engine;
 /// any count reports bit-identical histogram metrics and energy), and
 /// `cache` an optional cache hierarchy fronting the fleet
-/// ([`CacheChoice::None`] replays cache-free), and `faults` a fault
+/// ([`CacheChoice::None`] replays cache-free), `faults` a fault
 /// regime to replay under ([`FaultChoice::None`] keeps the legacy
-/// fault-free path and columns bit-identical).
+/// fault-free path and columns bit-identical), and `completion_log` an
+/// optional CSV path the per-request completion records stream to in
+/// canonical `(time, request)` order — O(buffer) resident, bit-identical
+/// at every shard count.
 ///
-/// An explicit `shards > 1` that the configuration cannot honour — a
-/// global-scope cache couples every disk — is an error naming the
-/// coupling, not a silent single-shard fallback.
+/// Caches and the completion log compose with `shards > 1` (the global
+/// cache partitions its budget by file residency; per-shard logs k-way
+/// merge). The one coupling left — preloaded arrivals — is an error
+/// naming itself, not a silent single-shard fallback.
 #[allow(clippy::too_many_arguments)]
 pub fn replay(
     scale: Scale,
@@ -56,6 +61,7 @@ pub fn replay(
     shards: usize,
     cache: CacheChoice,
     faults: FaultChoice,
+    completion_log: Option<&Path>,
 ) -> Result<Figure, Box<dyn std::error::Error>> {
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
     let mut cfg = PlannerConfig::default();
@@ -64,6 +70,11 @@ pub fn replay(
         .with_metrics(MetricsMode::Histogram)
         .with_shards(shards)
         .with_cache_hierarchy(cache.hierarchy());
+    if let Some(path) = completion_log {
+        cfg.sim = cfg.sim.with_completion_log_mode(CompletionLogMode::Csv {
+            path: path.display().to_string(),
+        });
+    }
     cfg.sim.faults = faults.plan();
     ladder.apply(&mut cfg.sim.disk);
     let planner = Planner::new(cfg);
@@ -131,7 +142,7 @@ pub fn replay(
         quantiles[0],
         quantiles[1],
         report.energy.total_joules(),
-        report.peak_event_queue as f64,
+        report.peak_event_queue_max() as f64,
     ];
     if let Some(a) = report.availability.as_ref() {
         row.extend([
@@ -173,6 +184,15 @@ pub fn replay(
             stats.oversize_rejections,
         ));
     }
+    if let (Some(path), Some(log)) = (completion_log, report.completion_log.as_ref()) {
+        fig.notes.push(format!(
+            "completion log {}: {} record(s), {} bytes, fnv1a {:#018x}",
+            path.display(),
+            log.records,
+            log.bytes,
+            log.fnv1a,
+        ));
+    }
     Ok(fig)
 }
 
@@ -208,6 +228,7 @@ mod tests {
             1,
             CacheChoice::None,
             FaultChoice::None,
+            None,
         )
         .expect("replay runs");
         assert_eq!(fig.rows.len(), 1);
@@ -241,6 +262,7 @@ mod tests {
             1,
             CacheChoice::None,
             FaultChoice::None,
+            None,
         )
         .expect("csv replay runs");
         assert_eq!(fig.rows[0][0] as usize, trace.len());
@@ -255,6 +277,7 @@ mod tests {
             1,
             CacheChoice::None,
             FaultChoice::None,
+            None,
         )
         .expect("pre-scan replay runs");
         assert_eq!(fig2.rows[0][0] as usize, trace.len());
@@ -272,6 +295,7 @@ mod tests {
             1,
             cache,
             FaultChoice::None,
+            None,
         )
         .expect("cached replay runs");
         let bare = replay(
@@ -283,6 +307,7 @@ mod tests {
             1,
             CacheChoice::None,
             FaultChoice::None,
+            None,
         )
         .expect("bare replay runs");
         // Same seeded trace either way; the 16 GB front absorbs reuse.
@@ -308,6 +333,7 @@ mod tests {
             1,
             CacheChoice::None,
             FaultChoice::None,
+            None,
         )
         .expect("replay runs");
         assert!(fig.column("availability").is_none());
@@ -328,6 +354,7 @@ mod tests {
                 1,
                 CacheChoice::None,
                 faults.clone(),
+                None,
             )
             .expect("faulted replay runs")
         };
@@ -354,12 +381,13 @@ mod tests {
                 shards,
                 CacheChoice::None,
                 faults.clone(),
+                None,
             )
             .expect("faulted replay runs")
         };
         // Per-disk fault streams are keyed by global disk id, so the
         // merged sharded report is bit-identical to the solo run — except
-        // peak_event_queue, which measures each shard's own heap.
+        // peak_event_queue, which reports each event loop's own heap peak.
         let (solo, sharded) = (run(1), run(4));
         let peak = solo.column("peak_event_queue").unwrap();
         let strip = |fig: &super::Figure| {
@@ -370,25 +398,93 @@ mod tests {
         assert_eq!(strip(&solo), strip(&sharded));
     }
 
+    // The former coupling error: a global cache now *composes* with
+    // explicit shards — same rows as the solo cached run (modulo the
+    // per-event-loop peak column) and the same cache note. The trace
+    // touches only the two hottest (smallest) files, so the working set
+    // fits every budget slice and the partitioned cache is byte-equivalent
+    // to the pooled one (the regime the sharded global cache guarantees —
+    // see `spindown_sim::hierarchy` on eviction pressure).
     #[test]
-    fn explicit_shards_with_a_global_cache_error_names_the_coupling() {
-        let err = replay(
-            Scale::Quick,
-            None,
-            Some(100.0),
-            0,
-            LadderChoice::TwoState,
-            4,
-            CacheChoice::parse("lru:16").unwrap(),
-            FaultChoice::None,
-        )
-        .expect_err("global cache cannot shard");
-        let msg = err.to_string();
-        assert!(msg.contains("--shards 4"), "names the flag: {msg}");
-        assert!(
-            msg.contains("global-scope cache"),
-            "names the coupling: {msg}"
-        );
+    fn sharded_replay_with_a_global_cache_matches_the_solo_run() {
+        let dir = std::env::temp_dir().join("spindown_replay_cached_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hot_trace.csv");
+        let mut rows = String::new();
+        for i in 0..2000u32 {
+            use std::fmt::Write as _;
+            writeln!(rows, "{:.2},{}", f64::from(i) * 0.25, i % 2).unwrap();
+        }
+        std::fs::write(&path, rows).unwrap();
+        let run = |shards| {
+            replay(
+                Scale::Quick,
+                Some(&path),
+                Some(500.0),
+                0,
+                LadderChoice::TwoState,
+                shards,
+                CacheChoice::parse("lru:2+lru:16").unwrap(),
+                FaultChoice::None,
+                None,
+            )
+            .expect("cached sharded replay runs")
+        };
+        let (solo, sharded) = (run(1), run(4));
+        let peak = solo.column("peak_event_queue").unwrap();
+        let strip = |fig: &super::Figure| {
+            let mut row = fig.rows[0].clone();
+            row.remove(peak);
+            row
+        };
+        assert_eq!(strip(&solo), strip(&sharded));
+        let cache_note = |fig: &super::Figure| {
+            fig.notes
+                .iter()
+                .find(|n| n.starts_with("cache "))
+                .cloned()
+                .expect("cache note present")
+        };
+        assert_eq!(cache_note(&solo), cache_note(&sharded));
+    }
+
+    // The streamed completion log composes too: same digest note (records,
+    // bytes, FNV-1a) at any shard count, and the CSV on disk is
+    // byte-identical.
+    #[test]
+    fn sharded_completion_log_csv_is_byte_identical_to_solo() {
+        let dir = std::env::temp_dir().join("spindown_replay_log_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |shards: usize, name: &str| {
+            let path = dir.join(name);
+            let fig = replay(
+                Scale::Quick,
+                None,
+                Some(200.0),
+                0,
+                LadderChoice::TwoState,
+                shards,
+                CacheChoice::None,
+                FaultChoice::None,
+                Some(&path),
+            )
+            .expect("logged replay runs");
+            (fig, std::fs::read(&path).expect("log written"))
+        };
+        let (solo_fig, solo_log) = run(1, "solo.csv");
+        let (sharded_fig, sharded_log) = run(4, "sharded.csv");
+        assert!(!solo_log.is_empty());
+        assert_eq!(solo_log, sharded_log, "log bytes diverged");
+        let log_note = |fig: &Figure| {
+            fig.notes
+                .iter()
+                .find(|n| n.starts_with("completion log "))
+                .cloned()
+                .expect("log note present")
+        };
+        // The notes embed the paths; compare the record/byte/digest tail.
+        let tail = |note: String| note.split(": ").last().unwrap().to_owned();
+        assert_eq!(tail(log_note(&solo_fig)), tail(log_note(&sharded_fig)));
     }
 
     #[test]
@@ -403,6 +499,7 @@ mod tests {
             1,
             CacheChoice::None,
             FaultChoice::None,
+            None,
         )
         .is_err());
     }

@@ -4,21 +4,19 @@ use serde::{Deserialize, Serialize};
 use spindown_disk::{break_even_threshold, DiskSpec, PowerLadder};
 use spindown_workload::FaultPlan;
 
+use crate::complog::CompletionLogMode;
 use crate::discipline::DisciplineChoice;
-use crate::hierarchy::{CacheHierarchyConfig, CacheScope};
+use crate::hierarchy::CacheHierarchyConfig;
 use crate::metrics::MetricsMode;
 
 /// Why a sharded run fell back to a single shard: each variant names a
 /// configuration feature that couples disks (or requests) globally and is
-/// therefore not yet supported by the per-shard event loops.
+/// therefore not yet supported by the per-shard event loops. Global-scope
+/// caches and the completion log used to be listed here; both now compose
+/// with `--shards N` (budget-partitioned cache slices, streamed k-way
+/// merged log), leaving preloaded arrivals as the only coupling feature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ShardFallback {
-    /// A global-scope cache (the legacy flat cache, or a hierarchy with
-    /// [`CacheScope::Global`]) is shared by every disk.
-    GlobalCache,
-    /// The per-request completion log interleaves completions across the
-    /// whole fleet.
-    CompletionLog,
     /// Preloaded arrivals push the entire trace into one event heap.
     PreloadedArrivals,
 }
@@ -26,8 +24,6 @@ pub enum ShardFallback {
 impl std::fmt::Display for ShardFallback {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let what = match self {
-            ShardFallback::GlobalCache => "a global-scope cache",
-            ShardFallback::CompletionLog => "the per-request completion log",
             ShardFallback::PreloadedArrivals => "preloaded arrival scheduling",
         };
         write!(f, "{what}")
@@ -128,19 +124,22 @@ pub struct SimConfig {
     /// [`StreamingHistogram::RELATIVE_ERROR_BOUND`]:
     /// crate::metrics::StreamingHistogram::RELATIVE_ERROR_BOUND
     pub metrics: MetricsMode,
-    /// Record a per-request completion log `(req, disk, completion time)`
-    /// in the report. Off by default: the log is O(requests) memory, which
-    /// the streamed engine otherwise avoids; tests switch it on to check
-    /// conservation and ordering invariants.
-    pub completion_log: bool,
+    /// Per-request completion log `(req, disk, completion time)` in
+    /// canonical `(time, req)` order — off by default. Memory mode keeps
+    /// the records on the report (O(requests), the legacy surface); CSV
+    /// and digest modes stream, O(buffer) resident at any request count,
+    /// and merge bit-identically across shard counts (see
+    /// [`crate::complog`]).
+    #[serde(default)]
+    pub completion_log: CompletionLogMode,
     /// Number of replay shards: the fleet is partitioned by disk id
     /// (`disk % shards`), each shard runs its own event loop on its own
     /// thread, and per-shard reports are merged. `1` — the default — is
-    /// today's single-threaded engine, unchanged. Histogram-mode metrics
-    /// and all energy totals are bit-identical across shard counts; the
-    /// engine falls back to one shard when a configuration couples disks
-    /// globally (a global-scope cache, the completion log, preloaded
-    /// arrivals; a per-disk-scope cache hierarchy shards freely).
+    /// today's single-threaded engine, unchanged. Histogram-mode metrics,
+    /// all energy totals, cache statistics and the completion log are
+    /// bit-identical across shard counts; the engine falls back to one
+    /// shard only for preloaded arrivals (which push the whole trace into
+    /// one event heap).
     pub shards: usize,
     /// Seeded deterministic fault injection (crashes, transient I/O
     /// errors, wake failures, fail-slow windows, load shedding — see
@@ -163,7 +162,7 @@ impl SimConfig {
             arrivals: ArrivalMode::Streamed,
             discipline: DisciplineChoice::Fifo,
             metrics: MetricsMode::Exact,
-            completion_log: false,
+            completion_log: CompletionLogMode::Off,
             shards: 1,
             faults: FaultPlan::none(),
         }
@@ -206,17 +205,6 @@ impl SimConfig {
             .or_else(|| self.cache.as_ref().map(CacheHierarchyConfig::from_legacy))
     }
 
-    /// Whether the configured cache couples disks globally (and therefore
-    /// forces the sharded engine down to one shard). Per-disk-scope
-    /// hierarchies do not.
-    pub(crate) fn cache_couples_disks(&self) -> bool {
-        match (&self.cache, &self.cache_hierarchy) {
-            (Some(_), _) => true,
-            (None, Some(h)) => h.scope == CacheScope::Global,
-            (None, None) => false,
-        }
-    }
-
     /// Select the arrival scheduling strategy.
     pub fn with_arrival_mode(mut self, arrivals: ArrivalMode) -> Self {
         self.arrivals = arrivals;
@@ -246,9 +234,16 @@ impl SimConfig {
         self
     }
 
-    /// Record per-request completions in the report (O(requests) memory).
+    /// Record per-request completions in the report (O(requests) memory —
+    /// [`CompletionLogMode::Memory`], the legacy surface).
     pub fn with_completion_log(mut self) -> Self {
-        self.completion_log = true;
+        self.completion_log = CompletionLogMode::Memory;
+        self
+    }
+
+    /// Select any completion-log mode (streamed CSV, digest-only, …).
+    pub fn with_completion_log_mode(mut self, mode: CompletionLogMode) -> Self {
+        self.completion_log = mode;
         self
     }
 
@@ -269,19 +264,11 @@ impl SimConfig {
     }
 
     /// Why a multi-shard run of this configuration would fall back to one
-    /// shard (`None` — the common case — means it shards freely). The
-    /// first coupling feature wins, in the order global cache →
-    /// completion log → preloaded arrivals.
+    /// shard (`None` — the common case — means it shards freely). Since
+    /// global-scope caches and the completion log learned to shard, the
+    /// only remaining coupling feature is preloaded arrival scheduling.
     pub fn shard_fallback(&self) -> Option<ShardFallback> {
-        if self.cache_couples_disks() {
-            Some(ShardFallback::GlobalCache)
-        } else if self.completion_log {
-            Some(ShardFallback::CompletionLog)
-        } else if self.arrivals == ArrivalMode::Preloaded {
-            Some(ShardFallback::PreloadedArrivals)
-        } else {
-            None
-        }
+        (self.arrivals == ArrivalMode::Preloaded).then_some(ShardFallback::PreloadedArrivals)
     }
 }
 
@@ -340,11 +327,10 @@ mod tests {
 
     #[test]
     fn cache_hierarchy_builder_and_legacy_lowering() {
-        use crate::hierarchy::{CachePolicyChoice, CacheTierConfig};
+        use crate::hierarchy::{CachePolicyChoice, CacheScope, CacheTierConfig};
         let cfg = SimConfig::paper_default();
         assert!(cfg.cache_hierarchy.is_none());
         assert!(cfg.effective_cache_hierarchy().is_none());
-        assert!(!cfg.cache_couples_disks());
 
         // The legacy field lowers to its single-tier LRU equivalent…
         let legacy = cfg.clone().with_cache(CacheConfig::paper_16gb());
@@ -353,7 +339,7 @@ mod tests {
         assert_eq!(lowered.tiers[0].capacity_bytes, 16 * 1_000_000_000);
         assert_eq!(lowered.tiers[0].policy, CachePolicyChoice::Lru);
         assert_eq!(lowered.scope, CacheScope::Global);
-        assert!(legacy.cache_couples_disks());
+        assert_eq!(legacy.shard_fallback(), None, "global caches now shard");
 
         // …and an explicit hierarchy takes precedence over nothing.
         let tier = CacheTierConfig::dram(4_000_000_000, CachePolicyChoice::Lfu);
@@ -362,10 +348,7 @@ mod tests {
         ));
         let eff = cfg.effective_cache_hierarchy().unwrap();
         assert_eq!(eff.tiers[0].policy, CachePolicyChoice::Lfu);
-        assert!(
-            !cfg.cache_couples_disks(),
-            "per-disk scope composes with sharding"
-        );
+        assert_eq!(cfg.shard_fallback(), None);
     }
 
     #[test]
@@ -408,11 +391,13 @@ mod tests {
             cfg.clone()
                 .with_cache(CacheConfig::paper_16gb())
                 .shard_fallback(),
-            Some(ShardFallback::GlobalCache)
+            None,
+            "global caches shard (budget-partitioned by file residency)"
         );
         assert_eq!(
             cfg.clone().with_completion_log().shard_fallback(),
-            Some(ShardFallback::CompletionLog)
+            None,
+            "the completion log streams and k-way merges"
         );
         assert_eq!(
             cfg.with_arrival_mode(ArrivalMode::Preloaded)
@@ -420,8 +405,8 @@ mod tests {
             Some(ShardFallback::PreloadedArrivals)
         );
         assert_eq!(
-            ShardFallback::GlobalCache.to_string(),
-            "a global-scope cache"
+            ShardFallback::PreloadedArrivals.to_string(),
+            "preloaded arrival scheduling"
         );
     }
 
@@ -429,11 +414,13 @@ mod tests {
     fn discipline_defaults_to_fifo_and_builds() {
         let cfg = SimConfig::paper_default();
         assert_eq!(cfg.discipline, DisciplineChoice::Fifo);
-        assert!(!cfg.completion_log);
+        assert!(cfg.completion_log.is_off());
         let cfg = cfg
             .with_discipline(DisciplineChoice::sjf())
             .with_completion_log();
         assert_eq!(cfg.discipline, DisciplineChoice::sjf());
-        assert!(cfg.completion_log);
+        assert_eq!(cfg.completion_log, CompletionLogMode::Memory);
+        let cfg = cfg.with_completion_log_mode(CompletionLogMode::Digest);
+        assert_eq!(cfg.completion_log, CompletionLogMode::Digest);
     }
 }

@@ -62,14 +62,18 @@
 //!
 //! ## Sharded replay
 //!
-//! After allocation every disk's request stream is independent (absent a
-//! global-scope cache, the completion log, or preloaded arrivals — all of
-//! which force one shard; per-disk-scope cache hierarchies shard freely),
-//! so `cfg.shards > 1` partitions the fleet by disk id
-//! (`disk % shards`), runs one event loop per shard on its own thread and
-//! merges the per-shard reports — see [`crate::shard`] for the merge rules
-//! and the determinism argument. Histogram-mode metrics and all energy
-//! totals are bit-identical at every shard count.
+//! After allocation every disk's request stream is independent, so
+//! `cfg.shards > 1` partitions the fleet by disk id (`disk % shards`),
+//! runs one event loop per shard on its own thread and merges the
+//! per-shard reports — see [`crate::shard`] for the merge rules and the
+//! determinism argument. Global-scope caches shard too: each shard owns
+//! the `shard_fleet / fleet` slice of the configured budget that fronts
+//! its own disks' files, keeping the tier walk lock-free. The completion
+//! log streams through per-shard writers k-way merged by `(time, req)`
+//! ([`crate::complog`]). Only preloaded arrivals still force one shard
+//! (the whole trace lands in one event heap by definition).
+//! Histogram-mode metrics, energy totals, cache statistics and the
+//! completion log are bit-identical at every shard count.
 
 use spindown_disk::state::TransitionError;
 use spindown_packing::Assignment;
@@ -77,6 +81,7 @@ use spindown_workload::trace::TraceIoError;
 use spindown_workload::{FileCatalog, FileId, InMemorySource, Request, Trace, TraceSource};
 
 use crate::actor::{DiskActor, Phase};
+use crate::complog::{CompletionOut, CompletionSink, CompletionWriter};
 use crate::config::{ArrivalMode, SimConfig};
 use crate::event::{Event, EventQueue};
 use crate::fault::{FaultRuntime, PendingRetry};
@@ -108,6 +113,9 @@ pub enum SimError {
     /// the configuration is ambiguous (the legacy field *is* a single-tier
     /// hierarchy; pick one representation).
     ConflictingCacheConfig,
+    /// The streamed completion log could not be written (file creation or
+    /// flush failure).
+    CompletionLogIo(std::io::Error),
 }
 
 impl std::fmt::Display for SimError {
@@ -123,11 +131,18 @@ impl std::fmt::Display for SimError {
                 f,
                 "both `cache` and `cache_hierarchy` are set; configure one"
             ),
+            SimError::CompletionLogIo(e) => write!(f, "completion log I/O failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::CompletionLogIo(e)
+    }
+}
 
 impl From<TransitionError> for SimError {
     fn from(e: TransitionError) -> Self {
@@ -213,12 +228,20 @@ pub struct Simulator<'a, S: TraceSource> {
     /// Whether disk completions record into `responses` live (exact mode).
     record_global: bool,
     per_disk_responses: Vec<ResponseStats>,
-    completions: Option<Vec<Completion>>,
+    /// The completion-log front, when logging is on: canonicalises this
+    /// engine's completion stream and forwards it to a terminal sink
+    /// (unsharded) or the merger channel (sharded).
+    complog: Option<CompletionWriter>,
     policy: Box<dyn PowerPolicy>,
     horizon: f64,
     last_event_time: f64,
     /// Requests consumed from the source so far — the arrival index.
     arrived: usize,
+    /// This engine's position in the global fleet (local disk `d` =
+    /// global `d * stride + shard`; `0`/`1` unsharded) — completion-log
+    /// records carry global disk ids so the merged log is shard-invariant.
+    shard: usize,
+    stride: usize,
     peak_events: usize,
     peak_disk_queue: usize,
     /// Live fault-injection state; `None` (no fault plan) keeps every hook
@@ -262,11 +285,9 @@ impl<'a> Simulator<'a, InMemorySource<'a>> {
 
     /// Run with a per-shard [`PowerPolicy`] factory, sharding the fleet
     /// over `cfg.shards` threads (disk `d` → shard `d % shards`; the count
-    /// is clamped to the fleet, and configurations that couple disks
-    /// globally — a global-scope cache, the completion log, preloaded
-    /// arrivals — fall back to one shard; per-disk-scope cache
-    /// hierarchies shard freely). `factory(s)` builds shard `s`'s policy
-    /// instance;
+    /// is clamped to the fleet; global-scope caches and the completion
+    /// log both compose — only preloaded arrivals fall back to one
+    /// shard). `factory(s)` builds shard `s`'s policy instance;
     /// it is called once per shard in shard order and each instance sees
     /// *global* disk ids, so per-disk-state policies behave identically at
     /// any shard count. (Policies sharing randomness *across* disks — e.g.
@@ -481,6 +502,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             0,
             1,
             policy,
+            None,
         )?;
         let t_end = sim.horizon.max(sim.last_event_time);
         sim.finish_at(t_end)
@@ -500,6 +522,9 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
     /// actors in the global fleet (local `d` = global `d * stride +
     /// shard`; `0`/`1` unsharded) — the fault injector keys its per-disk
     /// RNG streams off global ids so fault draws are shard-invariant.
+    /// `log_tx`, when given, routes this shard's completion-log stream to
+    /// the merger thread instead of a terminal sink (the sharded path —
+    /// the merger owns the sink).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_drained(
         catalog: &'a FileCatalog,
@@ -512,6 +537,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         shard: usize,
         stride: usize,
         policy: Box<dyn PowerPolicy>,
+        log_tx: Option<std::sync::mpsc::SyncSender<Vec<Completion>>>,
     ) -> Result<Self, SimError> {
         if cfg.cache.is_some() && cfg.cache_hierarchy.is_some() {
             return Err(SimError::ConflictingCacheConfig);
@@ -519,11 +545,29 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         let cache = match cfg.effective_cache_hierarchy() {
             None => CacheFront::None,
             Some(h) => match h.scope {
-                CacheScope::Global => CacheFront::Global(h.build(1)),
+                // This engine instance fronts `fleet` of the
+                // `global_fleet` disks, so it owns that fraction of the
+                // shared budget — the whole budget unsharded.
+                CacheScope::Global => {
+                    let (num, den) = if global_fleet == 0 {
+                        (1, 1)
+                    } else {
+                        (fleet as u64, global_fleet as u64)
+                    };
+                    CacheFront::Global(h.build_fraction(num, den))
+                }
                 CacheScope::PerDisk => {
                     CacheFront::PerDisk((0..fleet).map(|_| h.build(global_fleet as u64)).collect())
                 }
             },
+        };
+        let complog = match log_tx {
+            Some(tx) => Some(CompletionWriter::new(CompletionOut::Chan {
+                tx,
+                batch: Vec::new(),
+            })),
+            None => CompletionSink::from_mode(&cfg.completion_log)?
+                .map(|sink| CompletionWriter::new(CompletionOut::Sink(sink))),
         };
         let horizon = source.horizon();
         let mut sim = Simulator {
@@ -541,11 +585,13 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             responses: ResponseStats::with_mode(cfg.metrics),
             record_global: cfg.metrics == MetricsMode::Exact,
             per_disk_responses: vec![ResponseStats::with_mode(cfg.metrics); fleet],
-            completions: cfg.completion_log.then(Vec::new),
+            complog,
             policy,
             horizon,
             last_event_time: 0.0,
             arrived: 0,
+            shard,
+            stride: stride.max(1),
             peak_events: 0,
             peak_disk_queue: 0,
             fault: (!cfg.faults.is_none())
@@ -553,6 +599,12 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         };
         sim.prime();
         sim.drive()?;
+        if let Some(w) = &mut sim.complog {
+            // Flush the writer (and, sharded, drop the merger channel's
+            // sender) before this thread leaves the scope — the merger
+            // joins inside the same scope and must see the channel close.
+            w.finish()?;
+        }
         Ok(sim)
     }
 
@@ -564,6 +616,13 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
     /// The horizon the arrival source declared.
     pub(crate) fn source_horizon(&self) -> f64 {
         self.horizon
+    }
+
+    /// Peak completion-log buffering in this engine's writer (0 when
+    /// logging is off) — the sharded driver folds these into the merged
+    /// [`crate::complog::CompletionLogSummary`].
+    pub(crate) fn completion_peak(&self) -> usize {
+        self.complog.as_ref().map_or(0, |w| w.peak_buffered())
     }
 
     /// Schedule the initial idle timers — and, in preloaded mode, every
@@ -671,8 +730,16 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                     None => false,
                 };
             if arrival_due {
+                // Sources that know the request's ordinal in the original
+                // (undemuxed) trace report it through `peek_seq`, so
+                // sharded runs label requests with the ids an unsharded
+                // run assigns — the tie-break key the merged completion
+                // log sorts on. Blind sources fall back to the local
+                // arrival counter, which equals the global ordinal
+                // whenever this engine sees the whole stream.
+                let seq = self.source.peek_seq();
                 let r = self.source.next_request()?.expect("peeked arrival");
-                let req = self.arrived;
+                let req = seq.map_or(self.arrived, |s| s as usize);
                 self.arrived += 1;
                 self.last_event_time = self.last_event_time.max(r.time);
                 self.on_arrival(r.time, req, r)?;
@@ -718,10 +785,15 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             CacheFront::None => {}
             CacheFront::Global(hierarchy) => {
                 if let Some(latency) = hierarchy.access(r.file, size) {
-                    // Legacy recording shape: global-scope hits belong to
-                    // the dispatcher, not any disk, so they enter only the
-                    // global collector — live in both metrics modes.
-                    self.responses.record(latency);
+                    // Hits are attributed to the disk holding the file —
+                    // the same recording shape as per-disk slices and
+                    // disk completions — so the histogram-mode global
+                    // statistics (derived from the per-disk collectors
+                    // in disk order) are shard-invariant.
+                    if self.record_global {
+                        self.responses.record(latency);
+                    }
+                    self.per_disk_responses[disk].record(latency);
                     if let Some(f) = &mut self.fault {
                         f.completed += 1;
                     }
@@ -861,12 +933,12 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                             self.responses.record(t - arrival);
                         }
                         self.per_disk_responses[disk].record(t - arrival);
-                        if let Some(log) = self.completions.as_mut() {
-                            log.push(Completion {
+                        if let Some(w) = self.complog.as_mut() {
+                            w.push(Completion {
                                 req,
-                                disk,
+                                disk: disk * self.stride + self.shard,
                                 time_s: t,
-                            });
+                            })?;
                         }
                     }
                     if self.fault.as_ref().expect("checked above").pending_crash[disk] {
@@ -878,12 +950,12 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                         self.responses.record(t - arrival);
                     }
                     self.per_disk_responses[disk].record(t - arrival);
-                    if let Some(log) = self.completions.as_mut() {
-                        log.push(Completion {
+                    if let Some(w) = self.complog.as_mut() {
+                        w.push(Completion {
                             req,
-                            disk,
+                            disk: disk * self.stride + self.shard,
                             time_s: t,
-                        });
+                        })?;
                     }
                 }
                 if self.actors[disk].queue_is_empty() {
@@ -1167,17 +1239,22 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             fleet.merge(&b);
             per_disk.push(b);
         }
-        let (cache, cache_tiers) = match self.cache {
-            CacheFront::None => (None, None),
-            CacheFront::Global(h) => (Some(h.aggregate_stats()), Some(h.tier_stats())),
+        let (cache, cache_tiers, per_disk_cache_tiers) = match self.cache {
+            CacheFront::None => (None, None, None),
+            CacheFront::Global(h) => (Some(h.aggregate_stats()), Some(h.tier_stats()), None),
             CacheFront::PerDisk(slices) => {
-                // Sum the slices tier-wise (and in aggregate): integer
-                // counters commute, so this matches the sharded merge's
-                // cross-shard absorption bit for bit.
+                // Keep the per-disk tier rows (local actor order here —
+                // the sharded merge reassembles ascending global-disk
+                // order) and fold the aggregates over the slices in
+                // ascending order: the same deterministic fold
+                // discipline as energy, matching the sharded merge's
+                // absorption bit for bit.
                 let depth = self
                     .cfg
                     .effective_cache_hierarchy()
                     .map_or(0, |h| h.tiers.len());
+                let rows: Vec<Vec<crate::cache::CacheStats>> =
+                    slices.iter().map(|s| s.tier_stats()).collect();
                 let mut agg = crate::cache::CacheStats::default();
                 let mut tiers = vec![crate::cache::CacheStats::default(); depth];
                 for slice in &slices {
@@ -1186,7 +1263,24 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                         t.absorb(&s);
                     }
                 }
-                (Some(agg), Some(tiers))
+                (Some(agg), Some(tiers), Some(rows))
+            }
+        };
+        let (completions, completion_log) = match self.complog.as_mut() {
+            None => (None, None),
+            Some(w) => {
+                let peak = w.peak_buffered();
+                match w.take_sink() {
+                    // Unsharded (or S=1): this engine owns the terminal
+                    // sink; fold it into the report here.
+                    Some(sink) => {
+                        let (completions, summary) = sink.finish(peak)?;
+                        (completions, Some(summary))
+                    }
+                    // Sharded: the merger thread owns the sink and the
+                    // report merge attaches the merged log fields.
+                    None => (None, None),
+                }
             }
         };
         Ok(SimReport {
@@ -1195,14 +1289,16 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             per_disk_energy: per_disk,
             responses: self.responses,
             per_disk_responses: self.per_disk_responses,
-            completions: self.completions,
+            completions,
+            completion_log,
             spin_downs,
             spin_ups,
             cache,
             cache_tiers,
+            per_disk_cache_tiers,
             disks,
             per_disk_served,
-            peak_event_queue: self.peak_events,
+            per_shard_event_peaks: vec![self.peak_events],
             peak_disk_queue: self.peak_disk_queue,
             availability,
         })
@@ -1538,11 +1634,12 @@ mod tests {
         // Per disk: at most one PhaseDone plus a handful of pending (stale)
         // spin-down timers — nowhere near the trace length.
         assert!(
-            streamed.peak_event_queue <= 8 * streamed.disks,
+            streamed.peak_event_queue_max() <= 8 * streamed.disks,
             "streamed peak {} for {} disks",
-            streamed.peak_event_queue,
+            streamed.peak_event_queue_max(),
             streamed.disks
         );
+        assert_eq!(streamed.per_shard_event_peaks.len(), 1, "one event loop");
         let preloaded = Simulator::run(
             &cat,
             &tr,
@@ -1551,9 +1648,9 @@ mod tests {
         )
         .unwrap();
         assert!(
-            preloaded.peak_event_queue >= tr.len(),
+            preloaded.peak_event_queue_max() >= tr.len(),
             "preloaded peak {} < trace {}",
-            preloaded.peak_event_queue,
+            preloaded.peak_event_queue_max(),
             tr.len()
         );
         assert_reports_identical(&streamed, &preloaded);
@@ -1696,14 +1793,21 @@ mod tests {
         let mut reqs: Vec<usize> = log.iter().map(|c| c.req).collect();
         reqs.sort_unstable();
         assert_eq!(reqs, vec![0, 1, 2]);
-        // Appended in completion order: globally non-decreasing times.
+        // Canonical order: non-decreasing times, ties broken by request
+        // ordinal.
         for w in log.windows(2) {
-            assert!(w[0].time_s <= w[1].time_s);
+            assert!(
+                w[0].time_s < w[1].time_s || (w[0].time_s == w[1].time_s && w[0].req < w[1].req)
+            );
         }
+        let summary = report.completion_log.as_ref().expect("summary present");
+        assert_eq!(summary.records, 3);
+        assert!(summary.bytes > 0);
         // Off by default.
         let plain =
             Simulator::run(&cat, &tr, &assignment(&[0, 1]), &SimConfig::paper_default()).unwrap();
         assert!(plain.completions.is_none());
+        assert!(plain.completion_log.is_none());
     }
 
     #[test]

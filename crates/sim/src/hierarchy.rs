@@ -16,15 +16,23 @@
 //!
 //! ## Scope and sharding
 //!
-//! [`CacheScope::Global`] models one shared front cache. Its hit/miss
-//! trajectory depends on the *interleaved* arrival order across all disks,
-//! which no per-shard decomposition can reproduce, so global-scope runs
-//! fall back to a single shard (documented engine behaviour, same as the
-//! legacy cache). [`CacheScope::PerDisk`] gives every disk a private
-//! `capacity / fleet` slice of each tier; each slice's trajectory is a
-//! function of that disk's own arrival subsequence only, so per-disk runs
-//! compose with `--shards N` **bit-identically** at any shard count — the
-//! lock-free read path the sharded engine wants.
+//! [`CacheScope::Global`] models one shared front cache. Under `--shards
+//! N` the configured budget is partitioned across the event-loop shards
+//! by file residency: every file's accesses are confined to the shard
+//! hosting its disk, so each shard owns a `shard_fleet / fleet` slice of
+//! every tier ([`CacheHierarchyConfig::build_fraction`]) and walks it
+//! with no locks on the hot path. At S=1 the slice is the whole budget,
+//! so the sharded-global deployment is bit-identical to the legacy
+//! shared front; across shard counts the hit/miss trajectory is
+//! partition-invariant whenever the working set fits the smallest slice
+//! (no evictions) — under eviction pressure per-slice LRU order can
+//! diverge from the interleaved shared-front order, which is the honest
+//! boundary `tests/cached_shard_equivalence.rs` pins from both sides.
+//! [`CacheScope::PerDisk`] gives every disk a private `capacity / fleet`
+//! slice of each tier; each slice's trajectory is a function of that
+//! disk's own arrival subsequence only, so per-disk runs compose with
+//! `--shards N` **bit-identically** at any shard count regardless of
+//! eviction pressure.
 
 use serde::{Deserialize, Serialize};
 use spindown_workload::FileId;
@@ -124,8 +132,9 @@ impl CacheTierConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum CacheScope {
     /// One shared hierarchy in front of the dispatcher — the paper's
-    /// model. Couples disks globally, so sharded runs fall back to one
-    /// shard (same documented fallback as the legacy cache).
+    /// model. Under `--shards N` the budget is partitioned across the
+    /// event shards by file residency (see the module docs), keeping the
+    /// tier walk lock-free and deterministic.
     #[default]
     Global,
     /// Every disk owns a private `capacity / fleet` slice of each tier,
@@ -184,13 +193,28 @@ impl CacheHierarchyConfig {
     /// slice), so `build(fleet)` called per disk splits the configured
     /// budget evenly across the fleet.
     pub fn build(&self, share: u64) -> CacheHierarchy {
-        let share = share.max(1);
+        self.build_fraction(1, share)
+    }
+
+    /// Instantiate the hierarchy with `num / den` of every tier's budget —
+    /// the sharded-global deployment, where the event shard hosting
+    /// `num` of the fleet's `den` disks owns that fraction of the shared
+    /// front (its files' accesses are confined to it, so the slices
+    /// partition the configured budget with no hot-path locks).
+    /// `build_fraction(1, share)` is the per-disk slice [`Self::build`]
+    /// hands out; `num == den` keeps the full budget (the unsharded
+    /// shared front, bit-identical to the legacy global deployment).
+    pub fn build_fraction(&self, num: u64, den: u64) -> CacheHierarchy {
+        let den = den.max(1);
+        let num = num.clamp(1, den);
         CacheHierarchy {
             tiers: self
                 .tiers
                 .iter()
                 .map(|t| Tier {
-                    policy: t.policy.build(t.capacity_bytes / share),
+                    policy: t
+                        .policy
+                        .build(t.capacity_bytes / den * num + (t.capacity_bytes % den) * num / den),
                     bandwidth_bps: t.bandwidth_bps,
                 })
                 .collect(),

@@ -23,6 +23,10 @@
 //! - [`hierarchy`] — ordered cache tiers ([`hierarchy::CacheHierarchy`]):
 //!   DRAM→SSD with per-tier capacity, policy and hit bandwidth, global or
 //!   per-disk scope.
+//! - [`complog`] — the streaming completion log
+//!   ([`complog::CompletionLogMode`]): canonical `(time, req)`-ordered
+//!   records to memory, CSV or a digest, O(buffer) resident and merged
+//!   bit-identically across shards.
 //! - [`config`] — [`config::SimConfig`], the idleness-threshold
 //!   configuration and the arrival scheduling mode.
 //! - [`policy`] — the pluggable [`policy::PowerPolicy`] trait and the
@@ -97,6 +101,7 @@
 
 pub mod actor;
 pub mod cache;
+pub mod complog;
 pub mod config;
 pub mod discipline;
 pub mod engine;
@@ -108,6 +113,7 @@ pub mod policy;
 mod shard;
 
 pub use cache::{CachePolicy, CacheStats, LfuCache, LruCache, SegmentedLru};
+pub use complog::{CompletionLogMode, CompletionLogSummary};
 pub use config::{ArrivalMode, CacheConfig, ShardFallback, SimConfig, ThresholdPolicy};
 pub use discipline::DisciplineChoice;
 pub use engine::{SimError, Simulator};

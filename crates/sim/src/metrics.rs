@@ -31,6 +31,7 @@ use spindown_disk::energy::EnergyBreakdown;
 use spindown_disk::PowerState;
 
 use crate::cache::CacheStats;
+use crate::complog::CompletionLogSummary;
 
 /// How response-time samples are aggregated (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -553,6 +554,31 @@ pub struct Completion {
 }
 
 /// Everything a simulation run produces.
+///
+/// ## Sharded merges: exact fields vs bounds
+///
+/// This is the one place that catalogues how each field behaves when a
+/// `--shards N` run merges per-shard reports (the per-field docs repeat
+/// the detail):
+///
+/// - **Exact (bit-identical at every shard count):** `sim_time_s`,
+///   `energy` and `per_disk_energy` (summed in ascending global-disk
+///   order), `responses` in histogram mode (canonical per-disk merge) and
+///   exact mode (canonical concatenation), `per_disk_responses`,
+///   `completions` / `completion_log` (canonical `(time, req)` order),
+///   `spin_downs`/`spin_ups`, `cache`/`cache_tiers`/`per_disk_cache_tiers`
+///   (counters summed in tier-then-ascending-disk order),
+///   `per_disk_served`, `peak_disk_queue` (per-disk trajectories are
+///   shard-invariant, so the cross-shard max is the unsharded value),
+///   `availability`.
+/// - **Per-shard observations (no single-run equivalent):**
+///   `per_shard_event_peaks` — each shard's own heap peak. The sum is a
+///   deterministic upper bound on the unsharded peak; the max is the
+///   tightest per-thread bound. Exposed raw so callers pick the
+///   aggregation ([`Self::peak_event_queue_max`] /
+///   [`Self::peak_event_queue_sum`]).
+/// - **Bound, not exact:** `CompletionLogSummary::peak_buffered` sums the
+///   writers' and merger's peaks, which need not coincide in time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
     /// Wall-clock span of the simulation (≥ trace horizon), seconds.
@@ -570,15 +596,25 @@ pub struct SimReport {
     /// order (sharded exact runs concatenate per-disk samples in disk
     /// order instead: same multiset, bit-identical quantiles).
     pub responses: ResponseStats,
-    /// Response-time samples per disk, in disk order. Global-scope cache
-    /// hits are excluded (they belong to the shared dispatcher front, not
-    /// any disk); per-disk-scope hits are served by the disk's own cache
-    /// slice and recorded here.
+    /// Response-time samples per disk, in disk order. Cache hits are
+    /// recorded against the disk holding the file — for per-disk scope
+    /// that is the disk whose private slice served the hit; for global
+    /// scope the shared front's hits are attributed the same way, which
+    /// is what keeps the merged global statistics shard-invariant.
     pub per_disk_responses: Vec<ResponseStats>,
-    /// Per-request completion log, when `SimConfig::completion_log` is on.
-    /// Appended in completion order, so per-disk subsequences are the
-    /// disk's service order.
+    /// Per-request completion log records, when
+    /// `SimConfig::completion_log` is [`CompletionLogMode::Memory`]
+    /// (`None` in the streamed CSV/digest modes — see `completion_log`).
+    /// Canonical `(completion time, request ordinal)` order, identical at
+    /// every shard count.
+    ///
+    /// [`CompletionLogMode::Memory`]: crate::complog::CompletionLogMode
     pub completions: Option<Vec<Completion>>,
+    /// Counters and FNV-1a digest over the canonical completion stream,
+    /// present whenever `SimConfig::completion_log` is not `Off`. Two
+    /// runs wrote byte-identical logs iff these summaries match.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub completion_log: Option<CompletionLogSummary>,
     /// Total completed spin-down transitions across the fleet.
     pub spin_downs: u64,
     /// Total completed spin-up transitions across the fleet.
@@ -592,23 +628,36 @@ pub struct SimReport {
     /// Per-tier cache statistics, shallowest tier first, when a cache was
     /// configured (a single row for the legacy flat LRU). Oversize
     /// rejections are counted per tier — a file can fit the SSD tier while
-    /// exceeding the DRAM tier.
+    /// exceeding the DRAM tier. Sharded and per-disk runs sum the
+    /// counters in tier-then-ascending-global-disk order (the same
+    /// deterministic fold discipline as energy), so the merged rows are
+    /// bit-identical at every shard count.
     pub cache_tiers: Option<Vec<CacheStats>>,
+    /// Per-disk per-tier cache statistics (outer index: global disk
+    /// order; inner: shallowest tier first), present only for
+    /// per-disk-scope hierarchies, where every disk owns a private slice
+    /// of each tier. `None` for global scope — a shared front's counters
+    /// have no per-disk decomposition (under sharding they partition by
+    /// *file*, not disk).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub per_disk_cache_tiers: Option<Vec<Vec<CacheStats>>>,
     /// Number of disks simulated (fleet size).
     pub disks: usize,
     /// Requests served per disk, in disk order (excludes cache hits).
     pub per_disk_served: Vec<u64>,
-    /// Largest number of events simultaneously pending in the event heap —
-    /// O(disks) under streamed arrivals, O(requests) when preloaded. In a
-    /// sharded run this is the **sum** of the per-shard heap peaks: a
-    /// deterministic upper bound on the single-threaded peak (the shards'
-    /// heaps together never hold more than the unsharded heap would), kept
-    /// a sum so the fleet-bound invariant `peak ≤ O(disks)` stays checkable
-    /// at every shard count.
-    pub peak_event_queue: usize,
+    /// Per-shard peaks of the event heap, in shard order (one entry for
+    /// an unsharded run). Each entry is that shard's largest number of
+    /// simultaneously pending events — O(shard disks) under streamed
+    /// arrivals, O(requests) when preloaded. Kept raw rather than
+    /// pre-aggregated: [`Self::peak_event_queue_max`] is the tightest
+    /// per-thread bound (what the O(disks) invariants check), while
+    /// [`Self::peak_event_queue_sum`] is a deterministic upper bound on
+    /// the unsharded heap peak (the shards' heaps together never hold
+    /// more than the one heap would).
+    pub per_shard_event_peaks: Vec<usize>,
     /// Largest number of requests simultaneously pending in any one disk's
-    /// queue. Together with `peak_event_queue` and the histogram bucket cap
-    /// this bounds the engine's per-request resident state: a streamed
+    /// queue. Together with the event-heap peaks and the histogram bucket
+    /// cap this bounds the engine's per-request resident state: a streamed
     /// replay holds O(disks + buckets + peak backlog), where the backlog is
     /// a property of the workload's utilisation, not of the request count.
     /// Sharding does not change this value: each disk's queue trajectory is
@@ -624,6 +673,22 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Largest per-shard event-heap peak — the tightest per-thread bound
+    /// (equals the unsharded peak when `shards == 1`).
+    pub fn peak_event_queue_max(&self) -> usize {
+        self.per_shard_event_peaks
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of the per-shard event-heap peaks — a deterministic upper
+    /// bound on what one unsharded heap would have peaked at.
+    pub fn peak_event_queue_sum(&self) -> usize {
+        self.per_shard_event_peaks.iter().sum()
+    }
+
     /// Mean electrical power over the run, watts (whole fleet).
     pub fn mean_power_w(&self) -> f64 {
         if self.sim_time_s > 0.0 {
@@ -660,7 +725,8 @@ impl SimReport {
     }
 
     /// `q`-quantile of one disk's response distribution (cache hits
-    /// excluded), without requiring a mutable report.
+    /// included, attributed to the disk holding the file), without
+    /// requiring a mutable report.
     pub fn per_disk_response_quantile(&self, disk: usize, q: f64) -> f64 {
         self.per_disk_responses[disk].clone().quantile(q)
     }

@@ -12,12 +12,15 @@
 //!
 //! ## Why the merged report is bit-identical
 //!
-//! Without a global-scope cache, a completion log or preloaded arrivals,
-//! disks interact through *nothing*: each disk's service, queueing,
-//! power-transition, energy — and, under a per-disk-scope cache
-//! hierarchy, cache-slice — trajectory is a function of its own arrival
-//! subsequence, which sharding preserves in order. The merge then
-//! reproduces the unsharded report's exact float operations:
+//! Outside preloaded arrivals, disks interact through *nothing*: each
+//! disk's service, queueing, power-transition, energy — and, under any
+//! cache scope, cache-slice — trajectory is a function of its own arrival
+//! subsequence, which sharding preserves in order. (A global-scope
+//! hierarchy partitions its budget by file residency, so a file's cache
+//! trajectory lives entirely on the shard hosting its disk; the
+//! completion log streams through per-shard writers and a k-way merger —
+//! see [`crate::complog`].) The merge then reproduces the unsharded
+//! report's exact float operations:
 //!
 //! - every shard drains, then all shards finish at the common end time
 //!   `horizon.max(max over shards of last event time)` — exactly the
@@ -33,33 +36,47 @@
 //!   shard; sharded exact-mode concatenates per-disk samples in disk
 //!   order — same multiset, bit-identical quantiles (nearest-rank over
 //!   the sorted samples), but the mean may differ in the last ulp from an
-//!   unsharded run because float summation order changes.
+//!   unsharded run because float summation order changes;
+//! - cache counters follow the energy discipline: per-disk-scope rows are
+//!   reassembled in ascending global-disk order and summed from there;
+//!   global-scope tier counters sum tier-then-shard. All counters are
+//!   integers, so both folds equal the unsharded counters exactly;
+//! - the completion log is emitted in canonical `(time, req)` order by
+//!   both the unsharded writer and the sharded merger — byte-identical
+//!   at every shard count.
 //!
 //! Merged counters: spin-downs/ups and served counts are exact sums;
 //! `peak_disk_queue` is the cross-shard **max** (each disk's queue
-//! trajectory is identical to the unsharded run, so the fleet-wide peak is
-//! the max over shards — never a sum); `peak_event_queue` is the **sum**
-//! of per-shard heap peaks (a deterministic upper bound on the unsharded
-//! peak — the shards' heaps together hold at most the unsharded entries).
+//! trajectory is identical to the unsharded run, so the fleet-wide peak
+//! is the max over shards — never a sum); the per-shard event-heap peaks
+//! are kept raw as `SimReport::per_shard_event_peaks` (see that field's
+//! docs — and the `SimReport` doc section cataloguing exact-vs-bound
+//! merged fields — for the max/sum aggregation trade-off).
+
+use std::sync::mpsc::{sync_channel, SyncSender};
 
 use spindown_disk::energy::EnergyBreakdown;
 use spindown_workload::shard::{demux, ShardedTraceView};
 use spindown_workload::{FileCatalog, Trace, TraceSource};
 
+use crate::cache::CacheStats;
+use crate::complog::{merge_streams, CompletionLogSummary, CompletionSink};
 use crate::config::SimConfig;
 use crate::engine::{SimError, Simulator};
-use crate::metrics::{AvailabilityStats, ResponseStats, SimReport};
+use crate::metrics::{AvailabilityStats, Completion, ResponseStats, SimReport};
 use crate::policy::{DescentStep, PowerPolicy};
+
+/// Bounded depth of each shard→merger completion-log channel, in batches
+/// of [`crate::complog::LOG_CHUNK`] — caps the merged log's resident
+/// state at O(shards · depth · chunk) regardless of request count.
+const LOG_DEPTH: usize = 4;
 
 /// The shard count a run actually uses: `cfg.shards` clamped to at least 1
 /// and at most the fleet (no empty shards), with a forced fallback to 1
-/// whenever the configuration couples disks globally — a *global-scope*
-/// cache (hits depend on the interleaved global request order; the legacy
-/// flat LRU is always global), the completion log (one globally ordered
-/// O(requests) vector), or preloaded arrivals (the materialised-heap
-/// legacy mode). A per-disk-scope cache hierarchy does **not** couple
-/// disks — each disk's slice sees only its own arrivals — so it shards
-/// freely, with bit-identical merged reports.
+/// only for preloaded arrivals (the materialised-heap legacy mode, which
+/// pushes the whole trace into one event heap). Global-scope caches shard
+/// by partitioned budget and the completion log streams through the k-way
+/// merger, so neither forces a fallback any more.
 pub(crate) fn effective_shards(cfg: &SimConfig, fleet: usize) -> usize {
     if cfg.shard_fallback().is_some() {
         return 1;
@@ -200,13 +217,39 @@ where
     P: FnOnce(&[usize]) + Send,
 {
     /// One shard's inputs: (shard index, source, wrapped policy, local
-    /// file map, local fleet size).
-    type ShardJob<Src> = (usize, Src, Box<dyn PowerPolicy>, Vec<usize>, usize);
+    /// file map, local fleet size, completion-log channel).
+    type ShardJob<Src> = (
+        usize,
+        Src,
+        Box<dyn PowerPolicy>,
+        Vec<usize>,
+        usize,
+        Option<SyncSender<Vec<Completion>>>,
+    );
+    /// What the merger thread hands back: the terminal sink plus the
+    /// merge heads' peak buffered count (absent when logging is off).
+    type MergedLog = Option<std::io::Result<(CompletionSink, usize)>>;
     let plan = ShardPlan { shards, fleet };
+    // Completion log: the merger thread owns the terminal sink (so e.g.
+    // the CSV file is created once, here, not per shard); each shard
+    // streams its canonical batches over a bounded channel.
+    let mut merger_sink = CompletionSink::from_mode(&cfg.completion_log)?;
+    let mut log_txs: Vec<Option<SyncSender<Vec<Completion>>>> = Vec::with_capacity(shards);
+    let mut log_rxs = Vec::new();
+    if merger_sink.is_some() {
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel::<Vec<Completion>>(LOG_DEPTH);
+            log_txs.push(Some(tx));
+            log_rxs.push(rx);
+        }
+    } else {
+        log_txs.resize_with(shards, || None);
+    }
     let jobs: Vec<ShardJob<Src>> = sources
         .into_iter()
+        .zip(log_txs)
         .enumerate()
-        .map(|(s, source)| {
+        .map(|(s, (source, log_tx))| {
             let policy = Box::new(GlobalIds {
                 inner: factory(s),
                 shard: s,
@@ -218,37 +261,50 @@ where
                 policy,
                 plan.local_map(file_to_disk, s),
                 plan.shard_fleet(s),
+                log_tx,
             )
         })
         .collect();
-    let results: Vec<Result<Simulator<'a, Src>, SimError>> = std::thread::scope(|scope| {
-        if let Some(p) = producer {
-            scope.spawn(move || p(file_to_disk));
-        }
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|(s, source, policy, local_map, shard_fleet)| {
-                scope.spawn(move || {
-                    Simulator::run_drained(
-                        catalog,
-                        source,
-                        None,
-                        local_map,
-                        cfg,
-                        shard_fleet,
-                        fleet,
-                        s,
-                        shards,
-                        policy,
-                    )
+    let (results, merged_log): (Vec<Result<Simulator<'a, Src>, SimError>>, MergedLog) =
+        std::thread::scope(|scope| {
+            if let Some(p) = producer {
+                scope.spawn(move || p(file_to_disk));
+            }
+            // The merger terminates once every shard's sender is dropped —
+            // `run_drained` drops it on success (writer flush) and on error
+            // (the writer is dropped with the engine), so joining it inside
+            // the scope cannot deadlock.
+            let merger = merger_sink
+                .take()
+                .map(|sink| scope.spawn(move || merge_streams(log_rxs, sink)));
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(s, source, policy, local_map, shard_fleet, log_tx)| {
+                    scope.spawn(move || {
+                        Simulator::run_drained(
+                            catalog,
+                            source,
+                            None,
+                            local_map,
+                            cfg,
+                            shard_fleet,
+                            fleet,
+                            s,
+                            shards,
+                            policy,
+                            log_tx,
+                        )
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
-    });
+                .collect();
+            let results = handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect();
+            let merged_log =
+                merger.map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            (results, merged_log)
+        });
     let mut sims = Vec::with_capacity(shards);
     for r in results {
         sims.push(r?);
@@ -258,11 +314,20 @@ where
     let t_end = sims.iter().fold(sims[0].source_horizon(), |acc, s| {
         acc.max(s.last_event_time())
     });
+    let shard_log_peak: usize = sims.iter().map(|s| s.completion_peak()).sum();
     let mut reports = Vec::with_capacity(shards);
     for sim in sims {
         reports.push(sim.finish_at(t_end)?);
     }
-    Ok(merge_reports(cfg, fleet, shards, reports))
+    let log = match merged_log {
+        None => None,
+        Some(Ok((sink, merger_peak))) => {
+            let (completions, summary) = sink.finish(shard_log_peak + merger_peak)?;
+            Some((completions, summary))
+        }
+        Some(Err(e)) => return Err(e.into()),
+    };
+    Ok(merge_reports(cfg, fleet, shards, reports, log))
 }
 
 /// Reassemble per-shard reports into the fleet report, in ascending global
@@ -273,23 +338,27 @@ fn merge_reports(
     fleet: usize,
     shards: usize,
     reports: Vec<SimReport>,
+    log: Option<(Option<Vec<Completion>>, CompletionLogSummary)>,
 ) -> SimReport {
     struct Parts {
         energy: std::vec::IntoIter<EnergyBreakdown>,
         responses: std::vec::IntoIter<ResponseStats>,
         served: std::vec::IntoIter<u64>,
+        cache_rows: Option<std::vec::IntoIter<Vec<CacheStats>>>,
     }
     let sim_time_s = reports[0].sim_time_s;
     let mut spin_downs = 0u64;
     let mut spin_ups = 0u64;
-    let mut peak_event_queue = 0usize;
+    let mut per_shard_event_peaks = Vec::with_capacity(shards);
     let mut peak_disk_queue = 0usize;
-    // Cache counters (only a per-disk-scope hierarchy reaches the sharded
-    // path): sum the shards' aggregate and per-tier counters field-wise —
-    // integer addition commutes, so the merged counters equal the
-    // unsharded run's whatever the shard count.
-    let mut cache: Option<crate::cache::CacheStats> = None;
-    let mut cache_tiers: Option<Vec<crate::cache::CacheStats>> = None;
+    // Cache counters: a global-scope hierarchy partitions by file across
+    // shards, so its aggregate and per-tier counters sum tier-then-shard
+    // here; per-disk-scope rows are reassembled in ascending global-disk
+    // order below and the aggregates re-derived from them — the energy
+    // fold discipline. Integer counters commute, so both folds equal the
+    // unsharded run's counters exactly.
+    let mut cache: Option<CacheStats> = None;
+    let mut cache_tiers: Option<Vec<CacheStats>> = None;
     // Availability counters are exact integer sums; per-disk downtimes are
     // reassembled in global disk order below (like the energy breakdowns);
     // degraded-response collectors merge in shard order — bucket counts
@@ -297,22 +366,25 @@ fn merge_reports(
     let mut availability: Option<AvailabilityStats> = None;
     let mut downtime_parts: Vec<std::vec::IntoIter<f64>> = Vec::new();
     let mut parts: Vec<Parts> = Vec::with_capacity(shards);
+    let per_disk_scope = reports.iter().any(|r| r.per_disk_cache_tiers.is_some());
     for r in reports {
         debug_assert_eq!(r.sim_time_s, sim_time_s, "shards share one end time");
         spin_downs += r.spin_downs;
         spin_ups += r.spin_ups;
-        peak_event_queue += r.peak_event_queue;
+        per_shard_event_peaks.extend(r.per_shard_event_peaks);
         peak_disk_queue = peak_disk_queue.max(r.peak_disk_queue);
-        if let Some(shard_cache) = r.cache {
-            cache
-                .get_or_insert_with(Default::default)
-                .absorb(&shard_cache);
-        }
-        if let Some(shard_tiers) = r.cache_tiers {
-            let merged =
-                cache_tiers.get_or_insert_with(|| vec![Default::default(); shard_tiers.len()]);
-            for (t, s) in merged.iter_mut().zip(shard_tiers) {
-                t.absorb(&s);
+        if !per_disk_scope {
+            if let Some(shard_cache) = r.cache {
+                cache
+                    .get_or_insert_with(Default::default)
+                    .absorb(&shard_cache);
+            }
+            if let Some(shard_tiers) = r.cache_tiers {
+                let merged =
+                    cache_tiers.get_or_insert_with(|| vec![Default::default(); shard_tiers.len()]);
+                for (t, s) in merged.iter_mut().zip(shard_tiers) {
+                    t.absorb(&s);
+                }
             }
         }
         if let Some(a) = r.availability {
@@ -335,6 +407,7 @@ fn merge_reports(
             energy: r.per_disk_energy.into_iter(),
             responses: r.per_disk_responses.into_iter(),
             served: r.per_disk_served.into_iter(),
+            cache_rows: r.per_disk_cache_tiers.map(Vec::into_iter),
         });
     }
     if let Some(a) = availability.as_mut() {
@@ -352,6 +425,8 @@ fn merge_reports(
     let mut per_disk_energy = Vec::with_capacity(fleet);
     let mut per_disk_responses = Vec::with_capacity(fleet);
     let mut per_disk_served = Vec::with_capacity(fleet);
+    let mut per_disk_cache_tiers: Option<Vec<Vec<CacheStats>>> =
+        per_disk_scope.then(|| Vec::with_capacity(fleet));
     let mut responses = ResponseStats::with_mode(cfg.metrics);
     // Local actor indices ascend with the global disk id within a shard, so
     // popping each shard's vectors front-to-front in global order lands
@@ -366,21 +441,52 @@ fn merge_reports(
         per_disk_energy.push(e);
         per_disk_responses.push(r);
         per_disk_served.push(s);
+        if let Some(rows) = per_disk_cache_tiers.as_mut() {
+            let row = p
+                .cache_rows
+                .as_mut()
+                .expect("per-disk scope on every shard")
+                .next()
+                .expect("shard tracked its disk's cache slice");
+            // Re-derive the aggregates in ascending global-disk order —
+            // the same fold the unsharded finish performs over its
+            // slices (per-disk aggregate: hits/bytes/oversize sum over
+            // tiers, misses are the deepest tier's).
+            let agg = cache.get_or_insert_with(Default::default);
+            let tiers = cache_tiers.get_or_insert_with(|| vec![Default::default(); row.len()]);
+            for (i, t) in row.iter().enumerate() {
+                agg.hits += t.hits;
+                agg.resident_bytes += t.resident_bytes;
+                agg.evicted_bytes += t.evicted_bytes;
+                agg.oversize_rejections += t.oversize_rejections;
+                if i + 1 == row.len() {
+                    agg.misses += t.misses;
+                }
+                tiers[i].absorb(t);
+            }
+            rows.push(row);
+        }
     }
+    let (completions, completion_log) = match log {
+        None => (None, None),
+        Some((completions, summary)) => (completions, Some(summary)),
+    };
     SimReport {
         sim_time_s,
         energy: fleet_energy,
         per_disk_energy,
         responses,
         per_disk_responses,
-        completions: None,
+        completions,
+        completion_log,
         spin_downs,
         spin_ups,
         cache,
         cache_tiers,
+        per_disk_cache_tiers,
         disks: fleet,
         per_disk_served,
-        peak_event_queue,
+        per_shard_event_peaks,
         peak_disk_queue,
         availability,
     }
@@ -400,7 +506,11 @@ mod tests {
         assert_eq!(effective_shards(&cfg, 0), 1, "zero fleet runs unsharded");
         assert_eq!(effective_shards(&SimConfig::paper_default(), 8), 1);
         let cached = cfg.clone().with_cache(CacheConfig::paper_16gb());
-        assert_eq!(effective_shards(&cached, 8), 1, "legacy cache is global");
+        assert_eq!(
+            effective_shards(&cached, 8),
+            4,
+            "the legacy (global) cache shards by partitioned budget"
+        );
         let global = cfg
             .clone()
             .with_cache_hierarchy(Some(CacheHierarchyConfig::from_legacy(
@@ -408,8 +518,8 @@ mod tests {
             )));
         assert_eq!(
             effective_shards(&global, 8),
-            1,
-            "global-scope hierarchy couples disks"
+            4,
+            "global-scope hierarchies shard by partitioned budget"
         );
         let per_disk = cfg.clone().with_cache_hierarchy(Some(
             CacheHierarchyConfig::from_legacy(&CacheConfig::paper_16gb())
@@ -421,7 +531,11 @@ mod tests {
             "per-disk slices shard freely"
         );
         let logged = cfg.clone().with_completion_log();
-        assert_eq!(effective_shards(&logged, 8), 1, "completion log is global");
+        assert_eq!(
+            effective_shards(&logged, 8),
+            4,
+            "the completion log streams through the k-way merger"
+        );
         let preloaded = cfg.with_arrival_mode(ArrivalMode::Preloaded);
         assert_eq!(effective_shards(&preloaded, 8), 1, "preloaded is legacy");
     }

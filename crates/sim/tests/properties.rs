@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use spindown_disk::mechanics::ServiceTimer;
 use spindown_disk::{DiskSpec, PowerState};
 use spindown_packing::{Assignment, DiskBin};
+use spindown_sim::cache::CacheStats;
 use spindown_sim::config::{ArrivalMode, SimConfig, ThresholdPolicy};
 use spindown_sim::discipline::DisciplineChoice;
 use spindown_sim::engine::Simulator;
@@ -211,9 +212,9 @@ proptest! {
         // At most one service-completion and one live timer per disk (plus
         // transiently retired entries) — never the trace length.
         prop_assert!(
-            report.peak_event_queue <= 3 * report.disks + 1,
+            report.peak_event_queue_max() <= 3 * report.disks + 1,
             "peak {} for {} disks and {} requests",
-            report.peak_event_queue, report.disks, w.trace.len()
+            report.peak_event_queue_max(), report.disks, w.trace.len()
         );
     }
 
@@ -252,6 +253,81 @@ proptest! {
             );
         }
         prop_assert!((0.0..=1.0).contains(&a.availability));
+    }
+
+    // The streaming completion log's k-way merge: per-shard writers each
+    // emit their own canonically ordered stream; the merger must weave
+    // them back into exactly the unsharded sequence — same records, same
+    // byte count, same FNV-1a digest — for any trace and any shard count.
+    #[test]
+    fn completion_log_merge_matches_the_unsharded_log(
+        w in mini_workload(),
+        th in threshold_strategy(),
+        shards in prop_oneof![Just(2usize), Just(3), Just(8)],
+    ) {
+        let base = SimConfig::paper_default()
+            .with_threshold(th)
+            .with_completion_log();
+        let solo = Simulator::run(&w.catalog, &w.trace, &w.assignment, &base).unwrap();
+        let sharded = Simulator::run(
+            &w.catalog, &w.trace, &w.assignment, &base.clone().with_shards(shards),
+        )
+        .unwrap();
+        let a = solo.completions.as_ref().expect("memory-mode records");
+        let b = sharded.completions.as_ref().expect("merged records");
+        prop_assert_eq!(a.len(), w.trace.len(), "one record per request");
+        // Canonical (time, req) order with ties broken by request seq.
+        for win in b.windows(2) {
+            prop_assert!(
+                win[0].time_s < win[1].time_s
+                    || (win[0].time_s == win[1].time_s && win[0].req < win[1].req),
+                "merged stream out of canonical order"
+            );
+        }
+        prop_assert_eq!(a, b, "S={}: merged records", shards);
+        let sa = solo.completion_log.as_ref().expect("summary");
+        let sb = sharded.completion_log.as_ref().expect("summary");
+        prop_assert_eq!(sa.records, sb.records);
+        prop_assert_eq!(sa.bytes, sb.bytes);
+        prop_assert_eq!(sa.fnv1a, sb.fnv1a);
+    }
+
+    // The merged-report fold for cache counters: absorbing any partition
+    // of per-shard rows (each folded in ascending order, then partitions
+    // in shard order) equals one bulk fold in ascending global order —
+    // integer addition commutes exactly, which is what lets the sharded
+    // merge sum per-tier rows in tier-then-shard order.
+    #[test]
+    fn cache_stats_partitioned_fold_equals_the_bulk_fold(
+        rows in prop::collection::vec(
+            (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+            0..24,
+        ),
+        shards in 1usize..5,
+    ) {
+        let rows: Vec<CacheStats> = rows
+            .into_iter()
+            .map(|(hits, misses, resident, evicted, oversize)| CacheStats {
+                hits,
+                misses,
+                resident_bytes: resident,
+                evicted_bytes: evicted,
+                oversize_rejections: oversize,
+            })
+            .collect();
+        let mut bulk = CacheStats::default();
+        for row in &rows {
+            bulk.absorb(row);
+        }
+        let mut merged = CacheStats::default();
+        for shard in 0..shards {
+            let mut partial = CacheStats::default();
+            for row in rows.iter().skip(shard).step_by(shards) {
+                partial.absorb(row);
+            }
+            merged.absorb(&partial);
+        }
+        prop_assert_eq!(bulk, merged);
     }
 
     #[test]

@@ -72,7 +72,7 @@ fn assert_bit_identical(a: &SimReport, b: &SimReport) {
     assert_eq!(a.spin_ups, b.spin_ups);
     assert_eq!(a.per_disk_served, b.per_disk_served);
     assert_eq!(a.sim_time_s, b.sim_time_s);
-    // (peak_event_queue is deliberately excluded: it differs across
+    // (per_shard_event_peaks is deliberately excluded: it differs across
     // arrival modes by design — O(disks) streamed vs O(requests) preloaded.)
     assert_eq!(a.completions, b.completions);
 }
@@ -100,7 +100,7 @@ proptest! {
         .unwrap();
         assert_bit_identical(&direct, &sourced);
         // Same arrival mode on both sides: even the peak heap size agrees.
-        assert_eq!(direct.peak_event_queue, sourced.peak_event_queue);
+        assert_eq!(direct.per_shard_event_peaks, sourced.per_shard_event_peaks);
     }
 
     // Preloaded mode reached through a source materialises and must still

@@ -115,15 +115,23 @@ impl TraceSource for ShardedTraceView<'_> {
     }
 
     #[inline]
+    fn peek_seq(&mut self) -> Option<u64> {
+        // `next` indexes the shared global slice, so it is exactly the
+        // ordinal an unsharded cursor would report for this request.
+        (self.next < self.requests.len()).then_some(self.next as u64)
+    }
+
+    #[inline]
     fn horizon(&self) -> f64 {
         self.horizon
     }
 }
 
-/// One message on a demux channel: a batch of routed requests, or the
-/// shared copy of the pump's terminal error.
+/// One message on a demux channel: a batch of routed requests (each
+/// tagged with its global ordinal in the undemuxed stream), or the shared
+/// copy of the pump's terminal error.
 enum Batch {
-    Requests(Vec<Request>),
+    Requests(Vec<(u64, Request)>),
     Failed(Arc<TraceIoError>),
 }
 
@@ -146,13 +154,15 @@ impl<S: TraceSource> DemuxPump<S> {
     /// stream, and the caller surfaces the consumer's own error.
     pub fn run(mut self, file_to_disk: &[usize]) {
         let shards = self.txs.len();
-        let mut chunks: Vec<Vec<Request>> =
+        let mut chunks: Vec<Vec<(u64, Request)>> =
             (0..shards).map(|_| Vec::with_capacity(CHUNK)).collect();
+        let mut seq: u64 = 0;
         loop {
             match self.source.next_request() {
                 Ok(Some(r)) => {
                     let s = route_shard(file_to_disk, shards, r.file.0 as usize);
-                    chunks[s].push(r);
+                    chunks[s].push((seq, r));
+                    seq += 1;
                     if chunks[s].len() == CHUNK {
                         let full = std::mem::replace(&mut chunks[s], Vec::with_capacity(CHUNK));
                         if self.txs[s].send(Batch::Requests(full)).is_err() {
@@ -186,7 +196,7 @@ impl<S: TraceSource> DemuxPump<S> {
 /// [`TraceIoError::Shared`] over the same underlying failure.
 pub struct ShardReceiver {
     rx: Receiver<Batch>,
-    buf: VecDeque<Request>,
+    buf: VecDeque<(u64, Request)>,
     horizon: f64,
     failed: Option<Arc<TraceIoError>>,
     done: bool,
@@ -216,12 +226,19 @@ impl ShardReceiver {
 impl TraceSource for ShardReceiver {
     fn peek_time(&mut self) -> Result<Option<f64>, TraceIoError> {
         self.refill()?;
-        Ok(self.buf.front().map(|r| r.time))
+        Ok(self.buf.front().map(|(_, r)| r.time))
     }
 
     fn next_request(&mut self) -> Result<Option<Request>, TraceIoError> {
         self.refill()?;
-        Ok(self.buf.pop_front())
+        Ok(self.buf.pop_front().map(|(_, r)| r))
+    }
+
+    fn peek_seq(&mut self) -> Option<u64> {
+        // A refill failure surfaces through the fallible accessors; here
+        // it just reads as end-of-stream.
+        let _ = self.refill();
+        self.buf.front().map(|(seq, _)| *seq)
     }
 
     fn horizon(&self) -> f64 {

@@ -48,6 +48,17 @@ pub trait TraceSource {
     /// Consume and return the next request.
     fn next_request(&mut self) -> Result<Option<Request>, TraceIoError>;
 
+    /// Global ordinal of the next request in the *original* trace, when
+    /// the source knows it (`None` otherwise — consumers fall back to a
+    /// local arrival counter). Sharded views report the position in the
+    /// undemuxed stream, so consumers on different shards label requests
+    /// with the same ids an unsharded run would assign — the tie-break
+    /// key the merged completion log sorts on. Valid whenever
+    /// [`Self::peek_time`] would return `Some`.
+    fn peek_seq(&mut self) -> Option<u64> {
+        None
+    }
+
     /// Observation-window length, seconds (≥ every request time the stream
     /// will yield).
     fn horizon(&self) -> f64;
@@ -62,6 +73,11 @@ impl<T: TraceSource + ?Sized> TraceSource for &mut T {
     #[inline]
     fn next_request(&mut self) -> Result<Option<Request>, TraceIoError> {
         (**self).next_request()
+    }
+
+    #[inline]
+    fn peek_seq(&mut self) -> Option<u64> {
+        (**self).peek_seq()
     }
 
     #[inline]
@@ -107,6 +123,11 @@ impl TraceSource for InMemorySource<'_> {
             self.next += 1;
         }
         Ok(r)
+    }
+
+    #[inline]
+    fn peek_seq(&mut self) -> Option<u64> {
+        (self.next < self.requests.len()).then_some(self.next as u64)
     }
 
     #[inline]

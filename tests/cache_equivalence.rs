@@ -18,6 +18,12 @@
 //!
 //! Like `golden_trace.rs`, the update run rewrites the fixture from the
 //! current engine and fails once so it can never silently pass CI.
+//!
+//! Fixture history: regenerated once when global-cache hits started
+//! recording into the per-disk response stats of the disk holding the
+//! file (the attribution that makes per-disk tables shard-invariant under
+//! the sharded global cache) — `disk2_mean_response_s` dropped because
+//! disk 2's cache hits now count toward its own mean.
 
 use std::fmt::Write as _;
 use std::io::BufReader;

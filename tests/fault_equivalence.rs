@@ -52,7 +52,8 @@ fn golden_fixture() -> (FileCatalog, Trace, Assignment) {
 }
 
 /// Bit-exact comparison of everything the no-fault pin promises (the
-/// shard-equivalence twin, minus `peak_event_queue` — see that module).
+/// shard-equivalence twin, minus `per_shard_event_peaks` — see that
+/// module).
 fn assert_reports_bit_identical(a: &SimReport, b: &SimReport, what: &str) {
     assert_eq!(a.sim_time_s, b.sim_time_s, "{what}: sim time");
     assert_eq!(a.disks, b.disks, "{what}: fleet size");

@@ -99,10 +99,10 @@ fn every_policy_conserves_energy_time_and_requests() {
         // Streamed arrivals keep the event heap fleet-bound even on this
         // larger replay.
         assert!(
-            report.peak_event_queue <= 4 * report.disks + 4,
+            report.peak_event_queue_max() <= 4 * report.disks + 4,
             "{}: peak {} for {} disks",
             policy.label(),
-            report.peak_event_queue,
+            report.peak_event_queue_max(),
             report.disks
         );
     }

@@ -16,14 +16,16 @@
 //! 3. **Exact-mode sharding** — quantiles bit-equal (same sample multiset,
 //!    nearest-rank), mean within float-summation slack.
 //! 4. **Degenerate shapes** — more shards than disks, a single-request
-//!    trace, an undersized fleet error, and the documented fallbacks
-//!    (cache / completion log / preloaded arrivals force one shard).
+//!    trace, an undersized fleet error, and the one remaining fallback
+//!    (preloaded arrivals force one shard; caches and the completion log
+//!    compose — see also `cached_shard_equivalence`).
 //! 5. **Streaming demux** — `run_from_source` over a CSV reader splits the
 //!    stream once and still merges bit-identically.
 //!
-//! `peak_event_queue` is deliberately *not* compared: sharding reports the
-//! sum of per-shard peaks (a deterministic upper bound), which is
-//! documented to differ from the single-heap peak.
+//! `per_shard_event_peaks` is deliberately *not* compared: each shard
+//! reports its own heap peak, so the vector's length and entries differ
+//! across shard counts by design (the `peak_event_queue_max` accessor is
+//! the comparable per-loop bound).
 
 use std::io::BufReader;
 
@@ -52,7 +54,8 @@ fn assignment(files: usize, disks: usize) -> Assignment {
 }
 
 /// Bit-exact comparison of everything the sharded merge promises to
-/// reproduce. `peak_event_queue` is excluded by design (see module doc).
+/// reproduce. `per_shard_event_peaks` is excluded by design (see module
+/// doc).
 fn assert_reports_bit_identical(a: &SimReport, b: &SimReport, what: &str) {
     assert_eq!(a.sim_time_s, b.sim_time_s, "{what}: sim time");
     assert_eq!(a.disks, b.disks, "{what}: fleet size");
@@ -233,35 +236,61 @@ fn undersized_fleet_stays_an_explicit_error_when_sharded() {
     ));
 }
 
-// The documented fallbacks: a cache, a completion log or preloaded
-// arrivals force one shard, so the sharded config reproduces the
-// unsharded run exactly — including the parts (cache stats, completion
-// records) that the parallel path cannot produce.
+// The global cache and the completion log now *compose* with sharding:
+// the sharded run must reproduce the unsharded one exactly — including
+// the merged cache counters and the streamed, canonically ordered
+// completion records. (The eviction-free regime here makes the
+// partitioned-budget cache byte-equivalent; `cached_shard_equivalence`
+// pins the full matrix.)
 #[test]
-fn cache_completion_log_and_preloaded_fall_back_to_one_shard() {
+fn cache_and_completion_log_compose_with_sharding() {
     let cat = catalog(24);
     let tr = Trace::poisson(&cat, 1.0, 300.0, 99);
     let layout = assignment(24, 6);
-    let variants: [SimConfig; 3] = [
+    let variants: [SimConfig; 2] = [
         SimConfig::paper_default()
             .with_metrics(MetricsMode::Histogram)
             .with_cache(CacheConfig::paper_16gb()),
         SimConfig::paper_default()
             .with_metrics(MetricsMode::Histogram)
             .with_completion_log(),
-        SimConfig::paper_default()
-            .with_metrics(MetricsMode::Histogram)
-            .with_arrival_mode(ArrivalMode::Preloaded),
     ];
     for base in variants {
         let solo = Simulator::run(&cat, &tr, &layout, &base).unwrap();
         let cfg = base.clone().with_shards(4);
         let sharded = Simulator::run(&cat, &tr, &layout, &cfg).unwrap();
-        assert_reports_bit_identical(&solo, &sharded, "fallback");
-        assert_eq!(solo.peak_event_queue, sharded.peak_event_queue);
-        assert_eq!(solo.cache.is_some(), sharded.cache.is_some());
-        assert_eq!(solo.completions.is_some(), sharded.completions.is_some());
+        assert_reports_bit_identical(&solo, &sharded, "composed");
+        assert_eq!(solo.cache, sharded.cache, "merged cache counters");
+        assert_eq!(solo.cache_tiers, sharded.cache_tiers, "per-tier counters");
+        assert_eq!(solo.completions, sharded.completions, "completion records");
+        match (&solo.completion_log, &sharded.completion_log) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.records, b.records, "log records");
+                assert_eq!(a.bytes, b.bytes, "log bytes");
+                assert_eq!(a.fnv1a, b.fnv1a, "log digest");
+            }
+            other => panic!("log summary presence diverged: {other:?}"),
+        }
     }
+}
+
+// The one remaining fallback: preloaded arrivals still force one shard,
+// so the sharded config reproduces the unsharded run exactly — down to
+// the single-heap event peak.
+#[test]
+fn preloaded_arrivals_fall_back_to_one_shard() {
+    let cat = catalog(24);
+    let tr = Trace::poisson(&cat, 1.0, 300.0, 99);
+    let layout = assignment(24, 6);
+    let base = SimConfig::paper_default()
+        .with_metrics(MetricsMode::Histogram)
+        .with_arrival_mode(ArrivalMode::Preloaded);
+    let solo = Simulator::run(&cat, &tr, &layout, &base).unwrap();
+    let cfg = base.clone().with_shards(4);
+    let sharded = Simulator::run(&cat, &tr, &layout, &cfg).unwrap();
+    assert_reports_bit_identical(&solo, &sharded, "preloaded fallback");
+    assert_eq!(solo.per_shard_event_peaks, sharded.per_shard_event_peaks);
 }
 
 // Per-disk vectors are indexed by *global* disk id whatever the shard

@@ -10,6 +10,7 @@ use spindown::sim::config::{SimConfig, ThresholdPolicy};
 use spindown::sim::discipline::DisciplineChoice;
 use spindown::sim::engine::Simulator;
 use spindown::sim::metrics::MetricsMode;
+use spindown::sim::CompletionLogMode;
 use spindown::sim::StreamingHistogram;
 use spindown::workload::{FileCatalog, SyntheticSource, Trace};
 
@@ -55,10 +56,10 @@ fn one_million_request_streamed_replay_conserves_under_every_discipline() {
         // The streamed engine keeps the heap fleet-bound even at 1M
         // requests, whatever the discipline does to the queue.
         assert!(
-            report.peak_event_queue <= 4 * report.disks + 4,
+            report.peak_event_queue_max() <= 4 * report.disks + 4,
             "{}: peak {} for {} disks",
             discipline.label(),
-            report.peak_event_queue,
+            report.peak_event_queue_max(),
             report.disks
         );
         // Energy–time accounting never leaks.
@@ -119,9 +120,9 @@ fn hundred_million_request_generator_replay_is_constant_memory() {
     assert_eq!(counted, report.responses.len() as u64, "conservation");
     // Event heap stayed fleet-bound…
     assert!(
-        report.peak_event_queue <= 4 * report.disks + 4,
+        report.peak_event_queue_max() <= 4 * report.disks + 4,
         "peak {} for {} disks",
-        report.peak_event_queue,
+        report.peak_event_queue_max(),
         report.disks
     );
     // …pending queues stayed backlog-bound (0.62 utilisation: depth is a
@@ -149,11 +150,13 @@ fn hundred_million_request_generator_replay_is_constant_memory() {
 }
 
 /// The billion-request bar from the sharded-replay work: a 10⁹-request
-/// generator-backed replay across 4 shards. Each shard's generator view
-/// streams its own partition, so resident memory stays
-/// O(shards × (disks + buckets)) and the wall clock divides across cores.
-/// A 1-shard control at 10⁷ requests is checked for bit-identity
-/// separately (tier-1 `shard_equivalence`); here the claim is scale.
+/// generator-backed replay across 4 shards, with the streaming completion
+/// log on in digest mode. Each shard's generator view streams its own
+/// partition and the per-shard log streams through the k-way merger, so
+/// resident memory stays O(shards × (disks + buckets) + log buffers) and
+/// the wall clock divides across cores. A 1-shard control at 10⁷ requests
+/// is checked for bit-identity separately (tier-1 `shard_equivalence`);
+/// here the claim is scale.
 #[test]
 #[ignore = "smoke lane (minutes): cargo test -- --ignored"]
 fn billion_request_sharded_replay_completes_and_conserves() {
@@ -168,7 +171,8 @@ fn billion_request_sharded_replay_completes_and_conserves() {
     let cfg = SimConfig::paper_default()
         .with_threshold(ThresholdPolicy::BreakEven)
         .with_metrics(MetricsMode::Histogram)
-        .with_shards(4);
+        .with_shards(4)
+        .with_completion_log_mode(CompletionLogMode::Digest);
     let source = SyntheticSource::poisson(&catalog, RATE, REQUESTS / RATE, 1_000_003);
     let report =
         Simulator::run_from_source(&catalog, source, &assignment, &cfg, DISKS).expect("replay");
@@ -180,15 +184,27 @@ fn billion_request_sharded_replay_completes_and_conserves() {
     );
     let counted: u64 = report.per_disk_served.iter().sum();
     assert_eq!(counted, report.responses.len() as u64, "conservation");
-    // Sum of per-shard fleet-bound peaks is still fleet-bound overall.
+    // Per-shard fleet-bound peaks, one per event loop.
+    assert_eq!(report.per_shard_event_peaks.len(), cfg.shards);
     assert!(
-        report.peak_event_queue <= 4 * report.disks + 4 * cfg.shards,
-        "peak {} for {} disks × {} shards",
-        report.peak_event_queue,
+        report.peak_event_queue_sum() <= 4 * report.disks + 4 * cfg.shards,
+        "peak sum {} for {} disks × {} shards",
+        report.peak_event_queue_sum(),
         report.disks,
         cfg.shards
     );
     assert!(report.peak_disk_queue < 10_000);
+    // The digest log saw every completion without materialising any of
+    // them: peak buffering is bounded by the chunked channel plumbing, not
+    // the 10⁹ record count.
+    let log = report.completion_log.as_ref().expect("digest log enabled");
+    assert_eq!(log.records, report.responses.len() as u64);
+    assert!(report.completions.is_none(), "digest mode keeps no records");
+    assert!(
+        log.peak_buffered < 1_000_000,
+        "log buffering {} grew with the request count",
+        log.peak_buffered
+    );
     let covered = report.energy.total_seconds();
     let expected = report.sim_time_s * report.disks as f64;
     assert!((covered - expected).abs() < 1e-6 * expected);
