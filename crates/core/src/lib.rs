@@ -59,4 +59,11 @@ pub use spindown_sim::hierarchy::{CacheChoice, CachePolicyChoice};
 // transient errors, wake failures, fail-slow windows); re-exported so
 // planner callers build a `FaultChoice` regime without a workload import.
 pub use spindown_workload::FaultPlan;
+// The rate curve picks *how the offered load moves* over a replay
+// (diurnal cycles, flash crowds, tenant ramps), and the windowed report
+// is how that movement shows up in the results — time-resolved metrics
+// instead of one end-of-run aggregate; re-exported together so callers
+// drive and read a non-stationary experiment from one place.
+pub use spindown_sim::windows::{WindowRow, WindowedReport};
+pub use spindown_workload::RateCurve;
 pub use writes::{WriteFit, WritePlacer};

@@ -4,7 +4,9 @@
 //! Regenerates every table and figure of Otoo, Rotem & Tsao (IPPS 2009).
 //! Each experiment is a pure function from a [`Scale`] to a [`Figure`]
 //! (column-oriented numeric data), which the `experiments` binary prints as
-//! an aligned table and writes as CSV. Sweeps fan across OS threads through
+//! an aligned table and writes as CSV. A `replay` run with `--window SECS`
+//! returns a second `replay_windows` figure (the tumbling-window time
+//! series) alongside the legacy aggregate figure. Sweeps fan across OS threads through
 //! the [`sweep`] driver (scoped threads, no external runtime); every
 //! simulation is seeded deterministically from its grid point, so results
 //! do not depend on thread scheduling.
@@ -23,7 +25,7 @@
 //! | `sensitivity` | drive-class extension study | [`sensitivity`] |
 //! | `shootout` | allocator design-space study (incl. ladder/joint/cache brackets) | [`shootout`] |
 //! | `joint`    | joint (cache × allocation × policy × discipline × ladder) search | [`joint_exp`] |
-//! | `replay`   | streamed trace replay (`--trace-file` / synthetic, `--cache-tiers`) | [`replay`] |
+//! | `replay`   | streamed trace replay (`--trace-file` / synthetic / `--workload`, `--window`) | [`replay`] |
 
 pub mod bounds_exp;
 pub mod fig23;

@@ -46,11 +46,21 @@
 //! `none` or omission keeps the fault-free path bit-identical to the
 //! legacy engine): `replay` appends availability columns and the shootout
 //! appends the spec as a fourth fault-bracket level.
+//! `--window SECS` turns on tumbling windowed metrics: `replay` prints and
+//! writes a second artefact, `replay_windows` — one row per window
+//! (completions, mean/p95/p99 response, energy, peak backlog; plus
+//! completed/shed/failed/retried when `--faults` is active) — bit-identical
+//! at any `--shards` count. `--workload SPEC` swaps the stationary Poisson
+//! generator for a non-stationary rate curve sampled by thinning:
+//! `diurnal:base=B,amp=A,period=P[,phase=F]`,
+//! `flash:base=B,peak=P,at=T,ramp=R,hold=H,decay=D`, or
+//! `ramps:T1=R1,T2=R2,…` (conflicts with `--trace-file`, which fixes every
+//! arrival already).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spindown_core::{CacheChoice, DisciplineChoice, FaultChoice, LadderChoice};
+use spindown_core::{CacheChoice, DisciplineChoice, FaultChoice, LadderChoice, RateCurve};
 use spindown_experiments::output::{render_table, write_csv};
 use spindown_experiments::{
     bounds_exp, fig23, fig4, fig56, joint_exp, replay, sensitivity, shootout, tables, vsweep,
@@ -62,8 +72,12 @@ fn usage() -> &'static str {
      \u{20}                  [--ladder 2|3] [--trace-file FILE] [--horizon SECONDS]\n\
      \u{20}                  [--requests N] [--shards N]\n\
      \u{20}                  [--cache-tiers none|POLICY:GB|POLICY:GB+POLICY:GB]\n\
-     \u{20}                  [--completion-log FILE] [--faults none|SPEC] CMD...\n\
-     \u{20}    (SPEC e.g. 'transient:p=1e-4 | wakefail:p=0.02 | mttr=300')\n\
+     \u{20}                  [--completion-log FILE] [--faults none|SPEC]\n\
+     \u{20}                  [--window SECONDS] [--workload CURVE] CMD...\n\
+     \u{20}    (SPEC e.g. 'transient:p=1e-4 | wakefail:p=0.02 | mttr=300';\n\
+     \u{20}     CURVE e.g. diurnal:base=4,amp=3,period=86400 |\n\
+     \u{20}     flash:base=2,peak=20,at=600,ramp=60,hold=300,decay=120 |\n\
+     \u{20}     ramps:0=2,3600=8)\n\
      CMD: table1 table2 fig2 fig3 fig4 fig5 fig6 vsweep bounds sensitivity shootout joint\n\
      \u{20}    replay all   (--joint is accepted as an alias for the joint command)"
 }
@@ -80,6 +94,8 @@ fn main() -> ExitCode {
     let mut cache = CacheChoice::None;
     let mut faults = FaultChoice::None;
     let mut completion_log: Option<PathBuf> = None;
+    let mut window: Option<f64> = None;
+    let mut workload: Option<RateCurve> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -158,6 +174,33 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--window" => match args.next().and_then(|w| w.parse::<f64>().ok()) {
+                Some(w) if w.is_finite() && w > 0.0 => window = Some(w),
+                _ => {
+                    eprintln!(
+                        "--window needs a finite positive number of seconds \
+                         (zero, NaN and infinities are rejected)\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workload" => match args.next() {
+                Some(spec) => match RateCurve::parse(&spec) {
+                    Ok(curve) => workload = Some(curve),
+                    Err(e) => {
+                        eprintln!("--workload: {e}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!(
+                        "--workload needs a curve spec (diurnal:…, flash:… or ramps:…)\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--discipline" => match args.next().as_deref().and_then(DisciplineChoice::parse) {
                 Some(d) => discipline = d,
                 None => {
@@ -214,44 +257,46 @@ fn main() -> ExitCode {
     let mut fig56_cache: Option<(Figure, Figure)> = None;
 
     for cmd in &cmds {
-        let figure: Figure = match cmd.as_str() {
-            "table1" => tables::table1(scale),
-            "table2" => tables::table2(),
+        // Every command yields one figure except `replay`, which appends a
+        // second (`replay_windows`) when `--window` is set.
+        let figures: Vec<Figure> = match cmd.as_str() {
+            "table1" => vec![tables::table1(scale)],
+            "table2" => vec![tables::table2()],
             "fig2" => {
                 let (f2, _) = fig23_cache
                     .get_or_insert_with(|| fig23::fig23(scale))
                     .clone();
-                f2
+                vec![f2]
             }
             "fig3" => {
                 let (_, f3) = fig23_cache
                     .get_or_insert_with(|| fig23::fig23(scale))
                     .clone();
-                f3
+                vec![f3]
             }
-            "fig4" => fig4::fig4(scale),
+            "fig4" => vec![fig4::fig4(scale)],
             "fig5" => {
                 let (f5, _) = fig56_cache
                     .get_or_insert_with(|| fig56::fig56(scale))
                     .clone();
-                f5
+                vec![f5]
             }
             "fig6" => {
                 let (_, f6) = fig56_cache
                     .get_or_insert_with(|| fig56::fig56(scale))
                     .clone();
-                f6
+                vec![f6]
             }
-            "vsweep" => vsweep::vsweep(scale),
-            "bounds" => bounds_exp::bounds(scale),
-            "sensitivity" => sensitivity::sensitivity(scale),
-            "shootout" => shootout::shootout_with_faults(
+            "vsweep" => vec![vsweep::vsweep(scale)],
+            "bounds" => vec![bounds_exp::bounds(scale)],
+            "sensitivity" => vec![sensitivity::sensitivity(scale)],
+            "shootout" => vec![shootout::shootout_with_faults(
                 scale,
                 discipline,
                 ladder,
                 (!faults.is_none()).then(|| faults.clone()),
-            ),
-            "joint" => joint_exp::joint(scale),
+            )],
+            "joint" => vec![joint_exp::joint(scale)],
             "replay" => {
                 match replay::replay(
                     scale,
@@ -263,8 +308,10 @@ fn main() -> ExitCode {
                     cache,
                     faults.clone(),
                     completion_log.as_deref(),
+                    window,
+                    workload.as_ref(),
                 ) {
-                    Ok(fig) => fig,
+                    Ok(figs) => figs,
                     Err(e) => {
                         eprintln!("replay failed: {e}");
                         return ExitCode::FAILURE;
@@ -276,12 +323,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        println!("{}", render_table(&figure));
-        match write_csv(&figure, &out_dir) {
-            Ok(path) => println!("wrote {}\n", path.display()),
-            Err(e) => {
-                eprintln!("failed to write CSV: {e}");
-                return ExitCode::FAILURE;
+        for figure in &figures {
+            println!("{}", render_table(figure));
+            match write_csv(figure, &out_dir) {
+                Ok(path) => println!("wrote {}\n", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write CSV: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

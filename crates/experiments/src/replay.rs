@@ -8,8 +8,16 @@
 //!   reader (O(1) memory however large the file; the horizon is pre-scanned
 //!   unless `--horizon` is given, in which case it is a hard bound and
 //!   rows beyond it error out).
+//! - `--workload SPEC` generates non-stationary arrivals from a
+//!   [`RateCurve`] (diurnal cycle, flash crowd, tenant ramps) by
+//!   Lewis–Shedler thinning, again without materialising them.
 //! - otherwise a seeded synthetic Poisson generator produces `--requests N`
 //!   expected arrivals without ever materialising them.
+//!
+//! `--window SECS` adds a second figure, `replay_windows`: the tumbling
+//! windowed time series (completions, mean/p95/p99 response, energy, peak
+//! backlog per window — plus availability counters when a fault regime is
+//! active), bit-identical at any `--shards` count.
 //!
 //! Responses aggregate into the streaming histogram, so resident memory is
 //! O(disks + histogram buckets) end to end regardless of the request count
@@ -17,9 +25,12 @@
 
 use std::path::Path;
 
-use spindown_core::{CacheChoice, FaultChoice, LadderChoice, MetricsMode, Planner, PlannerConfig};
+use spindown_core::{
+    CacheChoice, FaultChoice, LadderChoice, MetricsMode, Planner, PlannerConfig, RateCurve,
+};
 use spindown_sim::engine::Simulator;
 use spindown_sim::metrics::SimReport;
+use spindown_sim::windows::WindowedReport;
 use spindown_sim::CompletionLogMode;
 use spindown_workload::{CsvTraceSource, FileCatalog, SyntheticSource, TraceSource};
 
@@ -31,11 +42,15 @@ use crate::{grid_seed, Figure, Scale};
 /// the planning point just measure an ever-growing backlog.)
 const SYNTHETIC_RATE: f64 = 4.0;
 
-/// Run the replay and summarise it as a one-row [`Figure`].
+/// Run the replay and summarise it as a one-row [`Figure`] (plus, with
+/// `window`, the `replay_windows` time-series figure).
 ///
 /// `trace_file == None` replays `requests` expected synthetic arrivals;
 /// `Some(path)` streams the CSV at `path` (with `horizon` overriding the
-/// pre-scan pass). `ladder` selects the fleet's power-state ladder
+/// pre-scan pass). `workload` swaps the synthetic generator for a
+/// non-stationary [`RateCurve`] sampled by thinning (conflicts with
+/// `trace_file` — the curve would be ignored, so the pair is an error
+/// naming both flags). `ladder` selects the fleet's power-state ladder
 /// (two-state reproduces the pre-ladder engine bit-identically), `shards`
 /// the number of parallel replay shards (1 = the single-threaded engine;
 /// any count reports bit-identical histogram metrics and energy), and
@@ -45,11 +60,15 @@ const SYNTHETIC_RATE: f64 = 4.0;
 /// fault-free path and columns bit-identical), and `completion_log` an
 /// optional CSV path the per-request completion records stream to in
 /// canonical `(time, request)` order — O(buffer) resident, bit-identical
-/// at every shard count.
+/// at every shard count. `window` enables tumbling windowed metrics of
+/// that width in seconds and appends the `replay_windows` figure — one
+/// row per window, bit-identical at any shard count (`None` keeps the
+/// legacy single-figure output byte-for-byte).
 ///
 /// Caches and the completion log compose with `shards > 1` (the global
 /// cache partitions its budget by file residency; per-shard logs k-way
-/// merge). The one coupling left — preloaded arrivals — is an error
+/// merge), and so do windows (per-disk collectors reassemble in global
+/// disk order). The one coupling left — preloaded arrivals — is an error
 /// naming itself, not a silent single-shard fallback.
 #[allow(clippy::too_many_arguments)]
 pub fn replay(
@@ -62,7 +81,23 @@ pub fn replay(
     cache: CacheChoice,
     faults: FaultChoice,
     completion_log: Option<&Path>,
-) -> Result<Figure, Box<dyn std::error::Error>> {
+    window: Option<f64>,
+    workload: Option<&RateCurve>,
+) -> Result<Vec<Figure>, Box<dyn std::error::Error>> {
+    if trace_file.is_some() && workload.is_some() {
+        return Err(
+            "--workload is unsupported with --trace-file: the trace fixes every arrival, \
+             so the curve would be silently ignored; drop one of the two flags"
+                .into(),
+        );
+    }
+    if let Some(w) = window {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(
+                format!("--window needs a finite positive number of seconds, got {w}").into(),
+            );
+        }
+    }
     let catalog = FileCatalog::paper_table1(scale.n_files(), 0);
     let mut cfg = PlannerConfig::default();
     cfg.sim = cfg
@@ -70,6 +105,9 @@ pub fn replay(
         .with_metrics(MetricsMode::Histogram)
         .with_shards(shards)
         .with_cache_hierarchy(cache.hierarchy());
+    if let Some(w) = window {
+        cfg.sim = cfg.sim.with_windows(w);
+    }
     if let Some(path) = completion_log {
         cfg.sim = cfg.sim.with_completion_log_mode(CompletionLogMode::Csv {
             path: path.display().to_string(),
@@ -87,16 +125,27 @@ pub fn replay(
             .into());
         }
     }
-    let plan = planner.plan(&catalog, SYNTHETIC_RATE)?;
+    let plan_rate = workload.map_or(SYNTHETIC_RATE, RateCurve::mean_rate_hint);
+    let plan = planner.plan(&catalog, plan_rate)?;
     let fleet = scale.fleet().max(plan.disks_used());
 
-    let (report, source_note) = match trace_file {
-        Some(path) => {
+    let (report, source_note) = match (trace_file, workload) {
+        (Some(path), _) => {
             let source = CsvTraceSource::open(path, horizon)?;
             let report = run(&planner, &catalog, source, &plan.assignment, fleet)?;
             (report, format!("source: csv {}", path.display()))
         }
-        None => {
+        (None, Some(curve)) => {
+            let horizon = horizon.unwrap_or(requests as f64 / curve.mean_rate_hint());
+            let seed = grid_seed(92, 0, 0);
+            let source = SyntheticSource::non_stationary(&catalog, curve.clone(), horizon, seed);
+            let report = run(&planner, &catalog, source, &plan.assignment, fleet)?;
+            (
+                report,
+                format!("source: synthetic {} seed={seed:#x}", curve.label()),
+            )
+        }
+        (None, None) => {
             let horizon = horizon.unwrap_or(requests as f64 / SYNTHETIC_RATE);
             let seed = grid_seed(92, 0, 0);
             let source = SyntheticSource::poisson(&catalog, SYNTHETIC_RATE, horizon, seed);
@@ -193,7 +242,67 @@ pub fn replay(
             log.fnv1a,
         ));
     }
-    Ok(fig)
+    let mut figures = vec![fig];
+    if let Some(w) = report.windows.as_ref() {
+        figures.push(windows_figure(w));
+    }
+    Ok(figures)
+}
+
+/// Render a [`WindowedReport`] as the `replay_windows` figure: one row
+/// per tumbling window. The availability columns (completed/shed/failed/
+/// retried) appear only when a fault regime was active, mirroring the
+/// run-level figure's pinned fault-free schema; empty windows render as
+/// explicit zeros (the `ResponseStats` empty contract), never NaN.
+fn windows_figure(w: &WindowedReport) -> Figure {
+    let mut columns: Vec<String> = vec![
+        "window_start_s".into(),
+        "window_end_s".into(),
+        "completions".into(),
+        "resp_mean_s".into(),
+        "resp_p95_s".into(),
+        "resp_p99_s".into(),
+        "energy_j".into(),
+        "peak_backlog".into(),
+    ];
+    if w.faulted {
+        for col in ["completed", "shed", "failed", "retried"] {
+            columns.push(col.into());
+        }
+    }
+    let mut fig = Figure::new(
+        "replay_windows",
+        "Windowed replay time series (tumbling windows, shard-invariant)",
+        columns,
+    );
+    for row in &w.rows {
+        let mut vals = vec![
+            row.start_s,
+            row.end_s,
+            row.completions as f64,
+            row.mean_s,
+            row.p95_s,
+            row.p99_s,
+            row.energy_j,
+            row.peak_queue as f64,
+        ];
+        if w.faulted {
+            vals.extend([
+                row.completions as f64,
+                row.shed as f64,
+                row.failed as f64,
+                row.retried as f64,
+            ]);
+        }
+        fig.push_row(vals);
+    }
+    fig.notes.push(format!(
+        "{} windows of {} s; per-disk collectors fold in ascending global \
+         disk order, so the series is bit-identical at any shard count",
+        w.rows.len(),
+        w.width_s,
+    ));
+    fig
 }
 
 fn run<S: TraceSource + Send>(
@@ -229,8 +338,11 @@ mod tests {
             CacheChoice::None,
             FaultChoice::None,
             None,
+            None,
+            None,
         )
-        .expect("replay runs");
+        .expect("replay runs")
+        .remove(0);
         assert_eq!(fig.rows.len(), 1);
         let requests = fig.rows[0][0];
         assert!(requests > 1_000.0, "4/s for 500 s: got {requests}");
@@ -263,8 +375,11 @@ mod tests {
             CacheChoice::None,
             FaultChoice::None,
             None,
+            None,
+            None,
         )
-        .expect("csv replay runs");
+        .expect("csv replay runs")
+        .remove(0);
         assert_eq!(fig.rows[0][0] as usize, trace.len());
         assert!(fig.notes.iter().any(|n| n.contains("csv")));
         // Horizon pre-scan path agrees on the request count.
@@ -278,8 +393,11 @@ mod tests {
             CacheChoice::None,
             FaultChoice::None,
             None,
+            None,
+            None,
         )
-        .expect("pre-scan replay runs");
+        .expect("pre-scan replay runs")
+        .remove(0);
         assert_eq!(fig2.rows[0][0] as usize, trace.len());
     }
 
@@ -296,8 +414,11 @@ mod tests {
             cache,
             FaultChoice::None,
             None,
+            None,
+            None,
         )
-        .expect("cached replay runs");
+        .expect("cached replay runs")
+        .remove(0);
         let bare = replay(
             Scale::Quick,
             None,
@@ -308,8 +429,11 @@ mod tests {
             CacheChoice::None,
             FaultChoice::None,
             None,
+            None,
+            None,
         )
-        .expect("bare replay runs");
+        .expect("bare replay runs")
+        .remove(0);
         // Same seeded trace either way; the 16 GB front absorbs reuse.
         assert_eq!(cached.rows[0][0], bare.rows[0][0]);
         let mean = cached.rows[0][cached.column("resp_s").unwrap()];
@@ -334,8 +458,11 @@ mod tests {
             CacheChoice::None,
             FaultChoice::None,
             None,
+            None,
+            None,
         )
-        .expect("replay runs");
+        .expect("replay runs")
+        .remove(0);
         assert!(fig.column("availability").is_none());
         assert!(fig.column("degraded_p95_s").is_none());
         assert!(fig.notes.iter().all(|n| !n.starts_with("faults ")));
@@ -355,8 +482,11 @@ mod tests {
                 CacheChoice::None,
                 faults.clone(),
                 None,
+                None,
+                None,
             )
             .expect("faulted replay runs")
+            .remove(0)
         };
         let fig = run();
         let avail = fig.rows[0][fig.column("availability").unwrap()];
@@ -382,8 +512,11 @@ mod tests {
                 CacheChoice::None,
                 faults.clone(),
                 None,
+                None,
+                None,
             )
             .expect("faulted replay runs")
+            .remove(0)
         };
         // Per-disk fault streams are keyed by global disk id, so the
         // merged sharded report is bit-identical to the solo run — except
@@ -427,8 +560,11 @@ mod tests {
                 CacheChoice::parse("lru:2+lru:16").unwrap(),
                 FaultChoice::None,
                 None,
+                None,
+                None,
             )
             .expect("cached sharded replay runs")
+            .remove(0)
         };
         let (solo, sharded) = (run(1), run(4));
         let peak = solo.column("peak_event_queue").unwrap();
@@ -467,8 +603,11 @@ mod tests {
                 CacheChoice::None,
                 FaultChoice::None,
                 Some(&path),
+                None,
+                None,
             )
-            .expect("logged replay runs");
+            .expect("logged replay runs")
+            .remove(0);
             (fig, std::fs::read(&path).expect("log written"))
         };
         let (solo_fig, solo_log) = run(1, "solo.csv");
@@ -488,6 +627,157 @@ mod tests {
     }
 
     #[test]
+    fn windowed_replay_appends_a_series_that_sums_to_the_run_totals() {
+        let figs = replay(
+            Scale::Quick,
+            None,
+            Some(500.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+            CacheChoice::None,
+            FaultChoice::None,
+            None,
+            Some(60.0),
+            None,
+        )
+        .expect("windowed replay runs");
+        assert_eq!(figs.len(), 2);
+        let (fig, windows) = (&figs[0], &figs[1]);
+        assert_eq!(windows.id, "replay_windows");
+        // 500 s horizon in 60 s windows: events land in windows 0..=8, and
+        // the t_end pad guarantees window 8 exists on every shard.
+        assert_eq!(windows.rows.len(), 9);
+        let col = |name: &str| windows.column(name).unwrap();
+        let total: f64 = windows.rows.iter().map(|r| r[col("completions")]).sum();
+        assert_eq!(total, fig.rows[0][0], "window completions sum to the run");
+        let energy: f64 = windows.rows.iter().map(|r| r[col("energy_j")]).sum();
+        let run_energy = fig.rows[0][fig.column("energy_j").unwrap()];
+        assert!(
+            (energy - run_energy).abs() <= 1e-6 * run_energy,
+            "window energy {energy} J must sum to the run total {run_energy} J"
+        );
+        // Fault-free windowed schema has no availability columns.
+        assert!(windows.column("shed").is_none());
+        assert!(
+            windows.rows.iter().flatten().all(|v| v.is_finite()),
+            "empty windows must render as zeros, never NaN"
+        );
+    }
+
+    #[test]
+    fn windowless_replay_keeps_the_single_legacy_figure() {
+        let figs = replay(
+            Scale::Quick,
+            None,
+            Some(200.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+            CacheChoice::None,
+            FaultChoice::None,
+            None,
+            None,
+            None,
+        )
+        .expect("replay runs");
+        assert_eq!(figs.len(), 1, "windows off must not grow the output");
+    }
+
+    #[test]
+    fn faulted_windowed_replay_adds_availability_columns() {
+        let faults = FaultChoice::parse("transient:p=0.01 | wakefail:p=0.1").unwrap();
+        let figs = replay(
+            Scale::Quick,
+            None,
+            Some(500.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+            CacheChoice::None,
+            faults,
+            None,
+            Some(60.0),
+            None,
+        )
+        .expect("faulted windowed replay runs");
+        let windows = &figs[1];
+        for col in ["completed", "shed", "failed", "retried"] {
+            assert!(windows.column(col).is_some(), "missing {col}");
+        }
+        let retried = windows.column("retried").unwrap();
+        let total: f64 = windows.rows.iter().map(|r| r[retried]).sum();
+        assert!(total > 0.0, "1% flake over ~2000 requests must retry");
+    }
+
+    #[test]
+    fn non_stationary_replay_notes_the_curve_and_moves_the_windows() {
+        let curve = RateCurve::diurnal(4.0, 3.0, 250.0);
+        let figs = replay(
+            Scale::Quick,
+            None,
+            Some(500.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+            CacheChoice::None,
+            FaultChoice::None,
+            None,
+            Some(125.0),
+            Some(&curve),
+        )
+        .expect("non-stationary replay runs");
+        assert!(figs[0].notes.iter().any(|n| n.contains("diurnal")));
+        // Two diurnal periods in four 125 s windows: the sine's positive
+        // lobes (windows 0 and 2) must out-complete the negative lobes.
+        let windows = &figs[1];
+        let col = windows.column("completions").unwrap();
+        let c: Vec<f64> = windows.rows.iter().map(|r| r[col]).collect();
+        assert!(c.len() >= 4);
+        assert!(
+            c[0] > c[1] && c[2] > c[3],
+            "diurnal lobes must show up in the series: {c:?}"
+        );
+    }
+
+    #[test]
+    fn workload_with_trace_file_and_bad_window_are_clean_errors() {
+        let curve = RateCurve::diurnal(4.0, 3.0, 250.0);
+        let err = replay(
+            Scale::Quick,
+            Some(Path::new("/tmp/whatever.csv")),
+            Some(1.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+            CacheChoice::None,
+            FaultChoice::None,
+            None,
+            None,
+            Some(&curve),
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--workload") && err.contains("--trace-file"));
+        let err = replay(
+            Scale::Quick,
+            None,
+            Some(100.0),
+            0,
+            LadderChoice::TwoState,
+            1,
+            CacheChoice::None,
+            FaultChoice::None,
+            None,
+            Some(0.0),
+            None,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--window"), "got '{err}'");
+    }
+
+    #[test]
     fn missing_trace_file_is_a_clean_error() {
         let missing = Path::new("/nonexistent/spindown/trace.csv");
         assert!(replay(
@@ -499,6 +789,8 @@ mod tests {
             1,
             CacheChoice::None,
             FaultChoice::None,
+            None,
+            None,
             None,
         )
         .is_err());

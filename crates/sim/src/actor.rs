@@ -3,10 +3,13 @@
 
 use spindown_disk::energy::EnergyBreakdown;
 use spindown_disk::mechanics::ServiceTimer;
+use spindown_disk::power::power_of;
 use spindown_disk::state::{DiskStateMachine, TransitionError};
 use spindown_disk::{DiskSpec, PowerState};
 
 use crate::discipline::{DisciplineChoice, Popped, RequestQueue, ELEVATOR_SEEK_FACTOR};
+use crate::metrics::MetricsMode;
+use crate::windows::DiskWindows;
 
 /// What the disk is doing, from the queueing perspective. Mirrors (and is
 /// asserted against) the state machine's power state. Level-carrying
@@ -65,6 +68,13 @@ pub struct DiskActor {
     /// timers carry an older generation and are ignored.
     pub idle_generation: u64,
     served: u64,
+    /// Windowed time-series collector, on only when `SimConfig::windows`
+    /// is set. The actor charges energy into it immediately before every
+    /// state-machine mutation (each mutation resets `state_entered_at`,
+    /// so charging `[state_entered_at, now)` at the outgoing state's
+    /// power covers the timeline exactly once); the engine feeds it
+    /// completions, backlog observations and fault counters.
+    windows: Option<DiskWindows>,
 }
 
 impl DiskActor {
@@ -88,7 +98,82 @@ impl DiskActor {
             descent_target: 0,
             idle_generation: 0,
             served: 0,
+            windows: None,
         }
+    }
+
+    /// Turn on the windowed time-series collector (see
+    /// [`crate::windows`]). Must be called before the first event.
+    pub fn enable_windows(&mut self, width_s: f64, mode: MetricsMode) {
+        self.windows = Some(DiskWindows::new(width_s, mode));
+    }
+
+    /// Charge the window collector for the interval spent in the current
+    /// power state, `[state_entered_at, now)`. Called immediately before
+    /// every state-machine mutation so the windowed energy integral
+    /// covers the timeline exactly once, split across window boundaries.
+    fn charge_windows(&mut self, now: f64) {
+        if let Some(w) = self.windows.as_mut() {
+            let from = self.machine.state_entered_at();
+            if now > from {
+                let power = power_of(self.machine.spec(), self.machine.state());
+                w.add_energy(from, now, power);
+            }
+        }
+    }
+
+    /// Record a completed request's response sample into the window
+    /// containing instant `t` (no-op with windows off).
+    pub fn window_completion(&mut self, t: f64, response_s: f64) {
+        if let Some(w) = self.windows.as_mut() {
+            w.record_completion(t, response_s);
+        }
+    }
+
+    /// Record a shed request at `t` (no-op with windows off).
+    pub fn window_shed(&mut self, t: f64) {
+        if let Some(w) = self.windows.as_mut() {
+            w.record_shed(t);
+        }
+    }
+
+    /// Record a permanently failed request at `t` (no-op with windows
+    /// off).
+    pub fn window_failed(&mut self, t: f64) {
+        if let Some(w) = self.windows.as_mut() {
+            w.record_failed(t);
+        }
+    }
+
+    /// Record a scheduled retry at `t` (no-op with windows off).
+    pub fn window_retried(&mut self, t: f64) {
+        if let Some(w) = self.windows.as_mut() {
+            w.record_retried(t);
+        }
+    }
+
+    /// Observe the pending-queue depth at event instant `t` for the
+    /// per-window backlog peak (no-op with windows off). Call sites
+    /// mirror the run-level `peak_disk_queue` discipline: immediately
+    /// after an enqueue.
+    pub fn window_queue_observation(&mut self, t: f64) {
+        let depth = self.queue.len();
+        if let Some(w) = self.windows.as_mut() {
+            w.observe_queue(t, depth);
+        }
+    }
+
+    /// Close the window collector at `t_end` — charging the tail interval
+    /// in the final power state and padding to the common series length —
+    /// and hand it back. Call before [`DiskActor::finish`] (which
+    /// consumes the actor). Returns `None` when windows are off.
+    pub fn take_windows(&mut self, t_end: f64) -> Option<DiskWindows> {
+        self.charge_windows(t_end);
+        let mut w = self.windows.take();
+        if let Some(w) = w.as_mut() {
+            w.finish(t_end);
+        }
+        w
     }
 
     /// Current queueing phase.
@@ -185,8 +270,10 @@ impl DiskActor {
         if amortised {
             b.seek_s *= ELEVATOR_SEEK_FACTOR;
         }
+        self.charge_windows(t);
         self.machine.transition(t, PowerState::Seek)?;
         // Rotation is charged at active power together with the transfer.
+        self.charge_windows(t + b.seek_s);
         self.machine.transition(t + b.seek_s, PowerState::Active)?;
         self.phase = Phase::Busy;
         self.current = Some(req);
@@ -197,6 +284,7 @@ impl DiskActor {
     /// Finish the in-flight request at `t`; returns its index.
     pub fn complete_service(&mut self, t: f64) -> Result<usize, TransitionError> {
         assert_eq!(self.phase, Phase::Busy, "no request in flight");
+        self.charge_windows(t);
         self.machine.transition(t, PowerState::Idle)?;
         self.phase = Phase::Idle;
         self.idle_generation += 1;
@@ -216,6 +304,7 @@ impl DiskActor {
             .settled_level()
             .unwrap_or_else(|| panic!("descend requires a settled phase, was {:?}", self.phase));
         assert!(here < target, "descend {here} -> {target} goes nowhere");
+        self.charge_windows(t);
         let done = self.machine.begin_descend(t)?;
         self.phase = Phase::Descending(here + 1);
         self.descent_target = target;
@@ -236,6 +325,7 @@ impl DiskActor {
         let Phase::Descending(level) = self.phase else {
             panic!("complete_descend in phase {:?}", self.phase);
         };
+        self.charge_windows(t);
         self.machine.transition(t, PowerState::Sleeping(level))?;
         self.phase = Phase::Asleep(level);
         Ok(level)
@@ -259,6 +349,7 @@ impl DiskActor {
         let Phase::Asleep(level) = self.phase else {
             panic!("spin-up requires Asleep, was {:?}", self.phase);
         };
+        self.charge_windows(t);
         let done = self.machine.begin_spin_up(t)?;
         self.phase = Phase::Waking(level);
         Ok(done)
@@ -273,6 +364,7 @@ impl DiskActor {
             "complete_spin_up in phase {:?}",
             self.phase
         );
+        self.charge_windows(t);
         self.machine.transition(t, PowerState::Idle)?;
         self.phase = Phase::Idle;
         self.idle_generation += 1;
@@ -291,6 +383,7 @@ impl DiskActor {
             "fail_spin_up in phase {:?}",
             self.phase
         );
+        self.charge_windows(t);
         let level = self.machine.fail_spin_up(t)?;
         self.phase = Phase::Asleep(level);
         Ok(level)
@@ -425,6 +518,28 @@ mod tests {
         assert!((b.seconds_in(PowerState::Seek) - 0.0085).abs() < 1e-9);
         assert!((b.seconds_in(PowerState::Active) - (1.0 + 0.00416)).abs() < 1e-9);
         assert!((b.total_seconds() - done).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_energy_sums_to_the_breakdown_total() {
+        let mut a = actor();
+        a.enable_windows(64.0, MetricsMode::Exact);
+        let done = a.start_service(0.0, 0, 72 * MB, false).unwrap();
+        a.complete_service(done).unwrap();
+        let d = a.begin_spin_down(100.0).unwrap();
+        a.complete_spin_down(d).unwrap();
+        let u = a.begin_spin_up(300.0).unwrap();
+        a.complete_spin_up(u).unwrap();
+        let w = a.take_windows(400.0).unwrap();
+        let b = a.finish(400.0).unwrap();
+        let report = crate::windows::WindowedReport::derive(64.0, vec![w], false);
+        assert_eq!(report.rows.len(), 7);
+        let windowed: f64 = report.rows.iter().map(|r| r.energy_j).sum();
+        assert!(
+            (windowed - b.total_joules()).abs() < 1e-9 * b.total_joules().max(1.0),
+            "windowed {windowed} vs breakdown {}",
+            b.total_joules()
+        );
     }
 
     /// Drive the actor's real service path (enqueue → serve_next →

@@ -148,6 +148,14 @@ pub struct SimConfig {
     /// engine.
     #[serde(default)]
     pub faults: FaultPlan,
+    /// Tumbling-window width in seconds for the windowed time-series
+    /// metrics (see [`crate::windows`]). `None` — the default — keeps the
+    /// legacy single-report path bit-for-bit untouched; `Some(width)`
+    /// attaches a [`crate::windows::WindowedReport`] to the report,
+    /// bit-identical at any shard count. The width must be finite and
+    /// positive.
+    #[serde(default)]
+    pub windows: Option<f64>,
 }
 
 impl SimConfig {
@@ -165,6 +173,7 @@ impl SimConfig {
             completion_log: CompletionLogMode::Off,
             shards: 1,
             faults: FaultPlan::none(),
+            windows: None,
         }
     }
 
@@ -260,6 +269,22 @@ impl SimConfig {
     /// bit-identical no-fault fast path.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Collect windowed time-series metrics with the given tumbling
+    /// window width (seconds). The engine validates the width; builders
+    /// reject the obvious junk early so a bad CLI flag fails here, not
+    /// mid-run.
+    ///
+    /// # Panics
+    /// If `width_s` is not finite and positive.
+    pub fn with_windows(mut self, width_s: f64) -> Self {
+        assert!(
+            width_s.is_finite() && width_s > 0.0,
+            "window width must be finite and positive, got {width_s}"
+        );
+        self.windows = Some(width_s);
         self
     }
 
@@ -408,6 +433,20 @@ mod tests {
             ShardFallback::PreloadedArrivals.to_string(),
             "preloaded arrival scheduling"
         );
+    }
+
+    #[test]
+    fn windows_default_off_and_build() {
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.windows, None);
+        let cfg = cfg.with_windows(60.0);
+        assert_eq!(cfg.windows, Some(60.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_window_width_panics() {
+        let _ = SimConfig::paper_default().with_windows(0.0);
     }
 
     #[test]

@@ -597,6 +597,15 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             fault: (!cfg.faults.is_none())
                 .then(|| FaultRuntime::new(&cfg.faults, fleet, shard, stride, cfg.metrics)),
         };
+        if let Some(width) = cfg.windows {
+            assert!(
+                width.is_finite() && width > 0.0,
+                "window width must be finite and positive, got {width}"
+            );
+            for a in &mut sim.actors {
+                a.enable_windows(width, cfg.metrics);
+            }
+        }
         sim.prime();
         sim.drive()?;
         if let Some(w) = &mut sim.complog {
@@ -794,6 +803,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                         self.responses.record(latency);
                     }
                     self.per_disk_responses[disk].record(latency);
+                    self.actors[disk].window_completion(t, latency);
                     if let Some(f) = &mut self.fault {
                         f.completed += 1;
                     }
@@ -811,6 +821,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                         self.responses.record(latency);
                     }
                     self.per_disk_responses[disk].record(latency);
+                    self.actors[disk].window_completion(t, latency);
                     if let Some(f) = &mut self.fault {
                         f.completed += 1;
                     }
@@ -824,12 +835,14 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         if let Some(f) = &mut self.fault {
             if f.sheds(self.actors[disk].queue_len()) {
                 f.shed += 1;
+                self.actors[disk].window_shed(t);
                 return Ok(());
             }
         }
         self.policy.request_arrived(disk, t);
         self.actors[disk].enqueue(req, size, t, r.file.index() as u64);
         self.peak_disk_queue = self.peak_disk_queue.max(self.actors[disk].queue_len());
+        self.actors[disk].window_queue_observation(t);
         self.kick(t, disk)
     }
 
@@ -910,8 +923,10 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                         if n > f.plan().retry_budget {
                             f.attempts[disk].remove(&req);
                             f.failed += 1;
+                            self.actors[disk].window_failed(t);
                         } else {
                             f.retried += 1;
+                            self.actors[disk].window_retried(t);
                             let fire = t + f.plan().backoff_s(n - 1);
                             f.pending_retries[disk].push(PendingRetry {
                                 fire,
@@ -933,6 +948,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                             self.responses.record(t - arrival);
                         }
                         self.per_disk_responses[disk].record(t - arrival);
+                        self.actors[disk].window_completion(t, t - arrival);
                         if let Some(w) = self.complog.as_mut() {
                             w.push(Completion {
                                 req,
@@ -950,6 +966,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
                         self.responses.record(t - arrival);
                     }
                     self.per_disk_responses[disk].record(t - arrival);
+                    self.actors[disk].window_completion(t, t - arrival);
                     if let Some(w) = self.complog.as_mut() {
                         w.push(Completion {
                             req,
@@ -1196,6 +1213,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         }
         if !due.is_empty() {
             self.peak_disk_queue = self.peak_disk_queue.max(self.actors[disk].queue_len());
+            self.actors[disk].window_queue_observation(t);
         }
         self.kick(t, disk)
     }
@@ -1228,17 +1246,36 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
         let mut fleet = spindown_disk::energy::EnergyBreakdown::default();
         let mut per_disk = Vec::with_capacity(self.actors.len());
         let mut per_disk_served = Vec::with_capacity(self.actors.len());
+        let mut per_disk_windows = self
+            .cfg
+            .windows
+            .map(|_| Vec::with_capacity(self.actors.len()));
         let mut spin_downs = 0;
         let mut spin_ups = 0;
         let disks = self.actors.len();
-        for actor in self.actors {
+        for mut actor in self.actors {
             spin_downs += actor.spin_downs();
             spin_ups += actor.spin_ups();
             per_disk_served.push(actor.served());
+            if let Some(v) = per_disk_windows.as_mut() {
+                v.push(
+                    actor
+                        .take_windows(t_end)
+                        .expect("windows enabled on every actor"),
+                );
+            }
             let b = actor.finish(t_end)?;
             fleet.merge(&b);
             per_disk.push(b);
         }
+        // The windowed series is a pure derivation over the per-disk
+        // collectors in ascending disk order — local order here equals
+        // global order unsharded; the sharded merge re-derives from the
+        // reassembled global order with the same function.
+        let windows = per_disk_windows.map(|pd| {
+            let width = self.cfg.windows.expect("collected only when configured");
+            crate::windows::WindowedReport::derive(width, pd, availability.is_some())
+        });
         let (cache, cache_tiers, per_disk_cache_tiers) = match self.cache {
             CacheFront::None => (None, None, None),
             CacheFront::Global(h) => (Some(h.aggregate_stats()), Some(h.tier_stats()), None),
@@ -1301,6 +1338,7 @@ impl<'a, S: TraceSource> Simulator<'a, S> {
             per_shard_event_peaks: vec![self.peak_events],
             peak_disk_queue: self.peak_disk_queue,
             availability,
+            windows,
         })
     }
 }

@@ -38,6 +38,10 @@
 //!   spin-up.
 //! - [`actor`] — per-disk actor bridging queueing and the state machine.
 //! - [`metrics`] — response-time statistics and the simulation report.
+//! - [`windows`] — tumbling-window time-series metrics behind
+//!   `SimConfig::with_windows`: per-disk [`windows::DiskWindows`]
+//!   collectors merged in ascending global disk order into a
+//!   [`windows::WindowedReport`], bit-identical at any shard count.
 //! - `fault` (internal) — the seeded deterministic fault injector behind
 //!   `SimConfig::with_faults`: fail-stop crashes with timed repair,
 //!   transient I/O retries with capped exponential backoff, wake
@@ -111,6 +115,7 @@ pub mod hierarchy;
 pub mod metrics;
 pub mod policy;
 mod shard;
+pub mod windows;
 
 pub use cache::{CachePolicy, CacheStats, LfuCache, LruCache, SegmentedLru};
 pub use complog::{CompletionLogMode, CompletionLogSummary};
@@ -123,3 +128,4 @@ pub use hierarchy::{
 };
 pub use metrics::{AvailabilityStats, MetricsMode, ResponseStats, SimReport, StreamingHistogram};
 pub use policy::{PowerPolicy, TimeoutPolicy};
+pub use windows::{DiskWindows, WindowRow, WindowedReport};

@@ -570,7 +570,9 @@ pub struct Completion {
 ///   (counters summed in tier-then-ascending-disk order),
 ///   `per_disk_served`, `peak_disk_queue` (per-disk trajectories are
 ///   shard-invariant, so the cross-shard max is the unsharded value),
-///   `availability`.
+///   `availability`, `windows` (per-disk collectors reassembled in
+///   ascending global-disk order, then re-derived window by window with
+///   the same fold the unsharded finish uses).
 /// - **Per-shard observations (no single-run equivalent):**
 ///   `per_shard_event_peaks` — each shard's own heap peak. The sum is a
 ///   deterministic upper bound on the unsharded peak; the max is the
@@ -670,6 +672,13 @@ pub struct SimReport {
     /// reports — including the golden fixture — are byte-identical.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub availability: Option<AvailabilityStats>,
+    /// Windowed time-series metrics (see [`crate::windows`]), present iff
+    /// `SimConfig::windows` set a tumbling window width. `None` on every
+    /// windows-off run, so legacy reports — including the golden fixture
+    /// — are byte-identical. The derived rows (and the per-disk
+    /// collectors they fold) are bit-identical at every shard count.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub windows: Option<crate::windows::WindowedReport>,
 }
 
 impl SimReport {

@@ -65,6 +65,7 @@ use crate::config::SimConfig;
 use crate::engine::{SimError, Simulator};
 use crate::metrics::{AvailabilityStats, Completion, ResponseStats, SimReport};
 use crate::policy::{DescentStep, PowerPolicy};
+use crate::windows::{DiskWindows, WindowedReport};
 
 /// Bounded depth of each shard→merger completion-log channel, in batches
 /// of [`crate::complog::LOG_CHUNK`] — caps the merged log's resident
@@ -345,6 +346,7 @@ fn merge_reports(
         responses: std::vec::IntoIter<ResponseStats>,
         served: std::vec::IntoIter<u64>,
         cache_rows: Option<std::vec::IntoIter<Vec<CacheStats>>>,
+        windows: Option<std::vec::IntoIter<DiskWindows>>,
     }
     let sim_time_s = reports[0].sim_time_s;
     let mut spin_downs = 0u64;
@@ -408,6 +410,7 @@ fn merge_reports(
             responses: r.per_disk_responses.into_iter(),
             served: r.per_disk_served.into_iter(),
             cache_rows: r.per_disk_cache_tiers.map(Vec::into_iter),
+            windows: r.windows.map(|w| w.per_disk.into_iter()),
         });
     }
     if let Some(a) = availability.as_mut() {
@@ -428,6 +431,8 @@ fn merge_reports(
     let mut per_disk_cache_tiers: Option<Vec<Vec<CacheStats>>> =
         per_disk_scope.then(|| Vec::with_capacity(fleet));
     let mut responses = ResponseStats::with_mode(cfg.metrics);
+    let mut per_disk_windows: Option<Vec<DiskWindows>> =
+        cfg.windows.map(|_| Vec::with_capacity(fleet));
     // Local actor indices ascend with the global disk id within a shard, so
     // popping each shard's vectors front-to-front in global order lands
     // every per-disk entry at its global index.
@@ -436,6 +441,15 @@ fn merge_reports(
         let e = p.energy.next().expect("shard simulated its disk");
         let r = p.responses.next().expect("shard simulated its disk");
         let s = p.served.next().expect("shard simulated its disk");
+        if let Some(pd) = per_disk_windows.as_mut() {
+            pd.push(
+                p.windows
+                    .as_mut()
+                    .expect("windows collected on every shard")
+                    .next()
+                    .expect("shard collected its disk's windows"),
+            );
+        }
         fleet_energy.merge(&e);
         responses.merge(&r);
         per_disk_energy.push(e);
@@ -471,6 +485,13 @@ fn merge_reports(
         None => (None, None),
         Some((completions, summary)) => (completions, Some(summary)),
     };
+    // The windowed series is re-derived from the reassembled per-disk
+    // collectors with the same ascending-disk-order fold the unsharded
+    // finish uses, so the rows are bit-identical at every shard count.
+    let windows = per_disk_windows.map(|pd| {
+        let width = cfg.windows.expect("collected only when configured");
+        WindowedReport::derive(width, pd, availability.is_some())
+    });
     SimReport {
         sim_time_s,
         energy: fleet_energy,
@@ -489,6 +510,7 @@ fn merge_reports(
         per_shard_event_peaks,
         peak_disk_queue,
         availability,
+        windows,
     }
 }
 

@@ -25,7 +25,9 @@
 //! - [`fault`] — [`fault::FaultPlan`]: the seeded deterministic failure
 //!   model (crashes, transient errors, wake failures, fail-slow windows,
 //!   load shedding) the simulation engine injects during a replay.
-//! - [`arrivals`] — Poisson and batched arrival processes.
+//! - [`arrivals`] — Poisson and batched arrival processes, plus
+//!   non-stationary rate curves ([`arrivals::RateCurve`]: diurnal cycles,
+//!   flash crowds, tenant ramps) sampled by Lewis–Shedler thinning.
 //! - [`trace`] — request traces, generation, serde I/O and statistics.
 //! - [`source`] — streaming request sources ([`source::TraceSource`]):
 //!   in-memory cursor, buffered CSV reader and seeded synthetic generator,
@@ -47,6 +49,7 @@ pub mod source;
 pub mod trace;
 pub mod zipf;
 
+pub use arrivals::{RampStep, RateCurve, ThinnedProcess};
 pub use catalog::{FileCatalog, FileId, FileSpec};
 pub use fault::{CrashSpec, FailSlowSpec, FaultPlan};
 pub use shard::{demux, DemuxPump, ShardReceiver, ShardedTraceView};

@@ -15,9 +15,11 @@
 //! - [`CsvTraceSource`] — a buffered line-at-a-time reader of the CSV
 //!   format [`Trace::write_csv`] produces (`time_s,file_id` rows). Memory
 //!   is one line buffer regardless of file size.
-//! - [`SyntheticSource`] — a seeded Poisson/popularity generator producing
-//!   exactly the request sequence of [`Trace::poisson`] with the same
-//!   arguments, without ever materialising it.
+//! - [`SyntheticSource`] — a seeded arrivals/popularity generator. Its
+//!   Poisson form produces exactly the request sequence of
+//!   [`Trace::poisson`] with the same arguments, without ever
+//!   materialising it; its non-stationary form follows a [`RateCurve`]
+//!   (diurnal, flash crowd, tenant ramps) by Lewis–Shedler thinning.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -29,7 +31,7 @@ use std::time::SystemTime;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::arrivals::PoissonProcess;
+use crate::arrivals::{PoissonProcess, RateCurve, ThinnedProcess};
 use crate::catalog::FileCatalog;
 use crate::trace::{popularity_cdf, sample_by_cdf, Request, Trace, TraceIoError};
 
@@ -307,13 +309,46 @@ impl<R: BufRead> TraceSource for CsvTraceSource<R> {
     }
 }
 
-/// A seeded Poisson/popularity request generator. Produces exactly the
-/// request sequence [`Trace::poisson`]`(catalog, rate, horizon, seed)`
-/// materialises (same arrival process, same per-arrival popularity draws,
-/// same seed derivation), but one request at a time — so a 10⁸-request
-/// replay costs O(files) for the popularity table and O(1) beyond it.
+/// The arrival engine behind a [`SyntheticSource`]: either the original
+/// homogeneous Poisson draw sequence (kept verbatim so [`Trace::poisson`]
+/// bit-identity is preserved) or a [`ThinnedProcess`] riding a
+/// [`RateCurve`] for non-stationary workloads.
+enum ArrivalProcess {
+    Homogeneous(PoissonProcess),
+    Thinned(ThinnedProcess),
+}
+
+impl ArrivalProcess {
+    /// Next arrival strictly before `horizon`, `None` once exhausted. The
+    /// homogeneous arm draws exactly as the pre-curve code did (one draw,
+    /// then the horizon compare), so the random stream — and therefore the
+    /// generated trace — is unchanged for stationary sources.
+    fn next_arrival_before(&mut self, horizon: f64) -> Option<f64> {
+        match self {
+            ArrivalProcess::Homogeneous(p) => {
+                let t = p.next_arrival();
+                if t >= horizon {
+                    None
+                } else {
+                    Some(t)
+                }
+            }
+            ArrivalProcess::Thinned(p) => p.next_arrival_before(horizon),
+        }
+    }
+}
+
+/// A seeded arrivals/popularity request generator. With
+/// [`SyntheticSource::poisson`] it produces exactly the request sequence
+/// [`Trace::poisson`]`(catalog, rate, horizon, seed)` materialises (same
+/// arrival process, same per-arrival popularity draws, same seed
+/// derivation), but one request at a time — so a 10⁸-request replay costs
+/// O(files) for the popularity table and O(1) beyond it. With
+/// [`SyntheticSource::non_stationary`] the arrivals instead follow a
+/// [`RateCurve`] via Lewis–Shedler thinning, with the same popularity
+/// model and the same streaming cost.
 pub struct SyntheticSource {
-    process: PoissonProcess,
+    process: ArrivalProcess,
     rng: SmallRng,
     cdf: Vec<f64>,
     horizon: f64,
@@ -325,10 +360,43 @@ impl SyntheticSource {
     /// Poisson arrivals at `rate`/s until `horizon`, each targeting a file
     /// drawn by catalog popularity — [`Trace::poisson`] as a stream.
     pub fn poisson(catalog: &FileCatalog, rate: f64, horizon: f64, seed: u64) -> Self {
+        Self::with_process(
+            catalog,
+            ArrivalProcess::Homogeneous(PoissonProcess::new(rate, seed)),
+            horizon,
+            seed,
+        )
+    }
+
+    /// Arrivals following `curve` (diurnal cycle, flash crowd, tenant
+    /// ramps, …) via Lewis–Shedler thinning, each targeting a file drawn
+    /// by catalog popularity. The popularity stream uses the same seed
+    /// derivation as [`Self::poisson`], so two sources sharing a seed
+    /// differ only in *when* requests land, not in what they ask for.
+    pub fn non_stationary(
+        catalog: &FileCatalog,
+        curve: RateCurve,
+        horizon: f64,
+        seed: u64,
+    ) -> Self {
+        Self::with_process(
+            catalog,
+            ArrivalProcess::Thinned(ThinnedProcess::new(curve, seed)),
+            horizon,
+            seed,
+        )
+    }
+
+    fn with_process(
+        catalog: &FileCatalog,
+        process: ArrivalProcess,
+        horizon: f64,
+        seed: u64,
+    ) -> Self {
         assert!(!catalog.is_empty(), "cannot generate against empty catalog");
         assert!(horizon >= 0.0 && horizon.is_finite(), "bad horizon");
         SyntheticSource {
-            process: PoissonProcess::new(rate, seed),
+            process,
             rng: SmallRng::seed_from_u64(seed.wrapping_add(1)),
             cdf: popularity_cdf(catalog),
             horizon,
@@ -339,14 +407,14 @@ impl SyntheticSource {
 
     fn fill(&mut self) {
         if self.pending.is_none() && !self.done {
-            let time = self.process.next_arrival();
-            if time >= self.horizon {
-                self.done = true;
-            } else {
-                self.pending = Some(Request {
-                    time,
-                    file: sample_by_cdf(&self.cdf, &mut self.rng),
-                });
+            match self.process.next_arrival_before(self.horizon) {
+                None => self.done = true,
+                Some(time) => {
+                    self.pending = Some(Request {
+                        time,
+                        file: sample_by_cdf(&self.cdf, &mut self.rng),
+                    });
+                }
             }
         }
     }
@@ -534,6 +602,45 @@ mod tests {
         assert_eq!(b.horizon(), 6.5);
         assert_eq!(drain(&mut a), drain(&mut b));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_stationary_source_is_monotone_deterministic_and_bounded() {
+        let catalog = FileCatalog::paper_table1(50, 0);
+        let curve = RateCurve::diurnal(3.0, 2.0, 400.0);
+        let mut a = SyntheticSource::non_stationary(&catalog, curve.clone(), 1200.0, 17);
+        let mut b = SyntheticSource::non_stationary(&catalog, curve, 1200.0, 17);
+        let xs = drain(&mut a);
+        assert_eq!(xs, drain(&mut b), "seed-deterministic");
+        assert!(!xs.is_empty());
+        for w in xs.windows(2) {
+            assert!(w[0].time < w[1].time, "strictly increasing");
+        }
+        assert!(xs.iter().all(|r| r.time < 1200.0));
+        assert!(
+            xs.iter().all(|r| (r.file.0 as usize) < catalog.len()),
+            "files come from the catalog"
+        );
+    }
+
+    #[test]
+    fn non_stationary_source_shares_the_popularity_stream_with_poisson() {
+        // Same seed derivation for the popularity rng: the k-th request of
+        // either source targets the same file, only the timestamps differ.
+        let catalog = FileCatalog::paper_table1(80, 0);
+        let mut flat = SyntheticSource::poisson(&catalog, 4.0, 300.0, 23);
+        let curve = RateCurve::ramps(vec![crate::arrivals::RampStep {
+            start_s: 0.0,
+            rate: 4.0,
+        }]);
+        let mut curved = SyntheticSource::non_stationary(&catalog, curve, 300.0, 23);
+        let a = drain(&mut flat);
+        let b = drain(&mut curved);
+        let n = a.len().min(b.len());
+        assert!(n > 100, "enough overlap to be meaningful");
+        for (x, y) in a[..n].iter().zip(&b[..n]) {
+            assert_eq!(x.file, y.file);
+        }
     }
 
     #[test]

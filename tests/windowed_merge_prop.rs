@@ -1,0 +1,224 @@
+//! Windowed-merge algebra property tests (tier-1): [`DiskWindows::merge`]
+//! is the primitive the shard-invariant windowed series is built on, so —
+//! like the run-level collectors in `metrics_merge_prop` — it must behave
+//! as a commutative monoid over per-disk event streams: merging any
+//! ordered contiguous partition of a stream, in any grouping, reproduces
+//! the single-collector recording window by window, and the derived
+//! fleet rows agree bit for bit.
+//!
+//! Samples, powers and durations are drawn **dyadic** (k/64) so every
+//! per-window energy product and partial sum is exact in an f64: the
+//! partition-independence claim is then an exact equality, not a
+//! tolerance check — the same discipline that makes the sharded replay's
+//! windowed series *bit*-identical rather than merely close.
+
+use proptest::prelude::*;
+use spindown::sim::metrics::MetricsMode;
+use spindown::sim::windows::{DiskWindows, WindowedReport};
+
+/// Every event lands in [0, T_END); `finish(T_END)` pads all collectors
+/// to the same window count, as the engine does at the common horizon.
+const T_END: f64 = 256.0;
+
+/// Dyadic timestamp in [0, 256): exactly representable, exactly
+/// splittable at dyadic window boundaries.
+fn dyadic_t() -> impl Strategy<Value = f64> {
+    (0u32..(256 * 64)).prop_map(|k| k as f64 / 64.0)
+}
+
+/// Dyadic magnitude (response seconds, watts, segment length) in [0, 64).
+fn dyadic_mag() -> impl Strategy<Value = f64> {
+    (0u32..(1 << 12)).prop_map(|k| k as f64 / 64.0)
+}
+
+/// One recordable event against a [`DiskWindows`] collector — the full
+/// surface the engine's actor hooks exercise.
+#[derive(Clone, Debug)]
+enum Ev {
+    Completion(f64, f64),
+    Shed(f64),
+    Failed(f64),
+    Retried(f64),
+    Queue(f64, usize),
+    Energy(f64, f64, f64),
+}
+
+fn event() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (dyadic_t(), dyadic_mag()).prop_map(|(t, r)| Ev::Completion(t, r)),
+        dyadic_t().prop_map(Ev::Shed),
+        dyadic_t().prop_map(Ev::Failed),
+        dyadic_t().prop_map(Ev::Retried),
+        (dyadic_t(), 0usize..64).prop_map(|(t, d)| Ev::Queue(t, d)),
+        (dyadic_t(), dyadic_mag(), dyadic_mag()).prop_map(|(t, dt, p)| Ev::Energy(
+            t,
+            (t + dt).min(T_END),
+            p
+        )),
+    ]
+}
+
+/// Window width: a dyadic divisor-ish of the horizon (8..64 s), shared by
+/// every collector in a run as `SimConfig::windows` is fleet-wide.
+fn width() -> impl Strategy<Value = f64> {
+    (1u32..=8).prop_map(|k| k as f64 * 8.0)
+}
+
+fn mode_of(exact: bool) -> MetricsMode {
+    if exact {
+        MetricsMode::Exact
+    } else {
+        MetricsMode::Histogram
+    }
+}
+
+fn collect(events: &[Ev], width_s: f64, mode: MetricsMode) -> DiskWindows {
+    let mut w = DiskWindows::new(width_s, mode);
+    for ev in events {
+        match *ev {
+            Ev::Completion(t, r) => w.record_completion(t, r),
+            Ev::Shed(t) => w.record_shed(t),
+            Ev::Failed(t) => w.record_failed(t),
+            Ev::Retried(t) => w.record_retried(t),
+            Ev::Queue(t, d) => w.observe_queue(t, d),
+            Ev::Energy(from, to, p) => w.add_energy(from, to, p),
+        }
+    }
+    w.finish(T_END);
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Any ordered contiguous partition of the event stream, merged back in
+    // partition order, is the bulk collector — bit for bit, in both
+    // metrics modes, and the derived fleet rows agree too. This is
+    // exactly the sharded replay's shape: each shard records a contiguous
+    // per-disk slice of history, and the merge reassembles it.
+    #[test]
+    fn partition_merge_equals_bulk_recording(
+        events in prop::collection::vec(event(), 0..300),
+        cuts in prop::collection::vec(0usize..300, 0..6),
+        w in width(),
+        exact in any::<bool>(),
+    ) {
+        let mode = mode_of(exact);
+        let bulk = collect(&events, w, mode);
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (events.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(events.len());
+        bounds.sort_unstable();
+        let mut merged = DiskWindows::new(w, mode);
+        let mut parts = Vec::new();
+        for win in bounds.windows(2) {
+            let part = collect(&events[win[0]..win[1]], w, mode);
+            merged.merge(&part);
+            parts.push(part);
+        }
+        merged.finish(T_END);
+        prop_assert_eq!(&merged, &bulk);
+        prop_assert_eq!(merged.n_windows(), bulk.n_windows());
+        // The fleet-level derivation agrees window by window: folding the
+        // parts (as the shard merge does) yields the same rows as folding
+        // the single bulk collector (as the unsharded finish does).
+        let from_parts = WindowedReport::derive(w, parts, false);
+        let from_bulk = WindowedReport::derive(w, vec![bulk], false);
+        prop_assert_eq!(&from_parts.rows, &from_bulk.rows);
+    }
+
+    // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c). Dyadic magnitudes make
+    // the per-window energy sums exact, so the grouping cannot leak into
+    // the result in either mode.
+    #[test]
+    fn merge_associates(
+        a in prop::collection::vec(event(), 0..120),
+        b in prop::collection::vec(event(), 0..120),
+        c in prop::collection::vec(event(), 0..120),
+        w in width(),
+        exact in any::<bool>(),
+    ) {
+        let mode = mode_of(exact);
+        let (wa, wb, wc) = (
+            collect(&a, w, mode),
+            collect(&b, w, mode),
+            collect(&c, w, mode),
+        );
+        let mut left = wa.clone();
+        left.merge(&wb);
+        left.merge(&wc);
+        let mut bc = wb.clone();
+        bc.merge(&wc);
+        let mut right = wa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+    }
+
+    // Commutativity: a ⊕ b == b ⊕ a. Histogram collectors are bit-equal
+    // as values (bucket counts add); exact collectors store their sample
+    // lists in merge order, so the *derived rows* — counts, means and
+    // sorted-rank quantiles over the same multiset — are compared instead.
+    #[test]
+    fn merge_commutes(
+        a in prop::collection::vec(event(), 0..150),
+        b in prop::collection::vec(event(), 0..150),
+        w in width(),
+        exact in any::<bool>(),
+    ) {
+        let mode = mode_of(exact);
+        let (wa, wb) = (collect(&a, w, mode), collect(&b, w, mode));
+        let mut ab = wa.clone();
+        ab.merge(&wb);
+        let mut ba = wb.clone();
+        ba.merge(&wa);
+        if !exact {
+            prop_assert_eq!(&ab, &ba);
+        }
+        let rows_ab = WindowedReport::derive(w, vec![ab], false).rows;
+        let rows_ba = WindowedReport::derive(w, vec![ba], false).rows;
+        prop_assert_eq!(&rows_ab, &rows_ba);
+    }
+
+    // The empty, just-finished collector is the identity on either side —
+    // the regime of a shard whose disks saw no events in a window range.
+    #[test]
+    fn empty_collector_is_the_merge_identity(
+        events in prop::collection::vec(event(), 0..200),
+        w in width(),
+        exact in any::<bool>(),
+    ) {
+        let mode = mode_of(exact);
+        let x = collect(&events, w, mode);
+        let empty = collect(&[], w, mode);
+        let mut left = empty.clone();
+        left.merge(&x);
+        let mut right = x.clone();
+        right.merge(&empty);
+        prop_assert_eq!(&left, &x);
+        prop_assert_eq!(&right, &x);
+    }
+
+    // Zero-completion windows derive to explicit zeros — never NaN — in
+    // every column, whatever else happened around them (the empty-window
+    // contract the CSV renderer leans on).
+    #[test]
+    fn derived_rows_are_always_finite(
+        events in prop::collection::vec(event(), 0..150),
+        w in width(),
+        exact in any::<bool>(),
+    ) {
+        let d = collect(&events, w, mode_of(exact));
+        let report = WindowedReport::derive(w, vec![d], false);
+        for row in &report.rows {
+            prop_assert!(row.mean_s.is_finite(), "mean NaN in empty window");
+            prop_assert!(row.p95_s.is_finite(), "p95 NaN in empty window");
+            prop_assert!(row.p99_s.is_finite(), "p99 NaN in empty window");
+            prop_assert!(row.energy_j.is_finite());
+            if row.completions == 0 {
+                prop_assert_eq!(row.mean_s, 0.0);
+                prop_assert_eq!(row.p95_s, 0.0);
+                prop_assert_eq!(row.p99_s, 0.0);
+            }
+        }
+    }
+}
